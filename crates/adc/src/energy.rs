@@ -1,0 +1,192 @@
+//! ADC energy accounting — Eq. 6: `E_convert = e_op · N_A/D_ops`.
+//!
+//! The per-operation energy is derived from the 8-bit SAR ADC the paper
+//! references ([20], Chen et al., VLSI 2018) scaled to the ISAAC operating
+//! point: an 8-bit conversion at the accelerator's duty cycle costs about
+//! 2.4 pJ, i.e. ~0.3 pJ per A/D operation, plus a small sample-and-hold /
+//! track overhead per conversion. Absolute joules only set the scale of the
+//! power plots; every *relative* claim (Fig. 6c, Fig. 7) depends on the
+//! operation counts, which this meter tracks exactly.
+
+use crate::sar::Conversion;
+use serde::{Deserialize, Serialize};
+
+/// Energy cost model of a SAR ADC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdcEnergyParams {
+    /// Energy per A/D operation (one comparator decision + DAC settle +
+    /// SAR logic step), in picojoules.
+    pub e_op_pj: f64,
+    /// Fixed per-conversion overhead (track/hold), in picojoules.
+    pub e_sample_pj: f64,
+}
+
+impl Default for AdcEnergyParams {
+    fn default() -> Self {
+        // 8-op conversion ≈ 2.4 pJ + 0.15 pJ sample overhead; see module docs.
+        AdcEnergyParams { e_op_pj: 0.3, e_sample_pj: 0.15 }
+    }
+}
+
+impl AdcEnergyParams {
+    /// Energy of a single conversion that used `ops` operations.
+    pub fn conversion_energy_pj(&self, ops: u32) -> f64 {
+        self.e_sample_pj + self.e_op_pj * ops as f64
+    }
+}
+
+/// Accumulates operation and conversion counts and reports energy.
+///
+/// ```
+/// use trq_adc::{AdcEnergyParams, EnergyMeter, UniformSarAdc};
+/// # fn main() -> Result<(), trq_quant::QuantError> {
+/// let adc = UniformSarAdc::new(8, 1.0)?;
+/// let mut meter = EnergyMeter::new(AdcEnergyParams::default());
+/// meter.record(&adc.convert(42.0));
+/// assert_eq!(meter.ops(), 8);
+/// assert_eq!(meter.conversions(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    params: AdcEnergyParams,
+    ops: u64,
+    conversions: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the given cost model.
+    pub fn new(params: AdcEnergyParams) -> Self {
+        EnergyMeter { params, ops: 0, conversions: 0 }
+    }
+
+    /// Records a completed conversion.
+    pub fn record(&mut self, conversion: &Conversion) {
+        self.record_ops(conversion.ops);
+    }
+
+    /// Records a conversion by its op count alone (fast paths).
+    pub fn record_ops(&mut self, ops: u32) {
+        self.ops += ops as u64;
+        self.conversions += 1;
+    }
+
+    /// Total A/D operations seen.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total conversions seen.
+    pub fn conversions(&self) -> u64 {
+        self.conversions
+    }
+
+    /// Total energy in picojoules under the cost model.
+    pub fn energy_pj(&self) -> f64 {
+        self.params.e_op_pj * self.ops as f64 + self.params.e_sample_pj * self.conversions as f64
+    }
+
+    /// Mean operations per conversion (0 when empty).
+    pub fn mean_ops(&self) -> f64 {
+        if self.conversions == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.conversions as f64
+        }
+    }
+
+    /// Folds another meter's counts into this one (the meters must share a
+    /// cost model; merging across models would make `energy_pj` ambiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cost models differ.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        assert_eq!(self.params, other.params, "merging meters with different cost models");
+        self.ops += other.ops;
+        self.conversions += other.conversions;
+    }
+
+    /// Resets all counts.
+    pub fn reset(&mut self) {
+        self.ops = 0;
+        self.conversions = 0;
+    }
+
+    /// The cost model.
+    pub fn params(&self) -> &AdcEnergyParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformSarAdc;
+
+    #[test]
+    fn energy_formula_matches_eq6() {
+        let params = AdcEnergyParams { e_op_pj: 0.5, e_sample_pj: 0.1 };
+        let mut meter = EnergyMeter::new(params);
+        meter.record_ops(8);
+        meter.record_ops(4);
+        assert_eq!(meter.ops(), 12);
+        assert_eq!(meter.conversions(), 2);
+        assert!((meter.energy_pj() - (0.5 * 12.0 + 0.1 * 2.0)).abs() < 1e-12);
+        assert!((meter.mean_ops() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_from_real_conversions() {
+        let adc = UniformSarAdc::new(6, 1.0).unwrap();
+        let mut meter = EnergyMeter::new(AdcEnergyParams::default());
+        for i in 0..10 {
+            meter.record(&adc.convert(i as f64));
+        }
+        assert_eq!(meter.ops(), 60);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = EnergyMeter::new(AdcEnergyParams::default());
+        let mut b = EnergyMeter::new(AdcEnergyParams::default());
+        a.record_ops(5);
+        b.record_ops(7);
+        a.merge(&b);
+        assert_eq!(a.ops(), 12);
+        assert_eq!(a.conversions(), 2);
+        a.reset();
+        assert_eq!(a.ops(), 0);
+        assert_eq!(a.energy_pj(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different cost models")]
+    fn merge_rejects_mismatched_models() {
+        let mut a = EnergyMeter::new(AdcEnergyParams::default());
+        let b = EnergyMeter::new(AdcEnergyParams { e_op_pj: 9.0, e_sample_pj: 0.0 });
+        a.merge(&b);
+    }
+
+    #[test]
+    fn trq_meter_shows_savings_vs_uniform() {
+        use trq_quant::TrqParams;
+        let uni = UniformSarAdc::new(8, 1.0).unwrap();
+        let trq = crate::TrqSarAdc::new(TrqParams::new(3, 7, 1, 1.0, 0).unwrap());
+        let mut mu = EnergyMeter::new(AdcEnergyParams::default());
+        let mut mt = EnergyMeter::new(AdcEnergyParams::default());
+        // skewed inputs: 90% small (early birds), 10% large
+        for i in 0..100 {
+            let x = if i % 10 == 0 { 150.0 } else { (i % 8) as f64 };
+            mu.record(&uni.convert(x));
+            mt.record(&trq.convert(x));
+        }
+        assert!(
+            mt.energy_pj() < 0.7 * mu.energy_pj(),
+            "TRQ should save >30% on skewed data: {} vs {}",
+            mt.energy_pj(),
+            mu.energy_pj()
+        );
+    }
+}

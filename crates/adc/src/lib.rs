@@ -1,0 +1,56 @@
+//! # trq-adc
+//!
+//! Bit-accurate behavioural simulation of the SAR ADCs in the paper:
+//!
+//! - [`UniformSarAdc`] — the conventional uniform-grid binary search
+//!   (Section II-D, Fig. 2a): `K` A/D operations per conversion, always.
+//! - [`NonUniformSarAdc`] — the related-work baseline (Fig. 2b): binary
+//!   search on a customised monotone grid, still `K` operations, but a
+//!   circuit-level change the paper argues against.
+//! - [`TrqSarAdc`] — the paper's modified SAR control logic (Section
+//!   III-D): an extra pre-detection phase picks the R1/R2 range, then a
+//!   shorter binary search runs inside it ("early birds" and "early
+//!   stopping", Fig. 4a). Analog parts are untouched; only the digital
+//!   search sequence differs.
+//!
+//! Plus the digital peripherals the co-design needs: the [`ShiftAdd`]
+//! merge module with the decode shifter (Fig. 5 ➎), the packed
+//! [`CfgRegister`] (Fig. 5 ➍), and [`EnergyMeter`] implementing
+//! `E_convert = e_op · N_A/D_ops` (Eq. 6).
+//!
+//! The crate-level invariant, enforced by property tests: every ADC here
+//! produces *exactly* the same reconstruction as its algorithm-level
+//! quantizer in `trq-quant`. That is the paper's "behaviour abstraction"
+//! claim, made mechanical.
+//!
+//! ```
+//! use trq_adc::{TrqSarAdc, UniformSarAdc};
+//! use trq_quant::TrqParams;
+//! # fn main() -> Result<(), trq_quant::QuantError> {
+//! let uni = UniformSarAdc::new(8, 1.0)?;
+//! let trq = TrqSarAdc::new(TrqParams::new(3, 4, 4, 1.0, 0)?);
+//! let x = 5.0; // an "early bird" near the bottom of the range
+//! assert_eq!(uni.convert(x).ops, 8);
+//! assert_eq!(trq.convert(x).ops, 1 + 3); // pre-detect + short search
+//! assert_eq!(trq.convert(x).value, 5.0); // and still lossless
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod energy;
+mod nonuniform;
+mod registers;
+mod sar;
+mod shift_add;
+mod trq_adc;
+mod uniform;
+
+pub use energy::{AdcEnergyParams, EnergyMeter};
+pub use nonuniform::NonUniformSarAdc;
+pub use registers::{AdcMode, CfgRegister, RegisterError};
+pub use sar::{Conversion, ConversionTrace, Phase, Step};
+pub use shift_add::ShiftAdd;
+pub use trq_adc::TrqSarAdc;
+pub use uniform::UniformSarAdc;

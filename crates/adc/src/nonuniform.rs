@@ -1,0 +1,179 @@
+//! The non-uniform-grid SAR baseline (Fig. 2b, related work [9]).
+//!
+//! A non-uniform ADC performs the standard `K`-step binary search, but on a
+//! customised monotone threshold grid whose density follows the expected
+//! value distribution. It saves *resolution* (fewer bits for the same
+//! accuracy) but not *operations per conversion*, and — the paper's core
+//! criticism — it bakes the grid into the analog circuit. It is included
+//! here as the comparison baseline.
+
+use crate::sar::{Conversion, Phase, Step};
+use serde::{Deserialize, Serialize};
+use trq_quant::{Histogram, QuantError};
+
+/// A SAR ADC searching over an arbitrary monotone reconstruction grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonUniformSarAdc {
+    /// Reconstruction levels, strictly increasing, length `2^bits`.
+    levels: Vec<f64>,
+    bits: u32,
+}
+
+impl NonUniformSarAdc {
+    /// Creates a non-uniform ADC from its reconstruction levels. The level
+    /// count must be a power of two (`2^bits`, `1 <= bits <= 16`) and the
+    /// levels strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadBits`] for a level count that is not a
+    /// supported power of two, or [`QuantError::BadStep`] when levels are
+    /// not strictly increasing / not finite.
+    pub fn from_levels(levels: Vec<f64>) -> Result<Self, QuantError> {
+        let n = levels.len();
+        if n < 2 || !n.is_power_of_two() || n > 1 << 16 {
+            return Err(QuantError::BadBits { param: "levels.len()", value: n as u32 });
+        }
+        for w in levels.windows(2) {
+            if !w[0].is_finite() || !w[1].is_finite() || w[0] >= w[1] {
+                return Err(QuantError::BadStep { value: w[1] - w[0] });
+            }
+        }
+        Ok(NonUniformSarAdc { bits: n.trailing_zeros(), levels })
+    }
+
+    /// Builds a quantile-spaced grid from a calibration histogram — the
+    /// "higher density where more values live" customisation of Fig. 2b.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the histogram is empty or too degenerate to
+    /// yield strictly increasing levels (ties are nudged apart by an
+    /// epsilon of the range).
+    pub fn from_histogram(hist: &Histogram, bits: u32) -> Result<Self, QuantError> {
+        if bits == 0 || bits > 16 {
+            return Err(QuantError::BadBits { param: "bits", value: bits });
+        }
+        if hist.count() == 0 {
+            return Err(QuantError::BadHistogram { reason: "empty calibration histogram".into() });
+        }
+        let n = 1usize << bits;
+        let range = (hist.sample_max() - hist.sample_min()).max(1e-9);
+        let eps = range / (n as f64 * 1e4);
+        let mut levels = Vec::with_capacity(n);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..n {
+            let p = (i as f64 + 0.5) / n as f64;
+            let mut q = hist.quantile(p);
+            if q <= prev {
+                q = prev + eps;
+            }
+            levels.push(q);
+            prev = q;
+        }
+        Self::from_levels(levels)
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The reconstruction levels.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Converts a held sample: standard `K`-step binary search over the
+    /// custom grid, thresholds at midpoints between adjacent levels.
+    pub fn convert(&self, x: f64) -> Conversion {
+        let mut lo = 0usize;
+        let mut trace = Vec::with_capacity(self.bits as usize);
+        // Invariant: answer ∈ [lo, lo + 2^remaining - 1]
+        for k in (0..self.bits).rev() {
+            let probe = lo + (1usize << k);
+            // threshold separating codes probe-1 and probe
+            let threshold = 0.5 * (self.levels[probe - 1] + self.levels[probe]);
+            let above = x >= threshold;
+            trace.push(Step { phase: Phase::Search, test_code: probe as u32, threshold, above });
+            if above {
+                lo = probe;
+            }
+        }
+        Conversion { code_bits: lo as u32, value: self.levels[lo], ops: self.bits, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validates_levels() {
+        assert!(NonUniformSarAdc::from_levels(vec![0.0]).is_err());
+        assert!(NonUniformSarAdc::from_levels(vec![0.0, 1.0, 2.0]).is_err()); // not 2^k
+        assert!(NonUniformSarAdc::from_levels(vec![0.0, 0.0]).is_err()); // not increasing
+        assert!(NonUniformSarAdc::from_levels(vec![0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn nearest_level_selection() {
+        let adc = NonUniformSarAdc::from_levels(vec![0.0, 1.0, 10.0, 100.0]).unwrap();
+        assert_eq!(adc.convert(0.4).value, 0.0);
+        assert_eq!(adc.convert(0.6).value, 1.0);
+        assert_eq!(adc.convert(5.0).value, 1.0);
+        assert_eq!(adc.convert(5.6).value, 10.0);
+        assert_eq!(adc.convert(1e9).value, 100.0);
+        assert_eq!(adc.convert(-5.0).value, 0.0);
+    }
+
+    #[test]
+    fn fixed_ops_per_conversion() {
+        let adc = NonUniformSarAdc::from_levels((0..16).map(|i| i as f64 * i as f64).collect()).unwrap();
+        for x in [0.0, 3.0, 77.0, 500.0] {
+            assert_eq!(adc.convert(x).ops, 4);
+            assert_eq!(adc.convert(x).trace.len(), 4);
+        }
+    }
+
+    #[test]
+    fn quantile_grid_is_denser_where_mass_is() {
+        // skewed data: 90% of mass below 10, tail to 100
+        let mut samples = Vec::new();
+        for i in 0..900 {
+            samples.push(i as f64 % 10.0);
+        }
+        for i in 0..100 {
+            samples.push(10.0 + (i as f64 / 100.0) * 90.0);
+        }
+        let hist = Histogram::from_samples(&samples, 128).unwrap();
+        let adc = NonUniformSarAdc::from_histogram(&hist, 4).unwrap();
+        let below_10 = adc.levels().iter().filter(|&&l| l < 10.0).count();
+        assert!(below_10 >= 12, "expected most levels below 10, got {below_10}: {:?}", adc.levels());
+    }
+
+    proptest! {
+        #[test]
+        fn binary_search_finds_nearest_level(x in -10.0f64..120.0, seed in 0u64..100) {
+            // random strictly increasing grid of 8 levels
+            let mut levels = Vec::new();
+            let mut acc = (seed % 7) as f64;
+            let mut state = seed;
+            for _ in 0..8 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc += 0.1 + (state >> 40) as f64 / (1u64 << 24) as f64 * 20.0;
+                levels.push(acc);
+            }
+            let adc = NonUniformSarAdc::from_levels(levels.clone()).unwrap();
+            let got = adc.convert(x).value;
+            let nearest = levels
+                .iter()
+                .copied()
+                .min_by(|a, b| (a - x).abs().partial_cmp(&(b - x).abs()).unwrap())
+                .unwrap();
+            // ties at exact midpoints may go either way; accept both sides
+            prop_assert!((got - x).abs() <= (nearest - x).abs() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The configuration register near the ADC and S+A module (Fig. 5 ➍).
+//!
+//! The paper stores, per column group: output bit-widths `NR1`/`NR2`, the
+//! non-uniformity degree `M`, the R1 window `bias`, and the mode select
+//! (twin-range vs plain uniform). The step sizes `ΔR1`/`ΔR2` are analog
+//! quantities (set through `Vref` / TIA gain) and therefore live outside
+//! the digital register. This module models the exact packed layout so the
+//! register width and field bounds are part of the tested design.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use trq_quant::{QuantError, TrqParams};
+
+/// ADC operating mode select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdcMode {
+    /// Conventional uniform search — the compatibility mode
+    /// (Section III-D-2c: "our ADC design can be configured as ... U ADC mode").
+    Uniform,
+    /// Twin-range search.
+    TwinRange,
+}
+
+/// Errors from unpacking a raw register word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// A field decoded to a value outside its legal range.
+    FieldOutOfRange {
+        /// Field name.
+        field: &'static str,
+        /// Decoded value.
+        value: u32,
+    },
+    /// Bits above the defined layout were set.
+    ReservedBitsSet {
+        /// The offending raw word.
+        raw: u32,
+    },
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::FieldOutOfRange { field, value } => {
+                write!(f, "register field {field} out of range: {value}")
+            }
+            RegisterError::ReservedBitsSet { raw } => {
+                write!(f, "reserved bits set in register word {raw:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for RegisterError {}
+
+/// The packed CFG register.
+///
+/// Layout (LSB first):
+///
+/// | bits  | field | range |
+/// |-------|-------|-------|
+/// | 0..4  | `NR1 − 1` | encodes 1..=16 |
+/// | 4..8  | `NR2 − 1` | encodes 1..=16 |
+/// | 8..12 | `M`       | 0..=15 |
+/// | 12..20| `bias`    | 0..=255 |
+/// | 20    | mode      | 0 = uniform, 1 = twin-range |
+/// | 21..  | reserved, must be zero |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CfgRegister {
+    /// R1 payload width.
+    pub n_r1: u32,
+    /// R2 payload width.
+    pub n_r2: u32,
+    /// Non-uniformity degree.
+    pub m: u32,
+    /// R1 window index.
+    pub bias: u32,
+    /// Mode select.
+    pub mode: AdcMode,
+}
+
+impl CfgRegister {
+    /// Builds a register image from quantizer parameters.
+    pub fn from_params(params: &TrqParams, mode: AdcMode) -> Self {
+        CfgRegister {
+            n_r1: params.n_r1(),
+            n_r2: params.n_r2(),
+            m: params.m(),
+            bias: params.bias(),
+            mode,
+        }
+    }
+
+    /// Reconstructs quantizer parameters, supplying the analog step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantError`] when the register content violates the
+    /// parameter rules (e.g. `bias >= 2^M`).
+    pub fn to_params(&self, delta_r1: f64) -> Result<TrqParams, QuantError> {
+        TrqParams::new(self.n_r1, self.n_r2, self.m, delta_r1, self.bias)
+    }
+
+    /// Packs into the 21-bit wire layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fields exceed their encodable ranges (a register image is
+    /// expected to come from validated parameters).
+    pub fn pack(&self) -> u32 {
+        assert!((1..=16).contains(&self.n_r1), "n_r1 {} not encodable", self.n_r1);
+        assert!((1..=16).contains(&self.n_r2), "n_r2 {} not encodable", self.n_r2);
+        assert!(self.m < 16, "m {} not encodable", self.m);
+        assert!(self.bias < 256, "bias {} not encodable", self.bias);
+        let mode = match self.mode {
+            AdcMode::Uniform => 0u32,
+            AdcMode::TwinRange => 1u32,
+        };
+        (self.n_r1 - 1) | ((self.n_r2 - 1) << 4) | (self.m << 8) | (self.bias << 12) | (mode << 20)
+    }
+
+    /// Unpacks a raw register word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterError::ReservedBitsSet`] for stray high bits and
+    /// [`RegisterError::FieldOutOfRange`] when `bias` is not addressable
+    /// under the decoded `M`.
+    pub fn unpack(raw: u32) -> Result<Self, RegisterError> {
+        if raw >> 21 != 0 {
+            return Err(RegisterError::ReservedBitsSet { raw });
+        }
+        let n_r1 = (raw & 0xF) + 1;
+        let n_r2 = ((raw >> 4) & 0xF) + 1;
+        let m = (raw >> 8) & 0xF;
+        let bias = (raw >> 12) & 0xFF;
+        let mode = if (raw >> 20) & 1 == 1 { AdcMode::TwinRange } else { AdcMode::Uniform };
+        Ok(CfgRegister { n_r1, n_r2, m, bias, mode })
+    }
+
+    /// Width of the defined layout in bits.
+    pub const WIDTH_BITS: u32 = 21;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_layout_is_stable() {
+        let reg = CfgRegister { n_r1: 3, n_r2: 5, m: 2, bias: 1, mode: AdcMode::TwinRange };
+        // (3-1) | (5-1)<<4 | 2<<8 | 1<<12 | 1<<20
+        assert_eq!(reg.pack(), 0b1_00000001_0010_0100_0010);
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        assert!(matches!(
+            CfgRegister::unpack(1 << 25),
+            Err(RegisterError::ReservedBitsSet { .. })
+        ));
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let p = TrqParams::new(4, 6, 3, 0.5, 5).unwrap();
+        let reg = CfgRegister::from_params(&p, AdcMode::TwinRange);
+        let p2 = reg.to_params(0.5).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(
+            n_r1 in 1u32..=16, n_r2 in 1u32..=16, m in 0u32..8, bias_raw in 0u32..256,
+            twin in proptest::bool::ANY,
+        ) {
+            let bias = bias_raw % 256;
+            let reg = CfgRegister {
+                n_r1, n_r2, m, bias,
+                mode: if twin { AdcMode::TwinRange } else { AdcMode::Uniform },
+            };
+            let raw = reg.pack();
+            prop_assert!(raw < (1 << CfgRegister::WIDTH_BITS));
+            prop_assert_eq!(CfgRegister::unpack(raw).unwrap(), reg);
+        }
+    }
+}

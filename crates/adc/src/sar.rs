@@ -1,0 +1,163 @@
+//! The core successive-approximation binary-search engine (Eq. 5) and the
+//! conversion record types shared by all ADC variants.
+
+use serde::{Deserialize, Serialize};
+
+/// Which phase of the modified conversion a comparator decision belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// The TRQ pre-detection comparison(s) that select R1 vs R2
+    /// (the "extra phase" of Fig. 4a).
+    PreDetect,
+    /// A regular binary-search step inside the selected grid.
+    Search,
+}
+
+/// One A/D operation: a single comparator decision against a DAC threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// Phase this comparison belongss to.
+    pub phase: Phase,
+    /// The code under test (`idx(k)` in Eq. 5); for pre-detection steps the
+    /// tested window edge in LSB units.
+    pub test_code: u32,
+    /// The DAC threshold voltage the comparator saw.
+    pub threshold: f64,
+    /// Comparator output `D_k`: true when the held sample was above the
+    /// threshold.
+    pub above: bool,
+}
+
+/// The full trace of one A/D conversion — the "searching trace" arrows of
+/// Fig. 2 / Fig. 4a, useful for debugging and for the trace example binary.
+pub type ConversionTrace = Vec<Step>;
+
+/// Result of one A/D conversion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conversion {
+    /// Output code in the ADC's wire format. For uniform ADCs this is the
+    /// plain binary code; for TRQ it is the Fig. 4b compact code
+    /// (range flag + payload).
+    pub code_bits: u32,
+    /// Reconstructed value after decoding (physical units).
+    pub value: f64,
+    /// Number of A/D operations consumed (`N_A/D_ops` in Eq. 6).
+    pub ops: u32,
+    /// Per-step trace; empty when produced by a `convert_fast` path.
+    pub trace: ConversionTrace,
+}
+
+/// Runs a `bits`-step SAR binary search for the code `c ∈ [0, 2^bits − 1]`
+/// nearest to `(x − base) / step` (round half-up, clamped), recording each
+/// comparator decision into `trace`.
+///
+/// The comparison is performed on the normalised residue `r = (x − base) /
+/// step` against exact half-integer thresholds, which makes the search
+/// *exactly* equivalent to `clamp(round(r), 0, 2^bits − 1)` — the quantizer
+/// of Eq. 1 — with no floating-point divergence between the two paths.
+pub(crate) fn binary_search_uniform(
+    x: f64,
+    base: f64,
+    step: f64,
+    bits: u32,
+    trace: Option<&mut ConversionTrace>,
+) -> u32 {
+    debug_assert!(bits >= 1 && bits <= 16);
+    let r = (x - base) / step;
+    let mut acc: u32 = 0;
+    let mut local = Vec::new();
+    for k in (0..bits).rev() {
+        let test = acc | (1u32 << k);
+        // threshold for code `test` sits half an LSB below it (Fig. 2a)
+        let above = r >= test as f64 - 0.5;
+        if above {
+            acc = test;
+        }
+        if trace.is_some() {
+            local.push(Step {
+                phase: Phase::Search,
+                test_code: test,
+                threshold: base + (test as f64 - 0.5) * step,
+                above,
+            });
+        }
+    }
+    if let Some(t) = trace {
+        t.extend(local);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference(x: f64, base: f64, step: f64, bits: u32) -> u32 {
+        let r = ((x - base) / step).round();
+        let max = (1u32 << bits) - 1;
+        if r <= 0.0 {
+            0
+        } else if r >= max as f64 {
+            max
+        } else {
+            r as u32
+        }
+    }
+
+    #[test]
+    fn msb_first_search_order() {
+        let mut trace = Vec::new();
+        let _ = binary_search_uniform(5.0, 0.0, 1.0, 3, Some(&mut trace));
+        // first test code is (100)₂, per Eq. 5 "Starting from (10...0)₂"
+        assert_eq!(trace[0].test_code, 0b100);
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        for v in 0..16 {
+            assert_eq!(binary_search_uniform(v as f64, 0.0, 1.0, 4, None), v);
+        }
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(binary_search_uniform(-10.0, 0.0, 1.0, 4, None), 0);
+        assert_eq!(binary_search_uniform(1e12, 0.0, 1.0, 4, None), 15);
+    }
+
+    #[test]
+    fn base_offsets_the_grid() {
+        assert_eq!(binary_search_uniform(12.0, 10.0, 1.0, 3, None), 2);
+        assert_eq!(binary_search_uniform(9.0, 10.0, 1.0, 3, None), 0);
+    }
+
+    #[test]
+    fn half_lsb_boundary_rounds_up() {
+        // r = 2.5 exactly → round half away from zero → 3
+        assert_eq!(binary_search_uniform(2.5, 0.0, 1.0, 3, None), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_round_clamp_reference(
+            bits in 1u32..12,
+            x in -10.0f64..500.0,
+            base in 0.0f64..5.0,
+            step in 0.05f64..3.0,
+        ) {
+            let got = binary_search_uniform(x, base, step, bits, None);
+            let want = reference(x, base, step, bits);
+            prop_assert_eq!(got, want, "x={} base={} step={} bits={}", x, base, step, bits);
+        }
+
+        #[test]
+        fn trace_length_equals_bits(bits in 1u32..12, x in 0.0f64..100.0) {
+            let mut trace = Vec::new();
+            let _ = binary_search_uniform(x, 0.0, 0.7, bits, Some(&mut trace));
+            prop_assert_eq!(trace.len(), bits as usize);
+            prop_assert!(trace.iter().all(|s| s.phase == Phase::Search));
+        }
+    }
+}

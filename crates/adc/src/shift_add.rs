@@ -1,0 +1,185 @@
+//! The modified Shift-and-Add merge module (Fig. 5 ➎).
+//!
+//! ISAAC-style accelerators merge bit-sliced partial results by shifting
+//! each BL conversion left by its weight-slice position `α−1` plus the
+//! input-bit cycle `c`, then accumulating. The paper adds one extra shift
+//! control: TRQ codes with MSB = 1 (range R2) are first shifted left by `M`
+//! and R1 codes get the window `bias` concatenated — both folded into
+//! [`TrqCode::decode_lsb`]. After decoding, the MSB is discarded and the
+//! usual `α−1+c` shift applies, i.e. the hardware change is a multiplexer
+//! and a shifter, no multiplier.
+
+use serde::{Deserialize, Serialize};
+use trq_quant::{TrqCode, TrqParams};
+
+/// A shift-and-add accumulator with a configurable partial-sum width.
+///
+/// The accumulator itself is wide (i64); `width_bits` models the register
+/// width of the real datapath (16 bits in the paper's setup) and overflow
+/// beyond it is *counted*, not silently wrapped, so experiments can assert
+/// that the paper's "readily available 16b partial sums" are in fact
+/// sufficient.
+///
+/// ```
+/// use trq_adc::ShiftAdd;
+/// use trq_quant::{TrqCode, TrqParams};
+/// # fn main() -> Result<(), trq_quant::QuantError> {
+/// let params = TrqParams::new(3, 3, 2, 1.0, 0)?;
+/// let mut sa = ShiftAdd::new(16);
+/// sa.add_code(TrqCode::r2(3), &params, 1); // (3 << 2) << 1 = 24
+/// sa.add_code(TrqCode::r1(5), &params, 0); // + 5
+/// assert_eq!(sa.value(), 29);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShiftAdd {
+    acc: i64,
+    width_bits: u32,
+    overflows: u64,
+}
+
+impl ShiftAdd {
+    /// Creates an accumulator that checks against a `width_bits`-bit signed
+    /// partial-sum register.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width_bits <= 48`.
+    pub fn new(width_bits: u32) -> Self {
+        assert!((1..=48).contains(&width_bits), "unsupported partial-sum width {width_bits}");
+        ShiftAdd { acc: 0, width_bits, overflows: 0 }
+    }
+
+    /// Decodes a TRQ code (shift-by-`M` / bias concatenation) and
+    /// accumulates it with an additional left shift of `extra_shift`
+    /// (the `α−1+c` term of Fig. 5).
+    pub fn add_code(&mut self, code: TrqCode, params: &TrqParams, extra_shift: u32) {
+        self.add_raw(code.decode_lsb(params) as i64, extra_shift);
+    }
+
+    /// Accumulates an already-decoded magnitude with a left shift.
+    pub fn add_raw(&mut self, value: i64, extra_shift: u32) {
+        self.acc += value << extra_shift;
+        self.check_width();
+    }
+
+    /// Subtracts an already-decoded magnitude with a left shift — used to
+    /// merge the negative crossbar of a differential pair.
+    pub fn sub_raw(&mut self, value: i64, extra_shift: u32) {
+        self.acc -= value << extra_shift;
+        self.check_width();
+    }
+
+    /// The accumulated partial sum.
+    pub fn value(&self) -> i64 {
+        self.acc
+    }
+
+    /// How many updates pushed the value outside the modelled register
+    /// width. Zero in a correctly dimensioned datapath.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Resets the accumulator (keeps the overflow statistics).
+    pub fn clear(&mut self) {
+        self.acc = 0;
+    }
+
+    fn check_width(&mut self) {
+        let limit = 1i64 << (self.width_bits - 1);
+        if self.acc >= limit || self.acc < -limit {
+            self.overflows += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params(m: u32) -> TrqParams {
+        TrqParams::new(3, 3, m, 1.0, 0).unwrap()
+    }
+
+    #[test]
+    fn r2_codes_shift_by_m() {
+        let mut sa = ShiftAdd::new(16);
+        sa.add_code(TrqCode::r2(7), &params(3), 0);
+        assert_eq!(sa.value(), 7 << 3);
+    }
+
+    #[test]
+    fn r1_codes_pass_through_when_bias_zero() {
+        let mut sa = ShiftAdd::new(16);
+        sa.add_code(TrqCode::r1(7), &params(3), 0);
+        assert_eq!(sa.value(), 7);
+    }
+
+    #[test]
+    fn extra_shift_models_slice_and_cycle_position() {
+        let mut sa = ShiftAdd::new(16);
+        // slice α−1 = 2, cycle c = 3 → shift 5
+        sa.add_code(TrqCode::r1(1), &params(0), 5);
+        assert_eq!(sa.value(), 32);
+    }
+
+    #[test]
+    fn differential_pair_subtracts() {
+        let mut sa = ShiftAdd::new(16);
+        sa.add_raw(100, 0);
+        sa.sub_raw(30, 1);
+        assert_eq!(sa.value(), 40);
+    }
+
+    #[test]
+    fn overflow_is_counted_not_wrapped() {
+        let mut sa = ShiftAdd::new(8); // signed 8-bit register: |v| < 128
+        sa.add_raw(100, 0);
+        assert_eq!(sa.overflows(), 0);
+        sa.add_raw(100, 0);
+        assert_eq!(sa.overflows(), 1);
+        assert_eq!(sa.value(), 200); // model keeps the true value
+    }
+
+    #[test]
+    fn clear_keeps_overflow_stats() {
+        let mut sa = ShiftAdd::new(4);
+        sa.add_raw(100, 0);
+        assert_eq!(sa.overflows(), 1);
+        sa.clear();
+        assert_eq!(sa.value(), 0);
+        assert_eq!(sa.overflows(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn accumulation_is_order_independent(
+            values in proptest::collection::vec((0i64..256, 0u32..8), 1..20),
+        ) {
+            let mut a = ShiftAdd::new(32);
+            let mut b = ShiftAdd::new(32);
+            for &(v, s) in &values {
+                a.add_raw(v, s);
+            }
+            for &(v, s) in values.iter().rev() {
+                b.add_raw(v, s);
+            }
+            prop_assert_eq!(a.value(), b.value());
+        }
+
+        #[test]
+        fn decode_then_add_equals_add_decoded(
+            payload in 0u16..8, m in 0u32..5, shift in 0u32..6,
+        ) {
+            let p = params(m);
+            let mut a = ShiftAdd::new(32);
+            a.add_code(TrqCode::r2(payload), &p, shift);
+            let mut b = ShiftAdd::new(32);
+            b.add_raw((payload as i64) << m, shift);
+            prop_assert_eq!(a.value(), b.value());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's modified SAR ADC: pre-detection phase + twin-range binary
+//! search (Section III-D, Fig. 4a).
+
+use crate::sar::{binary_search_uniform, Conversion, Phase, Step};
+use serde::{Deserialize, Serialize};
+use trq_quant::{TrqCode, TrqParams, TrqValue, TwinRangeQuantizer};
+
+/// A SAR ADC running the twin-range search strategy.
+///
+/// The conversion proceeds exactly as Section III-D describes:
+///
+/// 1. **Pre-detection** (ν ops): compare the held sample against the R1
+///    window edge(s). One comparison suffices when `bias = 0` (window
+///    starts at zero); two when the window floats (`bias ≠ 0`).
+/// 2. **Early bird** (R1, `NR1` ops): binary search on the fine grid
+///    `ΔR1` inside the window — lossless when the ideal conditions of
+///    Eq. 11 hold.
+/// 3. **Early stopping** (R2, `NR2` ops): binary search on the coarse grid
+///    `ΔR2 = 2^M·ΔR1`, trading precision for operations while keeping the
+///    numerical range.
+///
+/// The output is the compact code of Fig. 4b; [`ShiftAdd`](crate::ShiftAdd)
+/// decodes it during accumulation.
+///
+/// Equivalence with the behavioural [`TwinRangeQuantizer`] (value, code,
+/// and op count) is enforced by property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrqSarAdc {
+    quantizer: TwinRangeQuantizer,
+}
+
+impl TrqSarAdc {
+    /// Creates a TRQ SAR ADC from validated parameters.
+    pub fn new(params: TrqParams) -> Self {
+        TrqSarAdc { quantizer: TwinRangeQuantizer::new(params) }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &TrqParams {
+        self.quantizer.params()
+    }
+
+    /// The behavioural quantizer this ADC realises.
+    pub fn quantizer(&self) -> &TwinRangeQuantizer {
+        &self.quantizer
+    }
+
+    /// Converts a held sample, recording the full trace including the
+    /// pre-detection phase.
+    pub fn convert(&self, x: f64) -> Conversion {
+        let p = *self.quantizer.params();
+        let xc = x.max(0.0);
+        let mut trace = Vec::new();
+
+        // ── pre-detection phase ────────────────────────────────────────
+        // compare against the upper window edge; with a floating window
+        // also the lower edge (ν = 2, Eq. 9)
+        let below_hi = xc < p.theta_hi();
+        trace.push(Step {
+            phase: Phase::PreDetect,
+            test_code: (p.bias() + 1) << p.n_r1(),
+            threshold: p.theta_hi(),
+            above: !below_hi,
+        });
+        let in_r1 = if p.bias() == 0 {
+            below_hi
+        } else {
+            let above_lo = xc >= p.theta_lo();
+            trace.push(Step {
+                phase: Phase::PreDetect,
+                test_code: p.bias() << p.n_r1(),
+                threshold: p.theta_lo(),
+                above: above_lo,
+            });
+            below_hi && above_lo
+        };
+
+        // ── range-local binary search ──────────────────────────────────
+        let (code, value, ops) = if in_r1 {
+            let payload =
+                binary_search_uniform(xc, p.theta_lo(), p.delta_r1(), p.n_r1(), Some(&mut trace));
+            let code = TrqCode::r1(payload as u16);
+            let value = p.theta_lo() + payload as f64 * p.delta_r1();
+            (code, value, p.nu() + p.n_r1())
+        } else {
+            let payload = binary_search_uniform(xc, 0.0, p.delta_r2(), p.n_r2(), Some(&mut trace));
+            let code = TrqCode::r2(payload as u16);
+            let value = payload as f64 * p.delta_r2();
+            (code, value, p.nu() + p.n_r2())
+        };
+        debug_assert_eq!(trace.len() as u32, ops);
+        Conversion { code_bits: code.to_bits(&p), value, ops, trace }
+    }
+
+    /// Converts without building a trace — the hot path. Returns the same
+    /// `(code, value, ops)` triple as the behavioural quantizer.
+    pub fn convert_fast(&self, x: f64) -> TrqValue {
+        self.quantizer.quantize(x)
+    }
+
+    /// The compact code for a conversion, decoded from the wire format.
+    pub fn decode(&self, code_bits: u32) -> TrqCode {
+        TrqCode::from_bits(code_bits, self.quantizer.params())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn early_bird_trace_shape() {
+        // Fig. 4a "early bird": 1 pre-detect + NR1 search steps
+        let adc = TrqSarAdc::new(TrqParams::new(2, 6, 4, 1.0, 0).unwrap());
+        let conv = adc.convert(1.2);
+        assert_eq!(conv.ops, 3);
+        assert_eq!(conv.trace[0].phase, Phase::PreDetect);
+        assert!(conv.trace[1..].iter().all(|s| s.phase == Phase::Search));
+        assert_eq!(conv.value, 1.0);
+    }
+
+    #[test]
+    fn early_stop_trace_shape() {
+        let adc = TrqSarAdc::new(TrqParams::new(2, 6, 2, 1.0, 0).unwrap());
+        let conv = adc.convert(100.0);
+        assert_eq!(conv.ops, 1 + 6);
+        // coarse grid: ΔR2 = 4 → value is a multiple of 4
+        assert_eq!(conv.value % 4.0, 0.0);
+    }
+
+    #[test]
+    fn biased_window_costs_two_predetect_ops() {
+        let adc = TrqSarAdc::new(TrqParams::new(3, 3, 2, 1.0, 2).unwrap());
+        let conv = adc.convert(18.0); // inside R1 = [16, 24)
+        assert_eq!(conv.ops, 2 + 3);
+        assert_eq!(conv.trace.iter().filter(|s| s.phase == Phase::PreDetect).count(), 2);
+        assert_eq!(conv.value, 18.0);
+    }
+
+    #[test]
+    fn wire_code_roundtrips_through_decode() {
+        let params = TrqParams::new(3, 5, 2, 1.0, 0).unwrap();
+        let adc = TrqSarAdc::new(params);
+        for i in 0..200 {
+            let x = i as f64 * 0.7;
+            let conv = adc.convert(x);
+            let code = adc.decode(conv.code_bits);
+            assert_eq!(code.decode_lsb(&params) as f64 * params.delta_r1(), conv.value);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn adc_equals_behavioural_quantizer(
+            n_r1 in 1u32..8, n_r2 in 1u32..8, m in 0u32..6, bias_raw in 0u32..64,
+            x in -5.0f64..500.0, step in 0.05f64..3.0,
+        ) {
+            // The paper's "behaviour abstraction" claim: SAR hardware ==
+            // Eq. 7, for value, compact code, and op count alike.
+            let bias = if m == 0 { 0 } else { bias_raw % (1 << m) };
+            let params = TrqParams::new(n_r1, n_r2, m, step, bias).unwrap();
+            let adc = TrqSarAdc::new(params);
+            let conv = adc.convert(x);
+            let behav = adc.quantizer().quantize(x);
+            prop_assert_eq!(conv.value, behav.value, "value mismatch at x={}", x);
+            prop_assert_eq!(conv.ops, behav.ops, "ops mismatch at x={}", x);
+            prop_assert_eq!(conv.code_bits, behav.code.to_bits(&params));
+        }
+
+        #[test]
+        fn ops_bounded_by_nu_plus_max_payload(
+            n_r1 in 1u32..8, n_r2 in 1u32..8, m in 0u32..6, x in 0.0f64..300.0,
+        ) {
+            let params = TrqParams::new(n_r1, n_r2, m, 1.0, 0).unwrap();
+            let adc = TrqSarAdc::new(params);
+            let ops = adc.convert(x).ops;
+            prop_assert!(ops >= params.nu() + n_r1.min(n_r2));
+            prop_assert!(ops <= params.nu() + n_r1.max(n_r2));
+        }
+    }
+}

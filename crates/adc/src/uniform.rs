@@ -1,0 +1,113 @@
+//! The conventional uniform SAR ADC (Fig. 2a): fixed `K` operations per
+//! conversion on an equally spaced grid.
+
+use crate::sar::{binary_search_uniform, Conversion};
+use serde::{Deserialize, Serialize};
+use trq_quant::{QuantError, UniformQuantizer};
+
+/// A `bits`-bit uniform SAR ADC with LSB voltage `delta`.
+///
+/// Bit-for-bit equivalent to [`UniformQuantizer`] — proven by property
+/// test — while also modelling the per-step search behaviour and cost.
+///
+/// ```
+/// use trq_adc::UniformSarAdc;
+/// # fn main() -> Result<(), trq_quant::QuantError> {
+/// let adc = UniformSarAdc::new(8, 0.5)?;
+/// let conv = adc.convert(10.3);
+/// assert_eq!(conv.code_bits, 21);       // round(10.3 / 0.5)
+/// assert_eq!(conv.value, 10.5);
+/// assert_eq!(conv.ops, 8);              // always K ops
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformSarAdc {
+    quantizer: UniformQuantizer,
+}
+
+impl UniformSarAdc {
+    /// Creates a uniform SAR ADC.
+    ///
+    /// # Errors
+    ///
+    /// Same parameter rules as [`UniformQuantizer::new`].
+    pub fn new(bits: u32, delta: f64) -> Result<Self, QuantError> {
+        Ok(UniformSarAdc { quantizer: UniformQuantizer::new(bits, delta)? })
+    }
+
+    /// Resolution in bits (`R_ADC`).
+    pub fn bits(&self) -> u32 {
+        self.quantizer.bits()
+    }
+
+    /// LSB step voltage.
+    pub fn delta(&self) -> f64 {
+        self.quantizer.delta()
+    }
+
+    /// The behavioural quantizer this ADC realises.
+    pub fn quantizer(&self) -> &UniformQuantizer {
+        &self.quantizer
+    }
+
+    /// Converts a held sample, recording the full search trace.
+    pub fn convert(&self, x: f64) -> Conversion {
+        let mut trace = Vec::new();
+        let code =
+            binary_search_uniform(x, 0.0, self.quantizer.delta(), self.quantizer.bits(), Some(&mut trace));
+        Conversion {
+            code_bits: code,
+            value: self.quantizer.dequantize(code),
+            ops: self.quantizer.bits(),
+            trace,
+        }
+    }
+
+    /// Converts without building a trace — the hot path for full-network
+    /// simulation.
+    pub fn convert_fast(&self, x: f64) -> (u32, f64, u32) {
+        let code = binary_search_uniform(x, 0.0, self.quantizer.delta(), self.quantizer.bits(), None);
+        (code, self.quantizer.dequantize(code), self.quantizer.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_op_count() {
+        let adc = UniformSarAdc::new(6, 1.0).unwrap();
+        for x in [0.0, 3.7, 63.0, 1000.0] {
+            assert_eq!(adc.convert(x).ops, 6);
+            assert_eq!(adc.convert(x).trace.len(), 6);
+        }
+    }
+
+    #[test]
+    fn fast_path_agrees_with_traced_path() {
+        let adc = UniformSarAdc::new(8, 0.37).unwrap();
+        for i in 0..300 {
+            let x = i as f64 * 0.41;
+            let c = adc.convert(x);
+            let (code, value, ops) = adc.convert_fast(x);
+            assert_eq!((code, value, ops), (c.code_bits, c.value, c.ops));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn adc_equals_behavioural_quantizer(
+            bits in 1u32..12, x in -5.0f64..400.0, step in 0.05f64..3.0,
+        ) {
+            // The paper's central modelling assumption, verified: the SAR
+            // search and Eq. 1 are the same function.
+            let adc = UniformSarAdc::new(bits, step).unwrap();
+            let conv = adc.convert(x);
+            prop_assert_eq!(conv.code_bits, adc.quantizer().code(x));
+            prop_assert_eq!(conv.value, adc.quantizer().quantize(x));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-conversion throughput of the three SAR ADC variants — the kernel
+//! behind every figure's op accounting.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use trq_adc::{NonUniformSarAdc, TrqSarAdc, UniformSarAdc};
+use trq_quant::TrqParams;
+
+fn bench_adc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adc_conversion");
+    group.sample_size(40);
+
+    let uniform = UniformSarAdc::new(8, 1.0).unwrap();
+    group.bench_function("uniform_8b_traced", |b| {
+        b.iter(|| {
+            let mut ops = 0u64;
+            for i in 0..256 {
+                ops += uniform.convert(black_box(i as f64 * 0.5)).ops as u64;
+            }
+            ops
+        })
+    });
+
+    let trq = TrqSarAdc::new(TrqParams::new(3, 7, 1, 1.0, 0).unwrap());
+    group.bench_function("trq_traced", |b| {
+        b.iter(|| {
+            let mut ops = 0u64;
+            for i in 0..256 {
+                ops += trq.convert(black_box(i as f64 * 0.5)).ops as u64;
+            }
+            ops
+        })
+    });
+    group.bench_function("trq_fast", |b| {
+        b.iter(|| {
+            let mut ops = 0u64;
+            for i in 0..256 {
+                ops += trq.convert_fast(black_box(i as f64 * 0.5)).ops as u64;
+            }
+            ops
+        })
+    });
+
+    let levels: Vec<f64> = (0..256).map(|i| (i as f64).powf(1.3)).collect();
+    let nu = NonUniformSarAdc::from_levels(levels).unwrap();
+    group.bench_function("nonuniform_8b", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut acc = 0.0;
+                for i in 0..256 {
+                    acc += nu.convert(black_box(i as f64 * 5.0)).value;
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adc);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end PIM inference: one LeNet image through the bit-accurate
+//! crossbar + TRQ ADC datapath.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trq_core::arch::ArchConfig;
+use trq_core::pim::{AdcScheme, PimMvm};
+use trq_nn::{data, models, QuantizedNetwork};
+use trq_quant::TrqParams;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    let net = models::lenet5(1).unwrap();
+    let ds = data::synthetic_digits(8, 2);
+    let cal: Vec<_> = ds.iter().map(|s| s.image.clone()).collect();
+    let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
+    let arch = ArchConfig::default();
+
+    group.bench_function("lenet_pim_ideal", |b| {
+        let mut engine = PimMvm::new(&arch, vec![AdcScheme::Ideal; qnet.layers().len()]);
+        b.iter(|| black_box(qnet.forward(black_box(&ds[0].image), &mut engine).unwrap()))
+    });
+
+    let trq = AdcScheme::Trq(TrqParams::new(3, 7, 1, 1.0, 0).unwrap());
+    group.bench_function("lenet_pim_trq", |b| {
+        let mut engine = PimMvm::new(&arch, vec![trq; qnet.layers().len()]);
+        b.iter(|| black_box(qnet.forward(black_box(&ds[0].image), &mut engine).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

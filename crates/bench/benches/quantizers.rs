@@ -1,0 +1,36 @@
+//! Behavioural quantizer throughput (the LUT-building cost per layer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trq_quant::{TrqParams, TwinRangeQuantizer, UniformQuantizer};
+
+fn bench_quant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantizers");
+    group.sample_size(60);
+
+    let uq = UniformQuantizer::new(8, 0.47).unwrap();
+    group.bench_function("uniform_quantize_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..4096 {
+                acc += uq.quantize(black_box(i as f64 * 0.031));
+            }
+            acc
+        })
+    });
+
+    let trq = TwinRangeQuantizer::new(TrqParams::new(3, 5, 2, 0.47, 0).unwrap());
+    group.bench_function("trq_quantize_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..4096 {
+                acc += trq.quantize(black_box(i as f64 * 0.031)).value;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates Fig. 3a: the distribution of crossbar bit-line outputs.
+//!
+//! Usage: `cargo run -p trq-bench --release --bin fig3a`
+//! (`TRQ_SUITE=quick` for a fast smoke run).
+
+use trq_bench::{bar, suite_from_env, write_json};
+use trq_core::arch::ArchConfig;
+use trq_core::experiments::{fig3a, Fig3aReport, Workload};
+
+fn main() {
+    let cfg = suite_from_env();
+    let arch = ArchConfig::default();
+    let mut reports: Vec<Fig3aReport> = Vec::new();
+
+    for workload in Workload::paper_suite(&cfg) {
+        println!("== {} ==", workload.name);
+        let report = fig3a(&workload, &arch, cfg.collect_images);
+        println!(
+            "{:<28} {:>10} {:>8} {:>8} {:>8} {:>9}  class",
+            "layer", "samples", "mean", "std", "skew", "P(x<R/8)"
+        );
+        for layer in &report.layers {
+            println!(
+                "{:<28} {:>10} {:>8.2} {:>8.2} {:>8.2} {:>9.3}  {:?}",
+                layer.label,
+                layer.seen,
+                layer.mean,
+                layer.std,
+                layer.skewness,
+                layer.bottom_eighth_mass,
+                layer.class
+            );
+        }
+        // render the first conv layer's histogram like the paper's panel
+        if let Some(layer) = report.layers.first() {
+            println!("\n  {} BL-count histogram (Fig. 3a panel):", layer.label);
+            let max = layer.bins.iter().copied().max().unwrap_or(1).max(1) as f64;
+            let upto = layer.max.min(40.0) as usize;
+            for (count, &binv) in layer.bins.iter().enumerate().take(upto + 1) {
+                println!("  {:>4} |{}", count, bar(binv as f64 / max, 50));
+            }
+        }
+        println!(
+            "\n  skewed-layer fraction: {:.2} (the co-design premise)\n",
+            report.skewed_fraction()
+        );
+        reports.push(report);
+    }
+    write_json("fig3a", &reports);
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 6a: prediction accuracy vs ADC resolution *without*
+//! TRQ (plain uniform ADC at 8..4 bits).
+//!
+//! Usage: `cargo run -p trq-bench --release --bin fig6a`
+
+use trq_bench::{row, suite_from_env, write_json};
+use trq_core::arch::ArchConfig;
+use trq_core::calib::CalibSettings;
+use trq_core::experiments::{fig6_accuracy, Fig6Series, Workload};
+
+fn main() {
+    let cfg = suite_from_env();
+    let arch = ArchConfig::default();
+    let settings = CalibSettings::default();
+    let bits = [8u32, 7, 6, 5, 4];
+    let mut series: Vec<Fig6Series> = Vec::new();
+
+    println!("Fig. 6a — accuracy w.r.t. ADC resolution, uniform ADC (no TRQ)");
+    let widths = [24usize, 7, 7, 7, 7, 7, 7, 7];
+    let mut header = vec!["workload".to_string(), "f/f".into(), "8/f".into()];
+    header.extend(bits.iter().map(|b| b.to_string()));
+    println!("{}", row(&header, &widths));
+
+    for workload in Workload::paper_suite(&cfg) {
+        let s = fig6_accuracy(&workload, &arch, &settings, false, &bits);
+        let mut cells = vec![s.workload.clone()];
+        cells.extend(s.points.iter().map(|p| format!("{:.3}", p.score)));
+        println!("{}", row(&cells, &widths));
+        series.push(s);
+    }
+    println!("\n(trained workload: labelled accuracy; others: top-1 fidelity vs FP32)");
+    write_json("fig6a", &series);
+}

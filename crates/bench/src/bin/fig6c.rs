@@ -1,0 +1,57 @@
+//! Regenerates Fig. 6c: the A/D operations remaining with TRQ, as a
+//! percentage of the unmodified 8-op-per-conversion baseline.
+//!
+//! Usage: `cargo run -p trq-bench --release --bin fig6c`
+
+use serde::Serialize;
+use trq_bench::{bar, row, suite_from_env, write_json};
+use trq_core::arch::ArchConfig;
+use trq_core::calib::CalibSettings;
+use trq_core::experiments::{fig6_accuracy, Workload};
+
+#[derive(Serialize)]
+struct Fig6cRecord {
+    workload: String,
+    /// `(bit cap, remaining ops fraction)` pairs.
+    series: Vec<(u32, f64)>,
+}
+
+fn main() {
+    let cfg = suite_from_env();
+    let arch = ArchConfig::default();
+    let settings = CalibSettings::default();
+    let bits = [8u32, 7, 6, 5, 4];
+    let mut records: Vec<Fig6cRecord> = Vec::new();
+
+    println!("Fig. 6c — remaining A/D operations with TRQ (paper band: 42%–62%)");
+    let widths = [24usize, 8, 8, 8, 8, 8];
+    let mut header = vec!["workload".to_string()];
+    header.extend(bits.iter().map(|b| b.to_string()));
+    println!("{}", row(&header, &widths));
+
+    let mut per_bits_sum = vec![0.0f64; bits.len()];
+    let mut n_workloads = 0usize;
+    for workload in Workload::paper_suite(&cfg) {
+        let s = fig6_accuracy(&workload, &arch, &settings, true, &bits);
+        let series: Vec<(u32, f64)> = bits
+            .iter()
+            .zip(s.points.iter().skip(2)) // skip f/f and 8/f anchors
+            .map(|(&b, p)| (b, p.remaining_ops.unwrap_or(1.0)))
+            .collect();
+        let mut cells = vec![s.workload.clone()];
+        for (i, (_, frac)) in series.iter().enumerate() {
+            per_bits_sum[i] += frac;
+            cells.push(format!("{:.1}%", frac * 100.0));
+        }
+        println!("{}", row(&cells, &widths));
+        records.push(Fig6cRecord { workload: s.workload, series });
+        n_workloads += 1;
+    }
+
+    println!("\naverage across workloads:");
+    for (i, &b) in bits.iter().enumerate() {
+        let avg = per_bits_sum[i] / n_workloads.max(1) as f64;
+        println!("  Nmax={b}: {:>5.1}%  |{}", avg * 100.0, bar(avg, 40));
+    }
+    write_json("fig6c", &records);
+}

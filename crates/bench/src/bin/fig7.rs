@@ -1,0 +1,72 @@
+//! Regenerates Fig. 7: the power breakdown of the ReRAM accelerator for
+//! ISAAC (8-bit uniform ADC), Ours/4b (TRQ), and the minimal uniform ADC
+//! holding accuracy — per workload, batch-rescaled like the paper.
+//!
+//! Usage: `cargo run -p trq-bench --release --bin fig7`
+
+use trq_bench::{row, suite_from_env, write_json};
+use trq_core::arch::ArchConfig;
+use trq_core::calib::CalibSettings;
+use trq_core::energy::EnergyParams;
+use trq_core::experiments::{batch_rescale, fig7_power, Fig7Bar, Fig7Report, Workload};
+
+fn main() {
+    let cfg = suite_from_env();
+    let arch = ArchConfig::default();
+    let settings = CalibSettings::default();
+    let energy = EnergyParams::default();
+    let mut bars: Vec<Fig7Bar> = Vec::new();
+
+    for workload in Workload::paper_suite(&cfg) {
+        bars.extend(fig7_power(&workload, &arch, &settings, &energy));
+    }
+    // paper: batch sizes rescaled so totals sit in one range
+    batch_rescale(&mut bars, 1000.0);
+
+    println!("Fig. 7 — power breakdown (arbitrary units; ISAAC total ≡ 1000)");
+    let widths = [24usize, 9, 8, 9, 6, 8, 9, 11, 7, 6];
+    println!(
+        "{}",
+        row(
+            &[
+                "workload".into(),
+                "config".into(),
+                "ADC".into(),
+                "Crossbar".into(),
+                "DAC".into(),
+                "Buffer".into(),
+                "Register".into(),
+                "Bus&Router".into(),
+                "total".into(),
+                "score".into(),
+            ],
+            &widths
+        )
+    );
+    for bar in &bars {
+        let b = &bar.breakdown;
+        println!(
+            "{}",
+            row(
+                &[
+                    bar.workload.clone(),
+                    bar.config.clone(),
+                    format!("{:.0}", b.adc_pj),
+                    format!("{:.0}", b.crossbar_pj),
+                    format!("{:.0}", b.dac_pj),
+                    format!("{:.0}", b.buffer_pj),
+                    format!("{:.1}", b.register_pj),
+                    format!("{:.0}", b.bus_router_pj),
+                    format!("{:.0}", b.total_pj()),
+                    format!("{:.3}", bar.score),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nADC shares (ISAAC bars should sit near the paper's >60% hook):");
+    for bar in bars.iter().filter(|b| b.config == "ISAAC") {
+        println!("  {:<24} {:.1}%", bar.workload, bar.breakdown.adc_share() * 100.0);
+    }
+    write_json("fig7", &Fig7Report { bars });
+}

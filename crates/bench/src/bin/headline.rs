@@ -1,0 +1,50 @@
+//! Checks the paper's headline claim: TRQ delivers ~1.6–2.3× ADC power
+//! reduction across the four workloads.
+//!
+//! Reuses `results/fig7.json` when present (run the `fig7` harness
+//! first); otherwise recomputes the breakdown from scratch.
+//!
+//! Usage: `cargo run -p trq-bench --release --bin headline`
+
+use trq_bench::{suite_from_env, write_json};
+use trq_core::arch::ArchConfig;
+use trq_core::calib::CalibSettings;
+use trq_core::energy::EnergyParams;
+use trq_core::experiments::{fig7_power, headline, Fig7Bar, Fig7Report, Workload};
+
+fn load_fig7_bars() -> Option<Vec<Fig7Bar>> {
+    let json = std::fs::read_to_string("results/fig7.json").ok()?;
+    let report: Fig7Report = serde_json::from_str(&json).ok()?;
+    if report.bars.is_empty() {
+        None
+    } else {
+        println!("(reusing results/fig7.json)");
+        Some(report.bars)
+    }
+}
+
+fn main() {
+    let bars = load_fig7_bars().unwrap_or_else(|| {
+        let cfg = suite_from_env();
+        let arch = ArchConfig::default();
+        let settings = CalibSettings::default();
+        let energy = EnergyParams::default();
+        let mut bars: Vec<Fig7Bar> = Vec::new();
+        for workload in Workload::paper_suite(&cfg) {
+            bars.extend(fig7_power(&workload, &arch, &settings, &energy));
+        }
+        bars
+    });
+    let report = headline(&bars);
+
+    println!("Headline: ADC energy reduction, ISAAC baseline vs Ours/4b (TRQ)");
+    for (workload, factor) in &report.reductions {
+        println!("  {workload:<24} {factor:.2}x");
+    }
+    println!(
+        "\n  range: {:.2}x – {:.2}x   (paper: \"about 1.6 ∼ 2.3× ADC power reduction\")",
+        report.min(),
+        report.max()
+    );
+    write_json("headline", &report);
+}

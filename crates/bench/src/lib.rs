@@ -1,0 +1,80 @@
+//! # trq-bench
+//!
+//! Figure-regeneration harnesses and Criterion benchmarks for the TRQ
+//! reproduction. Each `src/bin/fig*.rs` binary regenerates one figure of
+//! the paper's evaluation (see DESIGN.md's experiment index) and writes a
+//! JSON record under `results/`.
+//!
+//! Suite selection: the `TRQ_SUITE` environment variable chooses between
+//! `paper` (full-size, minutes) and `quick` (seconds).
+
+#![deny(missing_docs)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+use trq_core::experiments::SuiteConfig;
+
+/// Reads the suite configuration from `TRQ_SUITE` (`paper` by default).
+pub fn suite_from_env() -> SuiteConfig {
+    match std::env::var("TRQ_SUITE").as_deref() {
+        Ok("quick") => SuiteConfig::quick(),
+        _ => SuiteConfig::paper(),
+    }
+}
+
+/// Writes a serialisable record to `results/<name>.json`, creating the
+/// directory if needed; prints the path on success.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => println!("\n[results written to {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+/// Renders a row of fixed-width, right-aligned columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Renders a unicode bar of `frac` (0..=1) out of `width` cells.
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::new();
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '·' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_renders_fractions() {
+        assert_eq!(bar(0.0, 4), "····");
+        assert_eq!(bar(1.0, 4), "████");
+        assert_eq!(bar(0.5, 4), "██··");
+        assert_eq!(bar(7.0, 3), "███");
+    }
+
+    #[test]
+    fn row_pads_right_aligned() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

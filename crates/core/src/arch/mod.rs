@@ -1,0 +1,109 @@
+//! ISAAC-like accelerator architecture parameters (Section V-A) and the
+//! static network-to-crossbar mapping arithmetic (Fig. 5).
+
+mod mapping;
+
+pub use mapping::{map_network, LayerMapping, NetworkMapping};
+
+use serde::{Deserialize, Serialize};
+use trq_xbar::CrossbarConfig;
+
+/// Architecture-level configuration of the accelerator.
+///
+/// Defaults reproduce the paper's evaluation platform: ISAAC organisation,
+/// 128×128 crossbars with single-bit cells, 8-bit weights and inputs
+/// (`Kw = Ki = 8`), 16-bit partial sums, 100 MHz clock, and the 8-bit SAR
+/// ADC that Eq. 2 declares lossless for this geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Crossbar array geometry.
+    pub xbar: CrossbarConfig,
+    /// Weight bit width `Kw` (magnitude bits mapped to column slices).
+    pub weight_bits: u32,
+    /// Input bit width `Ki` (bits streamed through 1-bit DACs).
+    pub input_bits: u32,
+    /// Partial-sum register width.
+    pub psum_bits: u32,
+    /// Baseline ADC resolution `R_ADC` (conversion cost of the unmodified
+    /// ISAAC ADC, in A/D operations).
+    pub adc_bits: u32,
+    /// System clock in MHz.
+    pub clock_mhz: f64,
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        let xbar = CrossbarConfig::default();
+        ArchConfig {
+            xbar,
+            weight_bits: 8,
+            input_bits: 8,
+            psum_bits: 16,
+            adc_bits: xbar.ideal_adc_bits(),
+            clock_mhz: 100.0,
+        }
+    }
+}
+
+impl ArchConfig {
+    /// Number of crossbar row-blocks ("subarrays") a depth-`d` MVM needs.
+    pub fn subarrays_for_depth(&self, depth: usize) -> usize {
+        depth.div_ceil(self.xbar.rows)
+    }
+
+    /// Number of physical 128-column crossbars one logical slice plane of
+    /// `outputs` channels occupies (each channel owns `weight_bits`
+    /// adjacent bit lines).
+    pub fn physical_xbars_for_outputs(&self, outputs: usize) -> usize {
+        (outputs * self.weight_bits as usize).div_ceil(self.xbar.cols)
+    }
+
+    /// A/D conversions per MVM window: every bit line of every subarray of
+    /// both differential arrays converts once per input-bit cycle — the
+    /// `Kw/Rcell × Ki/RDA` factor of Eq. 3 times the column count.
+    pub fn conversions_per_window(&self, depth: usize, outputs: usize) -> u64 {
+        let subarrays = self.subarrays_for_depth(depth) as u64;
+        let bls = (outputs as u64) * self.weight_bits as u64;
+        subarrays * self.input_bits as u64 * bls * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let a = ArchConfig::default();
+        assert_eq!(a.xbar.rows, 128);
+        assert_eq!(a.weight_bits, 8);
+        assert_eq!(a.input_bits, 8);
+        assert_eq!(a.psum_bits, 16);
+        assert_eq!(a.adc_bits, 8);
+        assert_eq!(a.clock_mhz, 100.0);
+    }
+
+    #[test]
+    fn subarray_partitioning() {
+        let a = ArchConfig::default();
+        assert_eq!(a.subarrays_for_depth(1), 1);
+        assert_eq!(a.subarrays_for_depth(128), 1);
+        assert_eq!(a.subarrays_for_depth(129), 2);
+        assert_eq!(a.subarrays_for_depth(4608), 36);
+    }
+
+    #[test]
+    fn physical_crossbar_count() {
+        let a = ArchConfig::default();
+        assert_eq!(a.physical_xbars_for_outputs(16), 1); // 16*8 = 128 cols
+        assert_eq!(a.physical_xbars_for_outputs(17), 2);
+        assert_eq!(a.physical_xbars_for_outputs(512), 32);
+    }
+
+    #[test]
+    fn conversions_per_window_matches_eq3() {
+        let a = ArchConfig::default();
+        // depth 147 → 2 subarrays; 64 outputs × 8 slices × 8 cycles × 2 arrays
+        assert_eq!(a.conversions_per_window(147, 64), 2 * 8 * 64 * 8 * 2);
+    }
+}

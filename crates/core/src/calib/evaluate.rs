@@ -1,0 +1,178 @@
+//! Plan evaluation: BL sample collection and end-to-end metric runs,
+//! parallelised across images.
+
+use crate::arch::ArchConfig;
+use crate::pim::{AdcScheme, CollectorConfig, LayerSamples, PimMvm, PimStats};
+use trq_nn::QuantizedNetwork;
+use trq_tensor::Tensor;
+
+/// What "accuracy" means for a workload (Section V-A vs DESIGN.md):
+/// labelled accuracy for the in-repo trained models, FP32-agreement
+/// fidelity for the He-initialised ones.
+#[derive(Debug, Clone, Copy)]
+pub enum EvalMetric<'a> {
+    /// Top-1 accuracy against labels.
+    Labeled(&'a [(Tensor, usize)]),
+    /// Top-1 agreement with the float network on unlabelled inputs.
+    Fidelity(&'a [Tensor]),
+}
+
+impl EvalMetric<'_> {
+    /// Number of evaluation inputs.
+    pub fn len(&self) -> usize {
+        match self {
+            EvalMetric::Labeled(s) => s.len(),
+            EvalMetric::Fidelity(s) => s.len(),
+        }
+    }
+
+    /// True when there are no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Result of evaluating a plan.
+#[derive(Debug, Clone)]
+pub struct PlanEval {
+    /// The metric value (accuracy or fidelity, in `[0, 1]`).
+    pub score: f64,
+    /// Accumulated engine statistics over the evaluation set.
+    pub stats: PimStats,
+}
+
+/// Runs the quantized network over calibration images with an ideal-ADC
+/// collector engine and returns per-layer BL samples — Algorithm 1's raw
+/// input (the paper samples 32 calibration images).
+pub fn collect_bl_samples(
+    qnet: &QuantizedNetwork,
+    arch: &ArchConfig,
+    images: &[Tensor],
+    config: CollectorConfig,
+) -> Vec<LayerSamples> {
+    let mut engine = PimMvm::collector(arch, qnet.layers().len(), config);
+    for image in images {
+        let _ = qnet.forward(image, &mut engine).expect("calibration forward failed");
+    }
+    engine.take_samples()
+}
+
+/// Evaluates a per-layer plan end to end, in parallel across images.
+pub fn evaluate_plan(
+    qnet: &QuantizedNetwork,
+    arch: &ArchConfig,
+    plan: &[AdcScheme],
+    metric: &EvalMetric<'_>,
+) -> PlanEval {
+    let n = metric.len();
+    if n == 0 {
+        return PlanEval { score: 0.0, stats: PimStats::default() };
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8).min(n);
+    let chunk = n.div_ceil(threads);
+    let indices: Vec<usize> = (0..n).collect();
+    let results: Vec<(usize, PimStats)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for piece in indices.chunks(chunk) {
+            handles.push(scope.spawn(move |_| {
+                let mut engine = PimMvm::new(arch, plan.to_vec());
+                let mut correct = 0usize;
+                for &i in piece {
+                    match metric {
+                        EvalMetric::Labeled(samples) => {
+                            let (image, label) = &samples[i];
+                            let y = qnet.forward(image, &mut engine).expect("eval forward failed");
+                            if y.argmax() == *label {
+                                correct += 1;
+                            }
+                        }
+                        EvalMetric::Fidelity(inputs) => {
+                            let image = &inputs[i];
+                            let y = qnet.forward(image, &mut engine).expect("eval forward failed");
+                            let reference =
+                                qnet.network().forward(image).expect("reference forward failed");
+                            if y.argmax() == reference.argmax() {
+                                correct += 1;
+                            }
+                        }
+                    }
+                }
+                (correct, engine.stats().clone())
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("eval worker panicked")).collect()
+    })
+    .expect("evaluation scope failed");
+
+    let mut stats = PimStats::default();
+    let mut correct = 0usize;
+    for (c, s) in &results {
+        correct += c;
+        stats.merge(s);
+    }
+    PlanEval { score: correct as f64 / n as f64, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trq_nn::{data, models};
+
+    fn small_setup() -> (QuantizedNetwork, ArchConfig, Vec<Tensor>) {
+        let net = models::mlp(28 * 28, 12, 10, 5).unwrap();
+        let ds = data::synthetic_digits(10, 4);
+        let images: Vec<Tensor> = ds.iter().map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::quantize(&net, &images[..4]).unwrap();
+        (qnet, ArchConfig::default(), images)
+    }
+
+    #[test]
+    fn collection_covers_every_layer() {
+        let (qnet, arch, images) = small_setup();
+        let samples = collect_bl_samples(&qnet, &arch, &images[..2], CollectorConfig::default());
+        assert_eq!(samples.len(), 2);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.mvm_index, i);
+            assert!(s.seen > 0, "layer {i} collected nothing");
+        }
+    }
+
+    #[test]
+    fn ideal_plan_fidelity_is_high() {
+        let (qnet, arch, images) = small_setup();
+        let metric = EvalMetric::Fidelity(&images);
+        let plan = vec![AdcScheme::Ideal; qnet.layers().len()];
+        let eval = evaluate_plan(&qnet, &arch, &plan, &metric);
+        assert!(eval.score >= 0.8, "8-bit PTQ + lossless ADC should agree with FP32: {}", eval.score);
+        assert!(eval.stats.conversions() > 0);
+    }
+
+    #[test]
+    fn one_bit_uniform_plan_destroys_fidelity_or_saves_ops() {
+        let (qnet, arch, images) = small_setup();
+        let metric = EvalMetric::Fidelity(&images);
+        let coarse = vec![AdcScheme::uniform(1, 64.0); qnet.layers().len()];
+        let eval = evaluate_plan(&qnet, &arch, &coarse, &metric);
+        // 1-bit BL quantization must at minimum slash the op count
+        assert!(eval.stats.remaining_ops_ratio() < 0.2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_scores_agree() {
+        let (qnet, arch, images) = small_setup();
+        let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
+        let metric = EvalMetric::Fidelity(&images);
+        let a = evaluate_plan(&qnet, &arch, &plan, &metric);
+        let b = evaluate_plan(&qnet, &arch, &plan, &metric);
+        assert_eq!(a.score, b.score, "evaluation must be deterministic");
+        assert_eq!(a.stats.ops(), b.stats.ops());
+    }
+
+    #[test]
+    fn empty_metric_is_zero() {
+        let (qnet, arch, _) = small_setup();
+        let metric = EvalMetric::Fidelity(&[]);
+        let eval = evaluate_plan(&qnet, &arch, &[AdcScheme::Ideal], &metric);
+        assert_eq!(eval.score, 0.0);
+    }
+}

@@ -1,0 +1,422 @@
+//! Per-layer TRQ parameter search (Algorithm 1 lines 4–17, 23).
+
+use crate::arch::ArchConfig;
+use crate::pim::{AdcScheme, LayerSamples};
+use serde::{Deserialize, Serialize};
+use trq_quant::{
+    quantizer_mse, ClassifierConfig, DistributionClass, TrqParams, TwinRangeQuantizer,
+    UniformQuantizer,
+};
+
+/// Tunables of the search (paper defaults in Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibSettings {
+    /// Lower factor of the `Vgrid` interval (α = 0.1).
+    pub alpha: f64,
+    /// Upper factor of the `Vgrid` interval (β = 1.2).
+    pub beta: f64,
+    /// Number of `Vgrid` candidates (C = 50).
+    pub candidates: usize,
+    /// Maximum non-uniformity degree (`m ∈ [0, 7]`).
+    pub m_max: u32,
+    /// End-to-end accuracy-drop threshold θ.
+    pub theta: f64,
+    /// Distribution classifier thresholds.
+    pub classifier: ClassifierConfig,
+    /// Accept the uniform fallback only if its MSE is within this factor
+    /// of the TRQ candidate's (guards Eq. 9 cost comparisons against
+    /// trading accuracy for energy invisibly).
+    pub mse_guard: f64,
+}
+
+impl Default for CalibSettings {
+    fn default() -> Self {
+        CalibSettings {
+            alpha: 0.1,
+            beta: 1.2,
+            candidates: 50,
+            m_max: 7,
+            theta: 0.01,
+            classifier: ClassifierConfig::default(),
+            mse_guard: 2.0,
+        }
+    }
+}
+
+/// The outcome of the per-layer search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPlan {
+    /// Layer position among MVM layers.
+    pub mvm_index: usize,
+    /// Layer label.
+    pub label: String,
+    /// Chosen ADC scheme.
+    pub scheme: AdcScheme,
+    /// Judged distribution type (Algorithm 1 line 5).
+    pub class: DistributionClass,
+    /// Expected A/D operations per conversion on the calibration
+    /// distribution (Eq. 9 normalised by sample count).
+    pub mean_ops: f64,
+    /// Quantization MSE on the calibration samples (Eq. 10).
+    pub mse: f64,
+    /// `Rideal = ceil(log2(ymax − ymin + 1))` (Algorithm 1 line 7).
+    pub rideal: u32,
+}
+
+/// Eq. 9 cost in A/D operations, computed on pre-sorted samples with two
+/// binary searches (the window membership count) instead of a full pass.
+fn trq_ops_cost(sorted: &[f64], params: &TrqParams) -> f64 {
+    let n = sorted.len() as f64;
+    let lo = sorted.partition_point(|&v| v < params.theta_lo()) as f64;
+    let hi = sorted.partition_point(|&v| v < params.theta_hi()) as f64;
+    let in_r1 = hi - lo;
+    params.nu() as f64 * n + in_r1 * params.n_r1() as f64 + (n - in_r1) * params.n_r2() as f64
+}
+
+fn trq_mse(values: &[f64], params: &TrqParams) -> f64 {
+    let q = TwinRangeQuantizer::new(*params);
+    quantizer_mse(values, |x| q.quantize(x).value)
+}
+
+struct Candidate {
+    params: TrqParams,
+    cost: f64,
+    mse: f64,
+}
+
+/// Searches one layer at a given `Nmax` bound.
+pub fn plan_layer(
+    samples: &LayerSamples,
+    arch: &ArchConfig,
+    nmax: u32,
+    s: &CalibSettings,
+) -> LayerPlan {
+    let mut sorted = samples.values.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    let n = sorted.len().max(1) as f64;
+    let ymax = samples.hist.sample_max().max(0.0);
+    let ymin = samples.hist.sample_min().max(0.0);
+    let class = DistributionClass::classify(&samples.hist, &s.classifier);
+
+    // degenerate layer: all counts zero → cheapest possible uniform read
+    if ymax <= 0.0 {
+        return LayerPlan {
+            mvm_index: samples.mvm_index,
+            label: samples.label.clone(),
+            scheme: AdcScheme::uniform(1, 1.0),
+            class,
+            mean_ops: 1.0,
+            mse: 0.0,
+            rideal: 1,
+        };
+    }
+
+    let rideal = ((ymax - ymin + 1.0).log2().ceil() as u32).clamp(1, 16);
+    let n_r2 = nmax.min(rideal).max(1);
+    let full_codes = ((1u64 << arch.adc_bits) - 1) as f64;
+    let grid_lo = (s.alpha * ymax / full_codes).max(1e-6);
+    let grid_hi = (s.beta * ymax / full_codes).max(grid_lo * 1.0001);
+    let steps = s.candidates.max(2);
+
+    let mut per_grid_best: Vec<Candidate> = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let vgrid = grid_lo + (grid_hi - grid_lo) * k as f64 / (steps - 1) as f64;
+        // the full-precision code range this grid implies
+        let rfull = ((ymax / vgrid + 1.0).log2().ceil() as u32).clamp(n_r2, 16);
+        let mut best: Option<Candidate> = None;
+        if class.has_sweet_spot() {
+            // Eq. 11 regime: ΔR1 = Vgrid, M covers the range, search NR1
+            // (and bias for the normal-like case) minimising Eq. 9
+            let m = (rfull - n_r2).min(s.m_max);
+            for n_r1 in 1..=n_r2 {
+                let biases: Vec<u32> = match class {
+                    DistributionClass::IdealSkewed => vec![0],
+                    // windows of width 2^NR1·Δ tile the covered range; cap
+                    // the sweep so pathological grids stay cheap
+                    _ => (0..(1u32 << rfull.saturating_sub(n_r1).min(8))).collect(),
+                };
+                for bias in biases {
+                    let Ok(params) = TrqParams::new(n_r1, n_r2, m, vgrid, bias) else {
+                        continue;
+                    };
+                    let cost = trq_ops_cost(&sorted, &params);
+                    if best.as_ref().is_none_or(|b| cost < b.cost) {
+                        best = Some(Candidate { params, cost, mse: f64::NAN });
+                    }
+                }
+            }
+        } else {
+            // "other" distributions: NR1 = NR2, early stopping in both
+            // ranges; search M by MSE (cost is bias/M-invariant here)
+            for m in 0..=s.m_max.min(16 - n_r2) {
+                let exp = rfull.saturating_sub(n_r2 + m);
+                let delta_r1 = vgrid * (1u64 << exp) as f64;
+                let Ok(params) = TrqParams::new(n_r2, n_r2, m, delta_r1, 0) else {
+                    continue;
+                };
+                let mse = trq_mse(&sorted, &params);
+                let cost = trq_ops_cost(&sorted, &params);
+                if best.as_ref().is_none_or(|b| mse < b.mse) {
+                    best = Some(Candidate { params, cost, mse });
+                }
+            }
+        }
+        if let Some(mut cand) = best {
+            if cand.mse.is_nan() {
+                cand.mse = trq_mse(&sorted, &cand.params);
+            }
+            per_grid_best.push(cand);
+        }
+    }
+
+    // Algorithm 1 line 17 selects the grid by Eq. 10; taken literally that
+    // always prefers the finest grid and Eq. 9 never saves anything, so the
+    // reproduction reads the two objectives together: among grids whose
+    // reconstruction error is within `mse_guard` of the best achievable,
+    // take the one with the lowest A/D-operation cost.
+    let min_mse = per_grid_best
+        .iter()
+        .map(|c| c.mse)
+        .fold(f64::INFINITY, f64::min)
+        .max(f64::MIN_POSITIVE);
+    let trq_best = per_grid_best
+        .into_iter()
+        .filter(|c| c.mse <= min_mse * s.mse_guard)
+        .min_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .expect("cost is finite")
+                .then(a.mse.partial_cmp(&b.mse).expect("mse is finite"))
+        })
+        .expect("guard band always contains the min-MSE candidate");
+
+    // line 23: compare with uniform quantization at NR2 bits
+    let mut uni_best: Option<(f64, f64)> = None; // (vgrid, mse)
+    for k in 0..steps {
+        let vgrid = grid_lo + (grid_hi - grid_lo) * k as f64 / (steps - 1) as f64;
+        let q = UniformQuantizer::new(n_r2, vgrid).expect("validated bits/step");
+        let mse = quantizer_mse(&sorted, |x| q.quantize(x));
+        if uni_best.is_none_or(|(_, m)| mse < m) {
+            uni_best = Some((vgrid, mse));
+        }
+    }
+    let (uni_vgrid, uni_mse) = uni_best.expect("at least one grid candidate");
+    let trq_mean_ops = trq_best.cost / n;
+    let uni_mean_ops = n_r2 as f64;
+
+    // choose by Eq. 9 cost, guarded so a cheaper scheme cannot smuggle in
+    // a much worse reconstruction
+    let take_uniform = uni_mean_ops < trq_mean_ops && uni_mse <= trq_best.mse * s.mse_guard
+        || trq_best.mse > uni_mse * s.mse_guard && uni_mean_ops <= trq_mean_ops * 1.25;
+
+    if take_uniform {
+        LayerPlan {
+            mvm_index: samples.mvm_index,
+            label: samples.label.clone(),
+            scheme: AdcScheme::uniform(n_r2, uni_vgrid),
+            class,
+            mean_ops: uni_mean_ops,
+            mse: uni_mse,
+            rideal,
+        }
+    } else {
+        LayerPlan {
+            mvm_index: samples.mvm_index,
+            label: samples.label.clone(),
+            scheme: AdcScheme::Trq(trq_best.params),
+            class,
+            mean_ops: trq_mean_ops,
+            mse: trq_best.mse,
+            rideal,
+        }
+    }
+}
+
+/// Searches every layer, in parallel across available cores.
+pub fn plan_network(
+    samples: &[LayerSamples],
+    arch: &ArchConfig,
+    nmax: u32,
+    settings: &CalibSettings,
+) -> Vec<LayerPlan> {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+    if samples.len() <= 1 || threads == 1 {
+        return samples.iter().map(|smp| plan_layer(smp, arch, nmax, settings)).collect();
+    }
+    let mut out: Vec<Option<LayerPlan>> = vec![None; samples.len()];
+    let chunk = samples.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, sample_chunk) in out.chunks_mut(chunk).zip(samples.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, smp) in slot_chunk.iter_mut().zip(sample_chunk.iter()) {
+                    *slot = Some(plan_layer(smp, arch, nmax, settings));
+                }
+            });
+        }
+    })
+    .expect("calibration worker panicked");
+    out.into_iter().map(|p| p.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trq_quant::Histogram;
+
+    fn samples_from(values: Vec<f64>) -> LayerSamples {
+        let mut hist = Histogram::new(0.0, 129.0, 129).unwrap();
+        hist.extend(values.iter().copied());
+        LayerSamples { mvm_index: 0, label: "l0".into(), seen: values.len() as u64, values, hist }
+    }
+
+    fn skewed_values() -> Vec<f64> {
+        // 90% of mass in [0, 6], tail to 100 — the Fig. 3a shape
+        let mut v = Vec::new();
+        for i in 0..2000 {
+            if i % 10 == 0 {
+                v.push(20.0 + (i % 800) as f64 / 10.0);
+            } else {
+                v.push((i % 7) as f64);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn skewed_layer_gets_cheap_trq() {
+        let samples = samples_from(skewed_values());
+        let plan = plan_layer(&samples, &ArchConfig::default(), 7, &CalibSettings::default());
+        assert_eq!(plan.class, DistributionClass::IdealSkewed);
+        let AdcScheme::Trq(params) = plan.scheme else {
+            panic!("skewed distribution should choose TRQ, got {:?}", plan.scheme);
+        };
+        assert!(params.bias() == 0);
+        // most conversions early-bird → mean ops below the 8-op baseline
+        assert!(plan.mean_ops < 6.5, "mean ops {}", plan.mean_ops);
+        assert!(params.n_r1() <= params.n_r2());
+    }
+
+    #[test]
+    fn nmax_descent_traces_fig6c_band() {
+        // realistic BL statistics: exponential-ish counts, most at 0-3.
+        // Fig. 6c reports 42–62% of baseline ops as Nmax descends 8→4;
+        // mean_ops/8 must fall into that region by Nmax = 4.
+        let mut values = Vec::new();
+        for i in 0..4000u64 {
+            let u = (i as f64 + 0.5) / 4000.0;
+            values.push((-6.0 * (1.0 - u).ln()).min(90.0).floor());
+        }
+        let samples = samples_from(values);
+        let arch = ArchConfig::default();
+        let settings = CalibSettings::default();
+        let mut prev = f64::INFINITY;
+        for nmax in (4..=7).rev() {
+            let plan = plan_layer(&samples, &arch, nmax, &settings);
+            assert!(
+                plan.mean_ops <= prev + 1e-9,
+                "tightening Nmax must not increase ops: {} at {nmax} (prev {prev})",
+                plan.mean_ops
+            );
+            prev = plan.mean_ops;
+        }
+        let at4 = plan_layer(&samples, &arch, 4, &settings);
+        let remaining = at4.mean_ops / arch.adc_bits as f64;
+        assert!(
+            remaining < 0.65,
+            "Nmax = 4 should land in the paper's 42-62% band: {remaining:.3} ({:?})",
+            at4.scheme
+        );
+    }
+
+    #[test]
+    fn ops_cost_matches_direct_computation() {
+        let values = skewed_values();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let params = TrqParams::new(3, 7, 2, 1.0, 0).unwrap();
+        let fast = trq_ops_cost(&sorted, &params);
+        let q = TwinRangeQuantizer::new(params);
+        let direct: f64 = values.iter().map(|&v| q.ops_for(v) as f64).sum();
+        assert_eq!(fast, direct);
+    }
+
+    #[test]
+    fn tight_nmax_reduces_payload_bits() {
+        let samples = samples_from(skewed_values());
+        let arch = ArchConfig::default();
+        let p7 = plan_layer(&samples, &arch, 7, &CalibSettings::default());
+        let p3 = plan_layer(&samples, &arch, 3, &CalibSettings::default());
+        let bits = |p: &LayerPlan| match p.scheme {
+            AdcScheme::Trq(t) => t.n_r2(),
+            AdcScheme::Uniform { bits, .. } => bits,
+            AdcScheme::Ideal => 8,
+        };
+        assert!(bits(&p3) <= 3);
+        assert!(bits(&p7) <= 7);
+        assert!(p3.mse >= p7.mse, "fewer bits cannot improve MSE");
+    }
+
+    #[test]
+    fn flat_distribution_does_not_fake_a_sweet_spot() {
+        let values: Vec<f64> = (0..2000).map(|i| (i % 120) as f64).collect();
+        let samples = samples_from(values);
+        let plan = plan_layer(&samples, &ArchConfig::default(), 7, &CalibSettings::default());
+        assert_eq!(plan.class, DistributionClass::Other);
+        // either uniform, or TRQ with equal widths (early stop both ranges)
+        if let AdcScheme::Trq(p) = plan.scheme {
+            assert_eq!(p.n_r1(), p.n_r2());
+        }
+    }
+
+    #[test]
+    fn normal_like_distribution_uses_bias_window() {
+        // tight cluster around 64 — the "case N" of Section IV-B
+        let mut values = Vec::new();
+        for i in 0..4000u32 {
+            let mut s = 0.0;
+            let mut state = i as u64 * 2654435761 + 17;
+            for _ in 0..12 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            values.push((64.0 + (s - 6.0) * 3.0).clamp(0.0, 128.0));
+        }
+        values.push(0.0);
+        values.push(128.0);
+        let samples = samples_from(values);
+        let plan = plan_layer(&samples, &ArchConfig::default(), 7, &CalibSettings::default());
+        if let AdcScheme::Trq(p) = plan.scheme {
+            // the window should sit on the cluster, not at zero
+            assert!(
+                p.bias() > 0 || p.n_r1() == p.n_r2(),
+                "normal-like cluster away from zero should float the window: {p:?}"
+            );
+            assert!(plan.mean_ops <= 8.0);
+        }
+    }
+
+    #[test]
+    fn all_zero_layer_degenerates_gracefully() {
+        let samples = samples_from(vec![0.0; 100]);
+        let plan = plan_layer(&samples, &ArchConfig::default(), 7, &CalibSettings::default());
+        assert_eq!(plan.scheme, AdcScheme::uniform(1, 1.0));
+        assert_eq!(plan.mse, 0.0);
+    }
+
+    #[test]
+    fn plan_network_parallel_matches_sequential() {
+        let layer_samples: Vec<LayerSamples> = (0..5)
+            .map(|i| {
+                let mut s = samples_from(skewed_values());
+                s.mvm_index = i;
+                s
+            })
+            .collect();
+        let arch = ArchConfig::default();
+        let settings = CalibSettings { candidates: 10, ..Default::default() };
+        let par = plan_network(&layer_samples, &arch, 6, &settings);
+        let seq: Vec<LayerPlan> =
+            layer_samples.iter().map(|s| plan_layer(s, &arch, 6, &settings)).collect();
+        assert_eq!(par, seq);
+    }
+}

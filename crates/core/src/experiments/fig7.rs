@@ -1,0 +1,196 @@
+//! Fig. 7 — the accelerator power breakdown — and the headline 1.6–2.3×
+//! ADC energy reduction.
+
+use crate::arch::ArchConfig;
+use crate::calib::{collect_bl_samples, evaluate_plan, plan_network, CalibSettings};
+use crate::energy::{breakdown_from_stats, EnergyParams, PowerBreakdown};
+use crate::experiments::fig6::plan_uniform_network;
+use crate::experiments::workloads::Workload;
+use crate::pim::{AdcScheme, CollectorConfig};
+use serde::{Deserialize, Serialize};
+
+/// One bar of Fig. 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Bar {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label: `"ISAAC"`, `"Ours/4b"`, or `"UQ(xb)"`.
+    pub config: String,
+    /// Per-component energy, batch-rescaled like the paper.
+    pub breakdown: PowerBreakdown,
+    /// End-to-end score of this configuration.
+    pub score: f64,
+}
+
+/// The full Fig. 7 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Report {
+    /// Three bars per workload, ISAAC/Ours/UQ order.
+    pub bars: Vec<Fig7Bar>,
+}
+
+/// The headline number: ADC energy of the ISAAC baseline over ADC energy
+/// with TRQ, per workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeadlineReport {
+    /// `(workload, reduction factor)` pairs.
+    pub reductions: Vec<(String, f64)>,
+}
+
+impl HeadlineReport {
+    /// Smallest reduction across workloads.
+    pub fn min(&self) -> f64 {
+        self.reductions.iter().map(|r| r.1).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest reduction across workloads.
+    pub fn max(&self) -> f64 {
+        self.reductions.iter().map(|r| r.1).fold(0.0, f64::max)
+    }
+}
+
+/// Runs Fig. 7 for one workload: ISAAC (8-bit uniform, lossless), Ours/4b
+/// (TRQ calibrated at `Nmax = 4`), and the *minimal-resolution uniform ADC
+/// that holds accuracy* within `θ` of the 8/f anchor (the paper lands on
+/// UQ(7b)/UQ(8b) depending on workload).
+pub fn fig7_power(
+    workload: &Workload,
+    arch: &ArchConfig,
+    settings: &CalibSettings,
+    energy: &EnergyParams,
+) -> Vec<Fig7Bar> {
+    let metric = workload.metric();
+    let n_layers = workload.qnet.layers().len();
+    let collect_n = workload.cal_images.len().min(4).max(1);
+    let samples = collect_bl_samples(
+        &workload.qnet,
+        arch,
+        &workload.cal_images[..collect_n],
+        CollectorConfig::default(),
+    );
+
+    // ISAAC baseline: unmodified 8-op conversions
+    let isaac_plan = vec![AdcScheme::Ideal; n_layers];
+    let isaac = evaluate_plan(&workload.qnet, arch, &isaac_plan, &metric);
+    let isaac_bd = breakdown_from_stats(&isaac.stats, energy);
+
+    // Ours/4b: TRQ with Nmax = 4
+    let trq_plan: Vec<AdcScheme> =
+        plan_network(&samples, arch, 4, settings).iter().map(|p| p.scheme).collect();
+    let ours = evaluate_plan(&workload.qnet, arch, &trq_plan, &metric);
+    let ours_bd = breakdown_from_stats(&ours.stats, energy);
+
+    // UQ(xb): smallest uniform resolution within θ of the anchor
+    let mut uq_choice = None;
+    for bits in (4..=arch.adc_bits).rev() {
+        let plan = plan_uniform_network(&samples, arch, bits, settings);
+        let eval = evaluate_plan(&workload.qnet, arch, &plan, &metric);
+        if isaac.score - eval.score <= settings.theta {
+            uq_choice = Some((bits, eval));
+        } else {
+            break; // accuracy falls off monotonically; stop shrinking
+        }
+    }
+    let (uq_bits, uq_eval) = uq_choice.unwrap_or_else(|| {
+        let plan = plan_uniform_network(&samples, arch, arch.adc_bits, settings);
+        (arch.adc_bits, evaluate_plan(&workload.qnet, arch, &plan, &metric))
+    });
+    let uq_bd = breakdown_from_stats(&uq_eval.stats, energy);
+
+    vec![
+        Fig7Bar {
+            workload: workload.name.clone(),
+            config: "ISAAC".into(),
+            breakdown: isaac_bd,
+            score: isaac.score,
+        },
+        Fig7Bar {
+            workload: workload.name.clone(),
+            config: "Ours/4b".into(),
+            breakdown: ours_bd,
+            score: ours.score,
+        },
+        Fig7Bar {
+            workload: workload.name.clone(),
+            config: format!("UQ({uq_bits}b)"),
+            breakdown: uq_bd,
+            score: uq_eval.score,
+        },
+    ]
+}
+
+/// Batch-rescales bars so every workload's ISAAC total lands on the same
+/// value (the paper: "The batch size is rescaled for each model across
+/// DNNs to keep overall energy in the same range").
+pub fn batch_rescale(bars: &mut [Fig7Bar], target_pj: f64) {
+    // scale per workload by its ISAAC bar
+    let mut scales: Vec<(String, f64)> = Vec::new();
+    for bar in bars.iter() {
+        if bar.config == "ISAAC" {
+            let total = bar.breakdown.total_pj().max(f64::MIN_POSITIVE);
+            scales.push((bar.workload.clone(), target_pj / total));
+        }
+    }
+    for bar in bars.iter_mut() {
+        if let Some((_, s)) = scales.iter().find(|(w, _)| *w == bar.workload) {
+            bar.breakdown = bar.breakdown.scaled(*s);
+        }
+    }
+}
+
+/// Computes the headline ADC-energy reduction (ISAAC vs Ours) from a
+/// Fig. 7 report.
+pub fn headline(bars: &[Fig7Bar]) -> HeadlineReport {
+    let mut reductions = Vec::new();
+    let workloads: Vec<String> = {
+        let mut seen = Vec::new();
+        for b in bars {
+            if !seen.contains(&b.workload) {
+                seen.push(b.workload.clone());
+            }
+        }
+        seen
+    };
+    for w in workloads {
+        let isaac = bars.iter().find(|b| b.workload == w && b.config == "ISAAC");
+        let ours = bars.iter().find(|b| b.workload == w && b.config == "Ours/4b");
+        if let (Some(i), Some(o)) = (isaac, ours) {
+            if o.breakdown.adc_pj > 0.0 {
+                reductions.push((w, i.breakdown.adc_pj / o.breakdown.adc_pj));
+            }
+        }
+    }
+    HeadlineReport { reductions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::workloads::SuiteConfig;
+
+    #[test]
+    fn lenet_fig7_reduces_adc_share() {
+        let cfg = SuiteConfig::quick();
+        let w = Workload::lenet5(&cfg);
+        let arch = ArchConfig::default();
+        let settings = CalibSettings { candidates: 10, theta: 0.05, ..Default::default() };
+        let mut bars = fig7_power(&w, &arch, &settings, &EnergyParams::default());
+        assert_eq!(bars.len(), 3);
+        let isaac = bars[0].breakdown;
+        let ours = bars[1].breakdown;
+        assert!(isaac.adc_share() > 0.5, "baseline ADC share {}", isaac.adc_share());
+        assert!(
+            ours.adc_pj < isaac.adc_pj * 0.8,
+            "TRQ should visibly cut ADC energy: {} vs {}",
+            ours.adc_pj,
+            isaac.adc_pj
+        );
+
+        let report = headline(&bars);
+        assert_eq!(report.reductions.len(), 1);
+        assert!(report.min() > 1.2, "headline reduction {}", report.min());
+
+        batch_rescale(&mut bars, 1000.0);
+        assert!((bars[0].breakdown.total_pj() - 1000.0).abs() < 1e-6);
+    }
+}

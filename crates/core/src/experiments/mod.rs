@@ -1,0 +1,24 @@
+//! Experiment drivers that regenerate the paper's evaluation (Section V).
+//!
+//! Every figure has a driver returning serialisable records; the
+//! `trq-bench` binaries print them as tables and dump JSON next to the
+//! transcript recorded in EXPERIMENTS.md.
+//!
+//! | paper artefact | driver |
+//! |---|---|
+//! | Fig. 3a (BL distribution) | [`fig3a`] |
+//! | Fig. 6a (accuracy, uniform ADC) | [`fig6_accuracy`] with `trq = false` |
+//! | Fig. 6b (accuracy, TRQ) | [`fig6_accuracy`] with `trq = true` |
+//! | Fig. 6c (remaining A/D ops) | the `remaining_ops` field of the TRQ series |
+//! | Fig. 7 (power breakdown) | [`fig7_power`] |
+//! | headline 1.6–2.3× | [`headline`] |
+
+mod fig3a;
+mod fig6;
+mod fig7;
+mod workloads;
+
+pub use fig3a::{fig3a, Fig3aLayer, Fig3aReport};
+pub use fig6::{fig6_accuracy, plan_uniform_network, AccuracyPoint, Fig6Series};
+pub use fig7::{batch_rescale, fig7_power, headline, Fig7Bar, Fig7Report, HeadlineReport};
+pub use workloads::{SuiteConfig, Workload};

@@ -1,0 +1,224 @@
+//! The paper's four evaluation workloads, packaged with calibration and
+//! evaluation data (Section V-A; substitutions documented in DESIGN.md).
+
+use crate::calib::EvalMetric;
+use serde::{Deserialize, Serialize};
+use trq_nn::{data, models, sgd_train, Network, QuantizedNetwork, TrainConfig};
+use trq_tensor::Tensor;
+
+/// Size knobs for the workload suite.
+///
+/// [`SuiteConfig::paper`] mirrors the paper (32 calibration images; the
+/// ImageNet-class models run at 56×56/100 classes, see DESIGN.md);
+/// [`SuiteConfig::quick`] is a minutes-scale configuration for tests and
+/// smoke runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// Calibration images per workload (the paper uses 32).
+    pub cal_images: usize,
+    /// Evaluation images per workload.
+    pub eval_images: usize,
+    /// Images actually pushed through the collector engine (BL sample
+    /// collection is the expensive step; a subset of the calibration set
+    /// suffices for the distribution statistics).
+    pub collect_images: usize,
+    /// Input resolution for the ImageNet-class models.
+    pub imagenet_hw: usize,
+    /// Class count for the ImageNet-class models.
+    pub imagenet_classes: usize,
+    /// LeNet training-set size.
+    pub lenet_train: usize,
+    /// LeNet training epochs.
+    pub lenet_epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SuiteConfig {
+    /// The paper-shaped configuration.
+    pub fn paper() -> Self {
+        SuiteConfig {
+            cal_images: 32,
+            eval_images: 16,
+            collect_images: 4,
+            imagenet_hw: 56,
+            imagenet_classes: 100,
+            lenet_train: 300,
+            lenet_epochs: 25,
+            seed: 20240308, // the paper's arXiv v2 date
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn quick() -> Self {
+        SuiteConfig {
+            cal_images: 6,
+            eval_images: 8,
+            collect_images: 2,
+            imagenet_hw: 32,
+            imagenet_classes: 10,
+            lenet_train: 120,
+            lenet_epochs: 10,
+            seed: 7,
+        }
+    }
+}
+
+/// One evaluation workload: float network, quantized twin, data splits.
+pub struct Workload {
+    /// Display name matching the paper's figures.
+    pub name: String,
+    /// The float reference network.
+    pub net: Network,
+    /// Its 8-bit PTQ twin.
+    pub qnet: QuantizedNetwork,
+    /// Calibration images (activation scales + BL samples).
+    pub cal_images: Vec<Tensor>,
+    /// Labelled evaluation set; present only for in-repo trained models.
+    pub eval_labeled: Option<Vec<(Tensor, usize)>>,
+    /// Unlabelled evaluation inputs (fidelity metric).
+    pub eval_inputs: Vec<Tensor>,
+    /// The float model's own score on the evaluation data: labelled
+    /// accuracy for trained models, 1.0 (self-agreement) otherwise — the
+    /// "f/f" anchor of Fig. 6.
+    pub float_score: f64,
+}
+
+impl Workload {
+    /// The evaluation metric this workload uses.
+    pub fn metric(&self) -> EvalMetric<'_> {
+        match &self.eval_labeled {
+            Some(labeled) => EvalMetric::Labeled(labeled),
+            None => EvalMetric::Fidelity(&self.eval_inputs),
+        }
+    }
+
+    /// True when the workload reports real labelled accuracy.
+    pub fn is_trained(&self) -> bool {
+        self.eval_labeled.is_some()
+    }
+
+    /// LeNet-5 on the synthetic digit set, trained in-repo.
+    pub fn lenet5(cfg: &SuiteConfig) -> Self {
+        let mut net = models::lenet5(cfg.seed).expect("static topology");
+        let train = data::synthetic_digits(cfg.lenet_train, cfg.seed ^ 0x1);
+        let tc = TrainConfig {
+            epochs: cfg.lenet_epochs,
+            lr: 0.02,
+            momentum: 0.9,
+            batch: 16,
+            seed: cfg.seed,
+        };
+        sgd_train(&mut net, &train, &tc).expect("lenet is a chain");
+        let cal_images: Vec<Tensor> =
+            train.iter().take(cfg.cal_images).map(|s| s.image.clone()).collect();
+        let eval_ds = data::synthetic_digits(cfg.eval_images, cfg.seed ^ 0x2);
+        let eval_labeled: Vec<(Tensor, usize)> =
+            eval_ds.iter().map(|s| (s.image.clone(), s.label)).collect();
+        let eval_inputs: Vec<Tensor> = eval_ds.iter().map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::quantize(&net, &cal_images).expect("non-empty calibration");
+        let float_score = {
+            let mut correct = 0;
+            for (image, label) in &eval_labeled {
+                if net.forward(image).expect("float forward").argmax() == *label {
+                    correct += 1;
+                }
+            }
+            correct as f64 / eval_labeled.len() as f64
+        };
+        Workload {
+            name: "lenet5".into(),
+            net,
+            qnet,
+            cal_images,
+            eval_labeled: Some(eval_labeled),
+            eval_inputs,
+            float_score,
+        }
+    }
+
+    /// ResNet-20 on CIFAR-shaped data (fidelity metric).
+    pub fn resnet20(cfg: &SuiteConfig) -> Self {
+        let net = models::resnet20(cfg.seed).expect("static topology");
+        let cal = data::synthetic_cifar(cfg.cal_images, cfg.seed ^ 0x3);
+        let eval = data::synthetic_cifar(cfg.eval_images, cfg.seed ^ 0x4);
+        Self::fidelity_workload("resnet20_cifar10", net, cal, eval)
+    }
+
+    /// ResNet-18 on ImageNet-shaped data (fidelity metric).
+    pub fn resnet18(cfg: &SuiteConfig) -> Self {
+        let net = models::resnet18(cfg.seed, cfg.imagenet_hw, cfg.imagenet_classes)
+            .expect("validated size");
+        let cal = data::synthetic_imagenet(cfg.cal_images, cfg.imagenet_classes, cfg.imagenet_hw, cfg.seed ^ 0x5);
+        let eval = data::synthetic_imagenet(cfg.eval_images, cfg.imagenet_classes, cfg.imagenet_hw, cfg.seed ^ 0x6);
+        Self::fidelity_workload("resnet18", net, cal, eval)
+    }
+
+    /// SqueezeNet-1.1 on ImageNet-shaped data (fidelity metric).
+    pub fn squeezenet1_1(cfg: &SuiteConfig) -> Self {
+        let net = models::squeezenet1_1(cfg.seed, cfg.imagenet_hw.max(24), cfg.imagenet_classes)
+            .expect("validated size");
+        let hw = cfg.imagenet_hw.max(24);
+        let cal = data::synthetic_imagenet(cfg.cal_images, cfg.imagenet_classes, hw, cfg.seed ^ 0x7);
+        let eval = data::synthetic_imagenet(cfg.eval_images, cfg.imagenet_classes, hw, cfg.seed ^ 0x8);
+        Self::fidelity_workload("squeezenet1_1", net, cal, eval)
+    }
+
+    fn fidelity_workload(
+        name: &str,
+        net: Network,
+        cal: Vec<data::Sample>,
+        eval: Vec<data::Sample>,
+    ) -> Self {
+        let cal_images: Vec<Tensor> = cal.iter().map(|s| s.image.clone()).collect();
+        let eval_inputs: Vec<Tensor> = eval.iter().map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::quantize(&net, &cal_images).expect("non-empty calibration");
+        Workload {
+            name: name.into(),
+            net,
+            qnet,
+            cal_images,
+            eval_labeled: None,
+            eval_inputs,
+            float_score: 1.0,
+        }
+    }
+
+    /// The paper's full four-workload suite, in Fig. 6 order.
+    pub fn paper_suite(cfg: &SuiteConfig) -> Vec<Workload> {
+        vec![
+            Workload::resnet20(cfg),
+            Workload::squeezenet1_1(cfg),
+            Workload::lenet5(cfg),
+            Workload::resnet18(cfg),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_workload_is_actually_trained() {
+        let cfg = SuiteConfig::quick();
+        let w = Workload::lenet5(&cfg);
+        assert!(w.is_trained());
+        assert!(
+            w.float_score > 0.5,
+            "trained LeNet must beat chance by a wide margin: {}",
+            w.float_score
+        );
+        assert_eq!(w.cal_images.len().min(cfg.cal_images), w.cal_images.len());
+    }
+
+    #[test]
+    fn fidelity_workloads_anchor_at_one() {
+        let cfg = SuiteConfig::quick();
+        let w = Workload::resnet20(&cfg);
+        assert!(!w.is_trained());
+        assert_eq!(w.float_score, 1.0);
+        assert_eq!(w.eval_inputs.len(), cfg.eval_images);
+        assert_eq!(w.qnet.layers().len(), 22);
+    }
+}

@@ -1,0 +1,40 @@
+//! # trq-core
+//!
+//! The co-design layer of the reproduction: an ISAAC-like accelerator
+//! model (Section III-D, Fig. 5), the crossbar/ADC execution engine that
+//! runs quantized networks bit-accurately through `trq-xbar` and `trq-adc`,
+//! the Algorithm 1 parameter search (Section IV), the component energy
+//! model behind Fig. 7, and drivers that regenerate every figure of the
+//! paper's evaluation.
+//!
+//! The crate's spine is [`pim::PimMvm`]: it implements
+//! [`trq_nn::MvmEngine`], so any quantized network from `trq-nn` runs on
+//! the simulated accelerator unchanged. Per-layer ADC behaviour is set by
+//! an [`pim::AdcScheme`] plan — ideal, uniform (`R` bits), or TRQ — and the
+//! engine counts every A/D operation (Eq. 6/9) plus the architectural
+//! event counts the energy model consumes.
+//!
+//! ```no_run
+//! use trq_core::{arch::ArchConfig, pim::{AdcScheme, PimMvm}};
+//! use trq_nn::{data, models, QuantizedNetwork};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = models::lenet5(1)?;
+//! let ds = data::synthetic_digits(8, 2);
+//! let cal: Vec<_> = ds.iter().map(|s| s.image.clone()).collect();
+//! let qnet = QuantizedNetwork::quantize(&net, &cal)?;
+//! let arch = ArchConfig::default();
+//! let plan = vec![AdcScheme::uniform(8, 1.0); qnet.layers().len()];
+//! let mut engine = PimMvm::new(&arch, plan);
+//! let logits = qnet.forward(&ds[0].image, &mut engine)?;
+//! println!("ops per conversion: {}", engine.stats().mean_ops());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod arch;
+pub mod calib;
+pub mod energy;
+pub mod experiments;
+pub mod pim;

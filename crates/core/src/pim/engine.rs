@@ -1,0 +1,374 @@
+//! The crossbar MVM engine.
+
+use crate::arch::ArchConfig;
+use crate::pim::scheme::{AdcScheme, Lut};
+use crate::pim::stats::PimStats;
+use std::collections::HashMap;
+use trq_nn::{MvmEngine, MvmLayerInfo};
+use trq_quant::Histogram;
+use trq_xbar::BitMatrix;
+
+/// Configuration for bit-line sample collection during calibration runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectorConfig {
+    /// Maximum retained raw samples per layer (deterministic reservoir).
+    pub reservoir_cap: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig { reservoir_cap: 1 << 15 }
+    }
+}
+
+/// Collected bit-line statistics for one layer — the input to Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct LayerSamples {
+    /// Layer position among MVM layers.
+    pub mvm_index: usize,
+    /// Layer label.
+    pub label: String,
+    /// Retained raw BL counts (pos and neg streams interleaved).
+    pub values: Vec<f64>,
+    /// Full histogram over the count domain `[0, S]`.
+    pub hist: Histogram,
+    /// Total samples seen (may exceed `values.len()`).
+    pub seen: u64,
+}
+
+struct Programmed {
+    /// One `(pos, neg)` slice-plane pair per 128-row subarray; columns are
+    /// `outputs × weight_bits` wide.
+    subarrays: Vec<(BitMatrix, BitMatrix)>,
+}
+
+/// The PIM execution engine: runs quantized MVMs through bit-sliced
+/// differential crossbars and per-layer ADC schemes, counting every
+/// architectural event. See the crate docs for an end-to-end example.
+pub struct PimMvm<'a> {
+    arch: &'a ArchConfig,
+    plan: Vec<AdcScheme>,
+    programmed: HashMap<usize, Programmed>,
+    luts: HashMap<usize, Lut>,
+    stats: PimStats,
+    collector: Option<CollectorConfig>,
+    samples: HashMap<usize, LayerSamples>,
+}
+
+impl<'a> PimMvm<'a> {
+    /// Creates an engine with a per-layer ADC plan (`plan[mvm_index]`).
+    /// Layers beyond the plan's length run with [`AdcScheme::Ideal`].
+    pub fn new(arch: &'a ArchConfig, plan: Vec<AdcScheme>) -> Self {
+        PimMvm {
+            arch,
+            plan,
+            programmed: HashMap::new(),
+            luts: HashMap::new(),
+            stats: PimStats::default(),
+            collector: None,
+            samples: HashMap::new(),
+        }
+    }
+
+    /// Creates an engine that additionally collects BL samples per layer
+    /// (calibration mode). The scheme is forced to [`AdcScheme::Ideal`] so
+    /// the collected distribution is the true one.
+    pub fn collector(arch: &'a ArchConfig, layers: usize, config: CollectorConfig) -> Self {
+        let mut engine = PimMvm::new(arch, vec![AdcScheme::Ideal; layers]);
+        engine.collector = Some(config);
+        engine
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &PimStats {
+        &self.stats
+    }
+
+    /// Resets statistics (keeps programmed arrays and LUTs).
+    pub fn reset_stats(&mut self) {
+        self.stats = PimStats::default();
+    }
+
+    /// The per-layer ADC plan.
+    pub fn plan(&self) -> &[AdcScheme] {
+        &self.plan
+    }
+
+    /// Takes the collected calibration samples, ordered by layer index.
+    pub fn take_samples(&mut self) -> Vec<LayerSamples> {
+        let mut out: Vec<LayerSamples> = self.samples.drain().map(|(_, v)| v).collect();
+        out.sort_by_key(|s| s.mvm_index);
+        out
+    }
+
+    fn scheme_for(&self, mvm_index: usize) -> AdcScheme {
+        self.plan.get(mvm_index).copied().unwrap_or(AdcScheme::Ideal)
+    }
+
+    fn program(&mut self, info: &MvmLayerInfo, weights_q: &[i32]) {
+        if self.programmed.contains_key(&info.mvm_index) {
+            return;
+        }
+        let rows = self.arch.xbar.rows;
+        let wbits = self.arch.weight_bits;
+        let cols = info.outputs * wbits as usize;
+        let n_sub = self.arch.subarrays_for_depth(info.depth);
+        let mut subarrays = Vec::with_capacity(n_sub);
+        for s in 0..n_sub {
+            let d0 = s * rows;
+            let d1 = ((s + 1) * rows).min(info.depth);
+            let mut pos = BitMatrix::zeros(rows, cols);
+            let mut neg = BitMatrix::zeros(rows, cols);
+            for d in d0..d1 {
+                for o in 0..info.outputs {
+                    let w = weights_q[o * info.depth + d];
+                    if w == 0 {
+                        continue;
+                    }
+                    let mag = w.unsigned_abs();
+                    let target = if w > 0 { &mut pos } else { &mut neg };
+                    for alpha in 0..wbits {
+                        if (mag >> alpha) & 1 == 1 {
+                            target.set(d - d0, o * wbits as usize + alpha as usize, true);
+                        }
+                    }
+                }
+            }
+            subarrays.push((pos, neg));
+        }
+        self.programmed.insert(info.mvm_index, Programmed { subarrays });
+    }
+
+    fn record_sample(
+        samples: &mut HashMap<usize, LayerSamples>,
+        cfg: &CollectorConfig,
+        info: &MvmLayerInfo,
+        max_count: u32,
+        count: u32,
+    ) {
+        let entry = samples.entry(info.mvm_index).or_insert_with(|| LayerSamples {
+            mvm_index: info.mvm_index,
+            label: info.label.clone(),
+            values: Vec::new(),
+            hist: Histogram::new(0.0, (max_count + 1) as f64, (max_count + 1) as usize)
+                .expect("non-empty count domain"),
+            seen: 0,
+        });
+        entry.hist.record(count as f64);
+        entry.seen += 1;
+        if entry.values.len() < cfg.reservoir_cap {
+            entry.values.push(count as f64);
+        } else {
+            // deterministic pseudo-random replacement keeps the reservoir
+            // representative without an RNG dependency in the hot loop
+            let slot = (entry.seen.wrapping_mul(0x9E3779B97F4A7C15) >> 16) as usize
+                % cfg.reservoir_cap;
+            entry.values[slot] = count as f64;
+        }
+    }
+}
+
+impl MvmEngine for PimMvm<'_> {
+    fn mvm(&mut self, info: &MvmLayerInfo, weights_q: &[i32], cols: &[u8], n: usize) -> Vec<f64> {
+        assert_eq!(weights_q.len(), info.depth * info.outputs, "weight shape mismatch");
+        assert_eq!(cols.len(), info.depth * n, "cols shape mismatch");
+        self.program(info, weights_q);
+
+        let rows = self.arch.xbar.rows;
+        let wbits = self.arch.weight_bits as usize;
+        let ibits = self.arch.input_bits;
+        let max_count = self.arch.xbar.rows as u32;
+        let scheme = self.scheme_for(info.mvm_index);
+        let lut = self
+            .luts
+            .entry(info.mvm_index)
+            .or_insert_with(|| scheme.build_lut(max_count, self.arch.adc_bits))
+            .clone();
+
+        let programmed = &self.programmed[&info.mvm_index];
+        let mut acc = vec![0i64; info.outputs * n];
+        let mut ops: u64 = 0;
+        let mut conversions: u64 = 0;
+        let mut layer_max_count: u32 = 0;
+
+        for (s, (pos, neg)) in programmed.subarrays.iter().enumerate() {
+            let d0 = s * rows;
+            let d1 = ((s + 1) * rows).min(info.depth);
+            for c in 0..ibits {
+                // input bit-plane for this subarray and cycle, one column
+                // per window
+                let mut plane = BitMatrix::zeros(rows, n);
+                for d in d0..d1 {
+                    let crow = &cols[d * n..(d + 1) * n];
+                    for (i, &code) in crow.iter().enumerate() {
+                        if (code >> c) & 1 == 1 {
+                            plane.set(d - d0, i, true);
+                        }
+                    }
+                }
+                let counts_pos = pos.mvm_matrix(&plane);
+                let counts_neg = neg.mvm_matrix(&plane);
+                for o in 0..info.outputs {
+                    for alpha in 0..wbits {
+                        let col = o * wbits + alpha;
+                        let base = col * n;
+                        let arow = &mut acc[o * n..(o + 1) * n];
+                        for i in 0..n {
+                            let cp = counts_pos[base + i];
+                            let cn = counts_neg[base + i];
+                            layer_max_count = layer_max_count.max(cp).max(cn);
+                            let lp = lut.lsb[cp as usize] as i64;
+                            let ln = lut.lsb[cn as usize] as i64;
+                            ops += lut.ops[cp as usize] as u64 + lut.ops[cn as usize] as u64;
+                            conversions += 2;
+                            arow[i] += (lp - ln) << (alpha as u32 + c);
+                            if let Some(cfg) = self.collector {
+                                Self::record_sample(&mut self.samples, &cfg, info, max_count, cp);
+                                Self::record_sample(&mut self.samples, &cfg, info, max_count, cn);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // architectural event accounting
+        let n_sub = programmed.subarrays.len() as u64;
+        let phys = self.arch.physical_xbars_for_outputs(info.outputs) as u64;
+        let max_abs_acc = acc.iter().map(|v| v.abs()).max().unwrap_or(0);
+        let layer = self.stats.layer_mut(info.mvm_index, &info.label);
+        layer.conversions += conversions;
+        layer.ops += ops;
+        layer.windows += n as u64;
+        layer.xbar_activations += n as u64 * ibits as u64 * n_sub * 2 * phys;
+        layer.dac_activations += n as u64 * ibits as u64 * n_sub * 2 * phys;
+        layer.buffer_bytes += (info.depth * n) as u64 + (info.outputs * n * 2) as u64;
+        layer.sa_ops += conversions;
+        layer.bus_bytes += (info.outputs * n) as u64;
+        layer.max_count = layer.max_count.max(layer_max_count);
+        layer.max_abs_acc = layer.max_abs_acc.max(max_abs_acc);
+        self.stats.baseline_ops += conversions * self.arch.adc_bits as u64;
+
+        acc.into_iter().map(|v| v as f64 * lut.delta).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trq_nn::ExactMvm;
+
+    fn info(depth: usize, outputs: usize) -> MvmLayerInfo {
+        MvmLayerInfo { node: 1, mvm_index: 0, label: "test".into(), depth, outputs }
+    }
+
+    fn arch() -> ArchConfig {
+        ArchConfig::default()
+    }
+
+    #[test]
+    fn ideal_scheme_matches_exact_engine() {
+        let arch = arch();
+        let info = info(150, 3); // spans two subarrays
+        let mut state = 0x12345u64;
+        let mut next = |m: i64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64 % m) as i32
+        };
+        let weights: Vec<i32> = (0..150 * 3).map(|_| next(255) - 127).collect();
+        let cols: Vec<u8> = (0..150 * 4).map(|_| next(256) as u8).collect();
+        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+        let got = pim.mvm(&info, &weights, &cols, 4);
+        let want = ExactMvm.mvm(&info, &weights, &cols, 4);
+        assert_eq!(got, want, "ideal crossbar datapath must be exact");
+    }
+
+    #[test]
+    fn conversions_match_eq3_prediction() {
+        let arch = arch();
+        let info = info(150, 3);
+        let weights = vec![1i32; 150 * 3];
+        let cols = vec![1u8; 150 * 5];
+        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+        let _ = pim.mvm(&info, &weights, &cols, 5);
+        let expect = 5 * arch.conversions_per_window(150, 3);
+        assert_eq!(pim.stats().conversions(), expect);
+        assert_eq!(pim.stats().ops(), expect * 8);
+        assert_eq!(pim.stats().remaining_ops_ratio(), 1.0);
+    }
+
+    #[test]
+    fn trq_scheme_reduces_ops_on_skewed_counts() {
+        let arch = arch();
+        let info = info(128, 2);
+        // sparse weights and inputs → small BL counts → early birds
+        let mut weights = vec![0i32; 128 * 2];
+        for i in 0..16 {
+            weights[i * 2] = 3;
+            weights[i * 2 + 1] = -2;
+        }
+        let cols: Vec<u8> = (0..128 * 3).map(|i| if i % 4 == 0 { 9 } else { 0 }).collect();
+        let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+        let _ = pim.mvm(&info, &weights, &cols, 3);
+        let ratio = pim.stats().remaining_ops_ratio();
+        assert!(ratio < 0.7, "skewed counts should early-bird: ratio {ratio}");
+    }
+
+    #[test]
+    fn trq_ideal_config_is_lossless() {
+        // ΔR1 = 1, NR2 + M = Rideal, bias = 0 (Eq. 11): reconstruction is
+        // exact for every possible count, so results equal the exact engine
+        let arch = arch();
+        let info = info(100, 2);
+        let mut state = 7u64;
+        let mut next = |m: i64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64 % m) as i32
+        };
+        let weights: Vec<i32> = (0..100 * 2).map(|_| next(255) - 127).collect();
+        let cols: Vec<u8> = (0..100 * 3).map(|_| next(256) as u8).collect();
+        // counts ≤ 100 < 128 → Rideal = 8 with ΔR1 = 1; NR2 = 4, M = 4
+        let params = trq_quant::TrqParams::new(8, 4, 4, 1.0, 0).unwrap();
+        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+        let got = pim.mvm(&info, &weights, &cols, 3);
+        // NR1 = 8 covers [0,256) at Δ=1 → all counts are early birds with
+        // exact reconstruction
+        let want = ExactMvm.mvm(&info, &weights, &cols, 3);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn collector_gathers_bl_distribution() {
+        let arch = arch();
+        let info = info(64, 2);
+        let weights: Vec<i32> = (0..64 * 2).map(|i| (i % 5) as i32 - 2).collect();
+        let cols: Vec<u8> = (0..64 * 4).map(|i| (i % 7) as u8 * 30).collect();
+        let mut pim = PimMvm::collector(&arch, 1, CollectorConfig { reservoir_cap: 512 });
+        let _ = pim.mvm(&info, &weights, &cols, 4);
+        let samples = pim.take_samples();
+        assert_eq!(samples.len(), 1);
+        let s = &samples[0];
+        assert!(s.seen > 0);
+        assert!(!s.values.is_empty());
+        assert!(s.values.len() <= 512);
+        assert_eq!(s.hist.count(), s.seen);
+        // BL counts are bounded by the array rows
+        assert!(s.hist.sample_max() <= 128.0);
+    }
+
+    #[test]
+    fn stats_reset_keeps_programming() {
+        let arch = arch();
+        let info = info(10, 1);
+        let weights = vec![1i32; 10];
+        let cols = vec![1u8; 10];
+        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+        let _ = pim.mvm(&info, &weights, &cols, 1);
+        assert!(pim.stats().conversions() > 0);
+        pim.reset_stats();
+        assert_eq!(pim.stats().conversions(), 0);
+        let _ = pim.mvm(&info, &weights, &cols, 1);
+        assert!(pim.stats().conversions() > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-layer ADC behaviour selection.
+
+use serde::{Deserialize, Serialize};
+use trq_quant::{TrqParams, TwinRangeQuantizer, UniformQuantizer};
+
+/// How a layer's bit-line samples are digitised.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdcScheme {
+    /// Lossless conversion at the baseline resolution (`R_ADC` ops per
+    /// conversion) — the unmodified ISAAC datapath and the paper's "8/f"
+    /// reference point.
+    Ideal,
+    /// Uniform SAR at `bits` resolution with LSB `vgrid` (in BL count
+    /// units): always `bits` ops per conversion.
+    Uniform {
+        /// Resolution in bits.
+        bits: u32,
+        /// LSB step in BL count units.
+        vgrid: f64,
+    },
+    /// The paper's twin-range search (ν + NR1/NR2 ops per conversion).
+    Trq(TrqParams),
+}
+
+impl AdcScheme {
+    /// Convenience constructor for the uniform scheme.
+    pub fn uniform(bits: u32, vgrid: f64) -> Self {
+        AdcScheme::Uniform { bits, vgrid }
+    }
+
+    /// Builds the per-count lookup table for integer BL samples
+    /// `0..=max_count`: reconstructed magnitude in LSB units, the scale of
+    /// one LSB, and A/D operations per conversion.
+    pub(crate) fn build_lut(&self, max_count: u32, baseline_bits: u32) -> Lut {
+        let n = (max_count + 1) as usize;
+        match self {
+            AdcScheme::Ideal => Lut {
+                lsb: (0..=max_count).collect(),
+                ops: vec![baseline_bits as u8; n],
+                delta: 1.0,
+            },
+            AdcScheme::Uniform { bits, vgrid } => {
+                let q = UniformQuantizer::new(*bits, *vgrid).expect("validated scheme");
+                Lut {
+                    lsb: (0..=max_count).map(|c| q.code(c as f64)).collect(),
+                    ops: vec![*bits as u8; n],
+                    delta: *vgrid,
+                }
+            }
+            AdcScheme::Trq(params) => {
+                let q = TwinRangeQuantizer::new(*params);
+                let mut lsb = Vec::with_capacity(n);
+                let mut ops = Vec::with_capacity(n);
+                for c in 0..=max_count {
+                    let v = q.quantize(c as f64);
+                    lsb.push(v.code.decode_lsb(params));
+                    ops.push(v.ops as u8);
+                }
+                Lut { lsb, ops, delta: params.delta_r1() }
+            }
+        }
+    }
+
+    /// Worst-case ops per conversion (used for sanity checks).
+    pub fn max_ops(&self, baseline_bits: u32) -> u32 {
+        match self {
+            AdcScheme::Ideal => baseline_bits,
+            AdcScheme::Uniform { bits, .. } => *bits,
+            AdcScheme::Trq(p) => p.nu() + p.n_r1().max(p.n_r2()),
+        }
+    }
+}
+
+/// Precomputed conversion table for one layer.
+#[derive(Debug, Clone)]
+pub(crate) struct Lut {
+    /// Reconstructed magnitude in LSB units, indexed by BL count.
+    pub lsb: Vec<u32>,
+    /// A/D operations per conversion, indexed by BL count.
+    pub ops: Vec<u8>,
+    /// Physical value of one LSB in count units.
+    pub delta: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trq_adc::{TrqSarAdc, UniformSarAdc};
+
+    #[test]
+    fn ideal_lut_is_identity() {
+        let lut = AdcScheme::Ideal.build_lut(128, 8);
+        for c in 0..=128u32 {
+            assert_eq!(lut.lsb[c as usize], c);
+            assert_eq!(lut.ops[c as usize], 8);
+        }
+        assert_eq!(lut.delta, 1.0);
+    }
+
+    #[test]
+    fn uniform_lut_matches_sar_adc() {
+        let scheme = AdcScheme::uniform(5, 3.7);
+        let lut = scheme.build_lut(128, 8);
+        let adc = UniformSarAdc::new(5, 3.7).unwrap();
+        for c in 0..=128u32 {
+            let conv = adc.convert(c as f64);
+            assert_eq!(lut.lsb[c as usize], conv.code_bits);
+            assert_eq!(lut.ops[c as usize] as u32, conv.ops);
+            assert_eq!(lut.lsb[c as usize] as f64 * lut.delta, conv.value);
+        }
+    }
+
+    #[test]
+    fn trq_lut_matches_sar_adc() {
+        let params = TrqParams::new(3, 5, 2, 0.9, 0).unwrap();
+        let lut = AdcScheme::Trq(params).build_lut(128, 8);
+        let adc = TrqSarAdc::new(params);
+        for c in 0..=128u32 {
+            let conv = adc.convert(c as f64);
+            assert_eq!(lut.lsb[c as usize] as f64 * lut.delta, conv.value, "count {c}");
+            assert_eq!(lut.ops[c as usize] as u32, conv.ops, "count {c}");
+        }
+    }
+
+    #[test]
+    fn max_ops_bounds() {
+        assert_eq!(AdcScheme::Ideal.max_ops(8), 8);
+        assert_eq!(AdcScheme::uniform(5, 1.0).max_ops(8), 5);
+        let p = TrqParams::new(2, 6, 1, 1.0, 0).unwrap();
+        assert_eq!(AdcScheme::Trq(p).max_ops(8), 7);
+    }
+}

@@ -1,0 +1,118 @@
+//! Accuracy and fidelity metrics.
+//!
+//! For the in-repo *trained* models (LeNet-5, MLP), plain top-1 accuracy
+//! against labels is meaningful. For the He-initialised big models, the
+//! reproduction reports **top-1 fidelity**: agreement between the quantized
+//! (ADC-perturbed) network and its own FP32 reference on the same inputs.
+//! This captures exactly the signal the paper's Fig. 6 shows — how many
+//! decisions quantization flips — without pretending random weights know
+//! ImageNet.
+
+use crate::network::NnError;
+use serde::{Deserialize, Serialize};
+use trq_tensor::Tensor;
+
+/// Outcome of an evaluation sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Samples where the prediction matched the reference/label.
+    pub correct: usize,
+    /// Total samples evaluated.
+    pub total: usize,
+}
+
+impl EvalOutcome {
+    /// Fraction correct (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Top-1 accuracy of `forward` against dataset labels.
+///
+/// # Errors
+///
+/// Propagates the first forward failure.
+pub fn top1_accuracy<F>(samples: &[(Tensor, usize)], mut forward: F) -> Result<EvalOutcome, NnError>
+where
+    F: FnMut(&Tensor) -> Result<Tensor, NnError>,
+{
+    let mut correct = 0;
+    for (image, label) in samples {
+        if forward(image)?.argmax() == *label {
+            correct += 1;
+        }
+    }
+    Ok(EvalOutcome { correct, total: samples.len() })
+}
+
+/// Top-1 agreement between two forward functions on the same inputs — the
+/// fidelity metric for untrained reference models.
+///
+/// # Errors
+///
+/// Propagates the first forward failure from either function.
+pub fn top1_agreement<F, G>(
+    inputs: &[Tensor],
+    mut reference: F,
+    mut candidate: G,
+) -> Result<EvalOutcome, NnError>
+where
+    F: FnMut(&Tensor) -> Result<Tensor, NnError>,
+    G: FnMut(&Tensor) -> Result<Tensor, NnError>,
+{
+    let mut correct = 0;
+    for input in inputs {
+        if reference(input)?.argmax() == candidate(input)?.argmax() {
+            correct += 1;
+        }
+    }
+    Ok(EvalOutcome { correct, total: inputs.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(vec![v.len()], v).unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let samples = vec![(t(vec![1.0]), 0), (t(vec![0.5]), 1)];
+        // forward echoes a 2-logit vector that always predicts class 0
+        let out = top1_accuracy(&samples, |_| Ok(t(vec![1.0, 0.0]))).unwrap();
+        assert_eq!(out.correct, 1);
+        assert_eq!(out.total, 2);
+        assert!((out.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_detects_flips() {
+        let inputs = vec![t(vec![0.0]), t(vec![1.0]), t(vec![2.0])];
+        let reference = |x: &Tensor| Ok(t(vec![x.data()[0], 1.0]));
+        // candidate flips the decision only when input > 1.5
+        let candidate = |x: &Tensor| {
+            let v = x.data()[0];
+            Ok(if v > 1.5 { t(vec![0.0, 1.0]) } else { t(vec![v, 1.0]) })
+        };
+        let out = top1_agreement(&inputs, reference, candidate).unwrap();
+        // ref predictions: [1, tie→0? (equal picks first max=idx0 when 1.0 vs 1.0 → argmax picks first)...]
+        // input 0.0 → ref argmax 1, cand argmax 1 (0.0 vs 1.0) → agree
+        // input 1.0 → ref [1,1] → argmax 0; cand [1,1] → 0 → agree
+        // input 2.0 → ref [2,1] → 0; cand [0,1] → 1 → disagree
+        assert_eq!(out.correct, 2);
+        assert_eq!(out.total, 3);
+    }
+
+    #[test]
+    fn empty_eval_is_zero() {
+        let out = top1_accuracy(&[], |_| Ok(t(vec![1.0]))).unwrap();
+        assert_eq!(out.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Graph node operations.
+
+use serde::{Deserialize, Serialize};
+use trq_tensor::ops::{Conv2dGeom, PoolGeom};
+use trq_tensor::Tensor;
+
+/// A coarse classification of node operations, used when iterating layers
+/// for calibration and mapping (only `Mvm` layers occupy crossbars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Matrix-multiply-bearing layers: convolutions and linear layers.
+    Mvm,
+    /// Everything else (activations, pooling, reshapes, merges).
+    Auxiliary,
+}
+
+/// One operation in the network graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// The graph input placeholder.
+    Input,
+    /// 2-D convolution; weights are stored pre-lowered as
+    /// `[out_channels, kh*kw*in_channels]` to match the crossbar mapping of
+    /// Fig. 1 exactly.
+    Conv2d {
+        /// Lowered weight matrix `[Co, kh*kw*Ci]`.
+        weights: Tensor,
+        /// Optional per-channel bias.
+        bias: Option<Vec<f32>>,
+        /// Convolution geometry.
+        geom: Conv2dGeom,
+    },
+    /// Fully connected layer: weights `[out, in]`.
+    Linear {
+        /// Weight matrix `[out, in]`.
+        weights: Tensor,
+        /// Optional bias.
+        bias: Option<Vec<f32>>,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// Max pooling.
+    MaxPool(PoolGeom),
+    /// Average pooling.
+    AvgPool(PoolGeom),
+    /// Global average pooling `[C,H,W] → [C]`.
+    GlobalAvgPool,
+    /// Flattens to rank 1.
+    Flatten,
+    /// Element-wise sum of two inputs (residual connections).
+    Add,
+    /// Channel-wise concatenation of two `[C,H,W]` inputs (Fire modules).
+    ConcatChannels,
+}
+
+impl Op {
+    /// The layer kind.
+    pub fn kind(&self) -> LayerKind {
+        match self {
+            Op::Conv2d { .. } | Op::Linear { .. } => LayerKind::Mvm,
+            _ => LayerKind::Auxiliary,
+        }
+    }
+
+    /// Short operation name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Conv2d { .. } => "conv2d",
+            Op::Linear { .. } => "linear",
+            Op::Relu => "relu",
+            Op::MaxPool(_) => "max_pool",
+            Op::AvgPool(_) => "avg_pool",
+            Op::GlobalAvgPool => "global_avg_pool",
+            Op::Flatten => "flatten",
+            Op::Add => "add",
+            Op::ConcatChannels => "concat",
+        }
+    }
+}
+
+/// A node: an operation plus the indices of its input nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// Indices of producer nodes (earlier in the topological order).
+    pub inputs: Vec<usize>,
+    /// Human-readable label, e.g. `"conv1"` or `"stage2.block0.conv2"`.
+    pub label: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Op::Relu.kind(), LayerKind::Auxiliary);
+        assert_eq!(
+            Op::Linear { weights: Tensor::zeros(vec![1, 1]).unwrap(), bias: None }.kind(),
+            LayerKind::Mvm
+        );
+        assert_eq!(Op::Input.kind(), LayerKind::Auxiliary);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Op::GlobalAvgPool.name(), "global_avg_pool");
+        assert_eq!(Op::ConcatChannels.name(), "concat");
+    }
+}

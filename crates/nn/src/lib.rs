@@ -1,0 +1,43 @@
+//! # trq-nn
+//!
+//! The DNN substrate of the reproduction: a small graph-based inference
+//! engine, the paper's four evaluation workloads (LeNet-5, ResNet-20,
+//! ResNet-18, SqueezeNet-1.1), procedurally generated datasets standing in
+//! for MNIST/CIFAR-10/ImageNet, an SGD trainer (used to *actually train*
+//! LeNet-5 in-repo so at least one accuracy axis is real, not a proxy), and
+//! the 8-bit post-training-quantized datapath (Section V-A) whose MVMs are
+//! the unit of work the crossbar accelerator executes.
+//!
+//! The key abstraction for the co-design is [`MvmEngine`]: the quantized
+//! network delegates every integer matrix product to an engine, so the same
+//! network runs bit-identically on the reference integer engine
+//! ([`ExactMvm`]) and on the crossbar/ADC simulator in `trq-core` — the
+//! difference between the two *is* the A/D conversion error being studied.
+//!
+//! ```
+//! use trq_nn::{models, data};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = models::lenet5(42)?;
+//! let images = data::synthetic_digits(4, 7);
+//! let logits = net.forward(&images[0].image)?;
+//! assert_eq!(logits.len(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod fidelity;
+mod layer;
+mod network;
+mod quantized;
+mod train;
+
+pub mod data;
+pub mod models;
+
+pub use fidelity::{top1_accuracy, top1_agreement, EvalOutcome};
+pub use layer::{LayerKind, Node, Op};
+pub use network::{Network, NnError};
+pub use quantized::{ExactMvm, MvmEngine, MvmLayerInfo, QuantizedNetwork};
+pub use train::{sgd_train, TrainConfig, TrainReport};

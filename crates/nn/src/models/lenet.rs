@@ -1,0 +1,83 @@
+//! LeNet-5 for 28×28 single-channel inputs (the paper's MNIST workload).
+
+use super::{conv_weights, linear_weights};
+use crate::network::{Network, NnError};
+use crate::Op;
+use trq_tensor::init;
+use trq_tensor::ops::{Conv2dGeom, PoolGeom};
+
+/// Builds the classic LeNet-5 topology:
+/// `conv(1→6, 5×5) → relu → pool2 → conv(6→16, 5×5) → relu → pool2 →
+/// flatten → fc(256→120) → relu → fc(120→84) → relu → fc(84→10)`.
+///
+/// Weights are He-initialised from `seed`; train with
+/// [`crate::sgd_train`] to get a real classifier (the `lenet_mnist`
+/// example and the Fig. 6 harness do exactly that).
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (none for this fixed topology).
+pub fn lenet5(seed: u64) -> Result<Network, NnError> {
+    lenet5_untrained(seed)
+}
+
+/// Alias of [`lenet5`] making the untrained state explicit at call sites.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures.
+pub fn lenet5_untrained(seed: u64) -> Result<Network, NnError> {
+    let mut rng = init::rng(seed);
+    let mut net = Network::new("lenet5");
+
+    let g1 = Conv2dGeom::square(1, 6, 5, 1, 0);
+    let w1 = conv_weights(&g1, &mut rng)?;
+    let c1 = net.chain(Op::Conv2d { weights: w1, bias: Some(vec![0.0; 6]), geom: g1 }, 0, "conv1")?;
+    let r1 = net.chain(Op::Relu, c1, "conv1.relu")?;
+    let p1 = net.chain(Op::MaxPool(PoolGeom::square(2)), r1, "pool1")?;
+
+    let g2 = Conv2dGeom::square(6, 16, 5, 1, 0);
+    let w2 = conv_weights(&g2, &mut rng)?;
+    let c2 = net.chain(Op::Conv2d { weights: w2, bias: Some(vec![0.0; 16]), geom: g2 }, p1, "conv2")?;
+    let r2 = net.chain(Op::Relu, c2, "conv2.relu")?;
+    let p2 = net.chain(Op::MaxPool(PoolGeom::square(2)), r2, "pool2")?;
+
+    let f = net.chain(Op::Flatten, p2, "flatten")?;
+    let wf1 = linear_weights(120, 256, &mut rng)?;
+    let l1 = net.chain(Op::Linear { weights: wf1, bias: Some(vec![0.0; 120]) }, f, "fc1")?;
+    let lr1 = net.chain(Op::Relu, l1, "fc1.relu")?;
+    let wf2 = linear_weights(84, 120, &mut rng)?;
+    let l2 = net.chain(Op::Linear { weights: wf2, bias: Some(vec![0.0; 84]) }, lr1, "fc2")?;
+    let lr2 = net.chain(Op::Relu, l2, "fc2.relu")?;
+    let wf3 = linear_weights(10, 84, &mut rng)?;
+    net.chain(Op::Linear { weights: wf3, bias: Some(vec![0.0; 10]) }, lr2, "fc3")?;
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trq_tensor::Tensor;
+
+    #[test]
+    fn forward_shape() {
+        let net = lenet5(1).unwrap();
+        let x = Tensor::full(vec![1, 28, 28], 0.5).unwrap();
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[10]);
+    }
+
+    #[test]
+    fn has_five_mvm_layers() {
+        let net = lenet5(1).unwrap();
+        assert_eq!(net.mvm_layers().len(), 5);
+    }
+
+    #[test]
+    fn parameter_count_matches_lenet() {
+        let net = lenet5(1).unwrap();
+        // conv1 6*25+6, conv2 16*150+16, fc 120*256+120, 84*120+84, 10*84+10
+        let expect = 6 * 25 + 6 + 16 * 150 + 16 + 120 * 256 + 120 + 84 * 120 + 84 + 10 * 84 + 10;
+        assert_eq!(net.param_count(), expect);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's four evaluation workloads, built with seeded He-initialised
+//! weights (Section V-A uses pretrained checkpoints; see DESIGN.md for the
+//! substitution rationale — the BL statistics that drive the co-design come
+//! from topology and weight/activation statistics, which He initialisation
+//! plus class-structured synthetic data reproduce).
+
+mod lenet;
+mod resnet;
+mod squeezenet;
+
+pub use lenet::{lenet5, lenet5_untrained};
+pub use resnet::{resnet18, resnet20};
+pub use squeezenet::squeezenet1_1;
+
+use crate::network::{Network, NnError};
+use crate::Op;
+use rand::rngs::StdRng;
+use trq_tensor::ops::Conv2dGeom;
+use trq_tensor::{init, Tensor};
+
+/// Builds a He-initialised lowered conv weight matrix `[Co, kh*kw*Ci]`.
+pub(crate) fn conv_weights(geom: &Conv2dGeom, rng: &mut StdRng) -> Result<Tensor, NnError> {
+    let fan_in = geom.col_rows();
+    Ok(init::he(vec![geom.out_channels, fan_in], fan_in, rng)?)
+}
+
+/// Builds a He-initialised linear weight matrix `[out, in]`.
+pub(crate) fn linear_weights(out: usize, inp: usize, rng: &mut StdRng) -> Result<Tensor, NnError> {
+    Ok(init::he(vec![out, inp], inp, rng)?)
+}
+
+/// A tiny two-layer MLP used by trainer tests and the quickstart example.
+///
+/// # Errors
+///
+/// Propagates construction failures (none for valid sizes).
+pub fn mlp(input: usize, hidden: usize, classes: usize, seed: u64) -> Result<Network, NnError> {
+    let mut rng = init::rng(seed);
+    let mut net = Network::new("mlp");
+    let f = net.chain(Op::Flatten, 0, "flatten")?;
+    let w1 = linear_weights(hidden, input, &mut rng)?;
+    let l1 = net.chain(Op::Linear { weights: w1, bias: Some(vec![0.0; hidden]) }, f, "fc1")?;
+    let r = net.chain(Op::Relu, l1, "fc1.relu")?;
+    let w2 = linear_weights(classes, hidden, &mut rng)?;
+    net.chain(Op::Linear { weights: w2, bias: Some(vec![0.0; classes]) }, r, "fc2")?;
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_shapes() {
+        let net = mlp(16, 8, 3, 1).unwrap();
+        let x = Tensor::full(vec![1, 4, 4], 0.5).unwrap();
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[3]);
+        assert_eq!(net.mvm_layers().len(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let a = mlp(8, 4, 2, 9).unwrap();
+        let b = mlp(8, 4, 2, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! SqueezeNet 1.1 — the paper's parameter-efficient ImageNet workload.
+
+use super::conv_weights;
+use crate::network::{Network, NnError};
+use crate::Op;
+use rand::rngs::StdRng;
+use trq_tensor::init;
+use trq_tensor::ops::{Conv2dGeom, PoolGeom};
+
+fn conv_relu(
+    net: &mut Network,
+    from: usize,
+    geom: Conv2dGeom,
+    rng: &mut StdRng,
+    label: String,
+) -> Result<usize, NnError> {
+    let weights = conv_weights(&geom, rng)?;
+    let c = net.chain(Op::Conv2d { weights, bias: None, geom }, from, label.clone())?;
+    net.chain(Op::Relu, c, format!("{label}.relu"))
+}
+
+/// A Fire module: a 1×1 squeeze followed by parallel 1×1 and 3×3 expands
+/// whose outputs concatenate along channels.
+fn fire(
+    net: &mut Network,
+    from: usize,
+    in_c: usize,
+    squeeze: usize,
+    expand: usize,
+    rng: &mut StdRng,
+    label: &str,
+) -> Result<usize, NnError> {
+    let s = conv_relu(net, from, Conv2dGeom::square(in_c, squeeze, 1, 1, 0), rng, format!("{label}.squeeze"))?;
+    let e1 = conv_relu(net, s, Conv2dGeom::square(squeeze, expand, 1, 1, 0), rng, format!("{label}.expand1x1"))?;
+    let e3 = conv_relu(net, s, Conv2dGeom::square(squeeze, expand, 3, 1, 1), rng, format!("{label}.expand3x3"))?;
+    net.push(Op::ConcatChannels, vec![e1, e3], format!("{label}.concat"))
+}
+
+/// SqueezeNet 1.1 scaled to `input_hw`×`input_hw` RGB inputs with
+/// `classes` outputs. Fire widths follow the original v1.1 configuration;
+/// the default reproduction runs at 56×56/100 (see `resnet18` docs for the
+/// resolution note).
+///
+/// # Errors
+///
+/// Returns an error when `input_hw < 24` (the three stride/pool stages need
+/// the room).
+pub fn squeezenet1_1(seed: u64, input_hw: usize, classes: usize) -> Result<Network, NnError> {
+    if input_hw < 24 {
+        return Err(NnError::BadGraph { reason: format!("input {input_hw} too small for squeezenet1.1") });
+    }
+    let mut rng = init::rng(seed);
+    let mut net = Network::new("squeezenet1_1");
+    // stem: conv3x3 s2, 64ch (v1.1), pool
+    let stem = conv_relu(&mut net, 0, Conv2dGeom::square(3, 64, 3, 2, 1), &mut rng, "stem".into())?;
+    let p1 = net.chain(Op::MaxPool(PoolGeom { k: 2, stride: 2 }), stem, "pool1")?;
+    let f2 = fire(&mut net, p1, 64, 16, 64, &mut rng, "fire2")?;
+    let f3 = fire(&mut net, f2, 128, 16, 64, &mut rng, "fire3")?;
+    let p2 = net.chain(Op::MaxPool(PoolGeom { k: 2, stride: 2 }), f3, "pool2")?;
+    let f4 = fire(&mut net, p2, 128, 32, 128, &mut rng, "fire4")?;
+    let f5 = fire(&mut net, f4, 256, 32, 128, &mut rng, "fire5")?;
+    let p3 = net.chain(Op::MaxPool(PoolGeom { k: 2, stride: 2 }), f5, "pool3")?;
+    let f6 = fire(&mut net, p3, 256, 48, 192, &mut rng, "fire6")?;
+    let f7 = fire(&mut net, f6, 384, 48, 192, &mut rng, "fire7")?;
+    let f8 = fire(&mut net, f7, 384, 64, 256, &mut rng, "fire8")?;
+    let f9 = fire(&mut net, f8, 512, 64, 256, &mut rng, "fire9")?;
+    // classifier: conv1x1 to classes, GAP
+    let cls = conv_relu(&mut net, f9, Conv2dGeom::square(512, classes, 1, 1, 0), &mut rng, "conv10".into())?;
+    net.chain(Op::GlobalAvgPool, cls, "gap")?;
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trq_tensor::Tensor;
+
+    #[test]
+    fn forward_shape() {
+        let net = squeezenet1_1(7, 48, 100).unwrap();
+        let x = Tensor::full(vec![3, 48, 48], 0.1).unwrap();
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[100]);
+    }
+
+    #[test]
+    fn fire_modules_concatenate() {
+        // 8 fires × 3 convs + stem + conv10 = 26 MVM layers
+        let net = squeezenet1_1(7, 48, 10).unwrap();
+        assert_eq!(net.mvm_layers().len(), 26);
+    }
+
+    #[test]
+    fn rejects_tiny_input() {
+        assert!(squeezenet1_1(7, 16, 10).is_err());
+    }
+
+    #[test]
+    fn parameter_count_is_squeezenet_small() {
+        // SqueezeNet's selling point: ~1.2M params at 1000 classes. At 100
+        // classes it must stay well under ResNet-18 scale.
+        let net = squeezenet1_1(7, 48, 100).unwrap();
+        assert!(net.param_count() < 1_000_000, "{} params", net.param_count());
+        assert!(net.param_count() > 500_000, "{} params", net.param_count());
+    }
+}

@@ -1,0 +1,331 @@
+//! The network graph and its floating-point forward pass.
+
+use crate::layer::{LayerKind, Node, Op};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use trq_tensor::{ops, Tensor, TensorError};
+
+/// Errors from network construction or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A node referenced an input that does not precede it.
+    BadGraph {
+        /// Explanation of the structural violation.
+        reason: String,
+    },
+    /// A tensor operation failed during the forward pass.
+    Tensor(TensorError),
+    /// An operation received the wrong number of inputs.
+    Arity {
+        /// Node label.
+        label: String,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::BadGraph { reason } => write!(f, "bad graph: {reason}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Arity { label, expected, actual } => {
+                write!(f, "node {label}: expected {expected} inputs, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// A feed-forward network as a topologically ordered DAG of [`Node`]s.
+/// Node 0 is always the input; the last node is the output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    nodes: Vec<Node>,
+    name: String,
+}
+
+impl Network {
+    /// Starts a network with the given name; node 0 is the input.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            nodes: vec![Node { op: Op::Input, inputs: vec![], label: "input".into() }],
+            name: name.into(),
+        }
+    }
+
+    /// The model name (e.g. `"resnet20"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a node and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadGraph`] if any input index is not an earlier
+    /// node, or [`NnError::Arity`] if the input count is wrong for the op.
+    pub fn push(&mut self, op: Op, inputs: Vec<usize>, label: impl Into<String>) -> Result<usize, NnError> {
+        let label = label.into();
+        let idx = self.nodes.len();
+        for &i in &inputs {
+            if i >= idx {
+                return Err(NnError::BadGraph {
+                    reason: format!("node {label} references future node {i}"),
+                });
+            }
+        }
+        let expected = match op {
+            Op::Input => 0,
+            Op::Add | Op::ConcatChannels => 2,
+            _ => 1,
+        };
+        if inputs.len() != expected {
+            return Err(NnError::Arity { label, expected, actual: inputs.len() });
+        }
+        self.nodes.push(Node { op, inputs, label });
+        Ok(idx)
+    }
+
+    /// Convenience: appends a single-input node consuming `from`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Network::push`].
+    pub fn chain(&mut self, op: Op, from: usize, label: impl Into<String>) -> Result<usize, NnError> {
+        self.push(op, vec![from], label)
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable access to a node's operation — used by the trainer to apply
+    /// weight updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn node_op_mut(&mut self, idx: usize) -> &mut Op {
+        &mut self.nodes[idx].op
+    }
+
+    /// Indices of MVM-bearing nodes (conv / linear), in order — these are
+    /// the "layers" Algorithm 1 calibrates.
+    pub fn mvm_layers(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.op.kind() == LayerKind::Mvm)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                Op::Conv2d { weights, bias, .. } | Op::Linear { weights, bias } => {
+                    weights.len() + bias.as_ref().map_or(0, |b| b.len())
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Serialises the network (topology + weights) to JSON — the
+    /// checkpoint format for in-repo trained models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadGraph`] if serialisation fails (it cannot for
+    /// well-formed networks; the variant carries the serialiser message).
+    pub fn to_json(&self) -> Result<String, NnError> {
+        serde_json::to_string(self)
+            .map_err(|e| NnError::BadGraph { reason: format!("serialise: {e}") })
+    }
+
+    /// Restores a network from [`Network::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadGraph`] for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, NnError> {
+        serde_json::from_str(json)
+            .map_err(|e| NnError::BadGraph { reason: format!("deserialise: {e}") })
+    }
+
+    /// Runs the float forward pass, returning only the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/shape failures.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        Ok(self.forward_trace(input)?.pop().expect("non-empty graph"))
+    }
+
+    /// Runs the float forward pass and returns every node's output (used
+    /// for calibration captures and for the trainer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/shape failures.
+    pub fn forward_trace(&self, input: &Tensor) -> Result<Vec<Tensor>, NnError> {
+        let mut outs: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let value = match &node.op {
+                Op::Input => input.clone(),
+                Op::Conv2d { weights, bias, geom } => {
+                    ops::conv2d(&outs[node.inputs[0]], weights, bias.as_deref(), geom)?
+                }
+                Op::Linear { weights, bias } => {
+                    let x = &outs[node.inputs[0]];
+                    let y = ops::matvec(weights, x.data()).map_err(NnError::Tensor)?;
+                    let mut y = Tensor::from_vec(vec![y.len()], y)?;
+                    if let Some(b) = bias {
+                        for (v, &bv) in y.data_mut().iter_mut().zip(b.iter()) {
+                            *v += bv;
+                        }
+                    }
+                    y
+                }
+                Op::Relu => ops::relu(&outs[node.inputs[0]]),
+                Op::MaxPool(geom) => ops::max_pool2d(&outs[node.inputs[0]], geom)?,
+                Op::AvgPool(geom) => ops::avg_pool2d(&outs[node.inputs[0]], geom)?,
+                Op::GlobalAvgPool => ops::global_avg_pool(&outs[node.inputs[0]])?,
+                Op::Flatten => {
+                    let x = &outs[node.inputs[0]];
+                    x.reshape(vec![x.len()])?
+                }
+                Op::Add => outs[node.inputs[0]].add(&outs[node.inputs[1]])?,
+                Op::ConcatChannels => concat_channels(&outs[node.inputs[0]], &outs[node.inputs[1]])?,
+            };
+            outs.push(value);
+        }
+        Ok(outs)
+    }
+}
+
+fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor, NnError> {
+    let (da, db) = (a.shape().dims(), b.shape().dims());
+    if da.len() != 3 || db.len() != 3 || da[1..] != db[1..] {
+        return Err(NnError::Tensor(TensorError::ShapeMismatch {
+            op: "concat_channels",
+            lhs: da.to_vec(),
+            rhs: db.to_vec(),
+        }));
+    }
+    let mut data = Vec::with_capacity(a.len() + b.len());
+    data.extend_from_slice(a.data());
+    data.extend_from_slice(b.data());
+    Ok(Tensor::from_vec(vec![da[0] + db[0], da[1], da[2]], data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trq_tensor::ops::Conv2dGeom;
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new("tiny");
+        let geom = Conv2dGeom::square(1, 2, 3, 1, 1);
+        let w = Tensor::full(vec![2, 9], 0.1).unwrap();
+        let c = net.chain(Op::Conv2d { weights: w, bias: Some(vec![0.0, 1.0]), geom }, 0, "conv").unwrap();
+        let r = net.chain(Op::Relu, c, "relu").unwrap();
+        let g = net.chain(Op::GlobalAvgPool, r, "gap").unwrap();
+        let w2 = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        net.chain(Op::Linear { weights: w2, bias: None }, g, "fc").unwrap();
+        net
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let net = tiny_net();
+        let x = Tensor::full(vec![1, 4, 4], 1.0).unwrap();
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2]);
+        assert!(y.data()[1] > y.data()[0], "bias channel should win: {:?}", y.data());
+    }
+
+    #[test]
+    fn trace_has_one_output_per_node() {
+        let net = tiny_net();
+        let x = Tensor::full(vec![1, 4, 4], 1.0).unwrap();
+        let trace = net.forward_trace(&x).unwrap();
+        assert_eq!(trace.len(), net.nodes().len());
+    }
+
+    #[test]
+    fn mvm_layer_listing() {
+        let net = tiny_net();
+        let mvms = net.mvm_layers();
+        assert_eq!(mvms.len(), 2);
+        assert_eq!(net.nodes()[mvms[0]].label, "conv");
+        assert_eq!(net.nodes()[mvms[1]].label, "fc");
+    }
+
+    #[test]
+    fn param_count() {
+        let net = tiny_net();
+        assert_eq!(net.param_count(), 2 * 9 + 2 + 4);
+    }
+
+    #[test]
+    fn graph_validation() {
+        let mut net = Network::new("bad");
+        assert!(net.push(Op::Relu, vec![5], "dangling").is_err());
+        assert!(net.push(Op::Add, vec![0], "unary-add").is_err());
+    }
+
+    #[test]
+    fn residual_add_and_concat() {
+        let mut net = Network::new("res");
+        let r = net.chain(Op::Relu, 0, "relu").unwrap();
+        let a = net.push(Op::Add, vec![0, r], "add").unwrap();
+        net.push(Op::ConcatChannels, vec![a, a], "cat").unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2], vec![-1.0, 2.0]).unwrap();
+        let y = net.forward(&x).unwrap();
+        // add: [-1, 4]; concat over channels duplicates
+        assert_eq!(y.shape().dims(), &[2, 1, 2]);
+        assert_eq!(y.data(), &[-1.0, 4.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn json_checkpoint_roundtrips_with_identical_outputs() {
+        let net = tiny_net();
+        let json = net.to_json().unwrap();
+        let back = Network::from_json(&json).unwrap();
+        assert_eq!(net, back);
+        let x = Tensor::full(vec![1, 4, 4], 0.7).unwrap();
+        assert_eq!(net.forward(&x).unwrap(), back.forward(&x).unwrap());
+        assert!(Network::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn concat_shape_mismatch_rejected() {
+        let mut net = Network::new("cat");
+        let f = net.chain(Op::Flatten, 0, "flat").unwrap();
+        net.push(Op::ConcatChannels, vec![0, f], "cat").unwrap();
+        let x = Tensor::full(vec![1, 2, 2], 1.0).unwrap();
+        assert!(net.forward(&x).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! The 8-bit post-training-quantized inference datapath (Section V-A).
+//!
+//! Weights get per-layer symmetric signed 8-bit scales; activations get
+//! per-layer unsigned 8-bit scales from calibration maxima (activations
+//! feeding MVMs are non-negative in the ReLU networks under study — the
+//! same property that makes the BL domain unsigned). Every integer matrix
+//! product is delegated to an [`MvmEngine`]:
+//!
+//! - [`ExactMvm`] computes the exact integer product — the "ADC with ideal
+//!   resolution" reference;
+//! - the crossbar engine in `trq-core` computes the same product through
+//!   bit-sliced crossbars and (TRQ or uniform) ADCs — its deviation from
+//!   `ExactMvm` *is* the A/D conversion error the paper studies.
+
+use crate::layer::Op;
+use crate::network::{Network, NnError};
+use serde::{Deserialize, Serialize};
+use trq_quant::SymmetricQuant;
+use trq_tensor::ops::{self, Conv2dGeom};
+use trq_tensor::Tensor;
+
+/// Identity and geometry of one MVM layer, passed to engines so they can
+/// look up per-layer configuration (Algorithm 1 calibrates per layer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MvmLayerInfo {
+    /// Node index in the source network.
+    pub node: usize,
+    /// Position among MVM layers (0-based) — the paper's layer index `l`.
+    pub mvm_index: usize,
+    /// Human-readable label.
+    pub label: String,
+    /// MVM depth (`kh*kw*Ci` or `in_features`).
+    pub depth: usize,
+    /// Output channels / features.
+    pub outputs: usize,
+}
+
+/// An engine that computes integer MVMs for quantized layers.
+///
+/// `weights_q` is `[outputs × depth]` row-major signed codes; `cols` is
+/// `[depth × n]` row-major unsigned activation codes. The result must be
+/// `[outputs × n]` row-major accumulator values in code·code units
+/// (fractional values are allowed: ADC-quantized reconstructions land on
+/// `Vgrid` multiples).
+pub trait MvmEngine {
+    /// Computes `weights_q · cols`.
+    fn mvm(&mut self, info: &MvmLayerInfo, weights_q: &[i32], cols: &[u8], n: usize) -> Vec<f64>;
+}
+
+/// The exact integer engine — lossless reference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMvm;
+
+impl MvmEngine for ExactMvm {
+    fn mvm(&mut self, info: &MvmLayerInfo, weights_q: &[i32], cols: &[u8], n: usize) -> Vec<f64> {
+        let (depth, outputs) = (info.depth, info.outputs);
+        debug_assert_eq!(weights_q.len(), depth * outputs);
+        debug_assert_eq!(cols.len(), depth * n);
+        let mut out = vec![0i64; outputs * n];
+        for o in 0..outputs {
+            let wrow = &weights_q[o * depth..(o + 1) * depth];
+            for (d, &w) in wrow.iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                let crow = &cols[d * n..(d + 1) * n];
+                let orow = &mut out[o * n..(o + 1) * n];
+                for (acc, &c) in orow.iter_mut().zip(crow.iter()) {
+                    *acc += w as i64 * c as i64;
+                }
+            }
+        }
+        out.into_iter().map(|v| v as f64).collect()
+    }
+}
+
+/// One quantized MVM layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QLayer {
+    /// Layer identity/geometry.
+    pub info: MvmLayerInfo,
+    /// Signed weight codes, `[outputs × depth]`.
+    pub weights_q: Vec<i32>,
+    /// Weight scale (`Δ_w`).
+    pub scale_w: f32,
+    /// Input-activation scale (`Δ_x`), from calibration maxima.
+    pub scale_x: f32,
+    /// Float bias applied after dequantization.
+    pub bias: Option<Vec<f32>>,
+    /// Convolution geometry; `None` for linear layers.
+    pub geom: Option<Conv2dGeom>,
+}
+
+/// A post-training-quantized network: original graph structure with every
+/// MVM layer replaced by an 8-bit integer product running on a pluggable
+/// [`MvmEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedNetwork {
+    net: Network,
+    layers: Vec<QLayer>,
+    /// Maps node index → MVM layer index.
+    node_to_layer: Vec<Option<usize>>,
+    act_qmax: u32,
+}
+
+impl QuantizedNetwork {
+    /// Quantizes `net` with 8-bit weights and activations, calibrating
+    /// activation scales on `calibration` images (the paper uses 32).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass failures on the calibration set; returns
+    /// [`NnError::BadGraph`] when the calibration set is empty.
+    pub fn quantize(net: &Network, calibration: &[Tensor]) -> Result<Self, NnError> {
+        if calibration.is_empty() {
+            return Err(NnError::BadGraph { reason: "empty calibration set".into() });
+        }
+        let nodes = net.nodes();
+        // per-node max input activation over the calibration set
+        let mut act_max = vec![0.0f32; nodes.len()];
+        for image in calibration {
+            let trace = net.forward_trace(image)?;
+            for (i, node) in nodes.iter().enumerate() {
+                if matches!(node.op, Op::Conv2d { .. } | Op::Linear { .. }) {
+                    let input = &trace[node.inputs[0]];
+                    act_max[i] = act_max[i].max(input.max_abs());
+                }
+            }
+        }
+        let mut layers = Vec::new();
+        let mut node_to_layer = vec![None; nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            let (weights, bias, geom) = match &node.op {
+                Op::Conv2d { weights, bias, geom } => (weights, bias.clone(), Some(*geom)),
+                Op::Linear { weights, bias } => (weights, bias.clone(), None),
+                _ => continue,
+            };
+            let wq = SymmetricQuant::from_max_abs(weights.max_abs(), 8)
+                .expect("8 is a valid bit width");
+            let weights_q: Vec<i32> = weights.data().iter().map(|&w| wq.quantize(w)).collect();
+            let dims = weights.shape().dims();
+            let (outputs, depth) = (dims[0], dims[1]);
+            let scale_x = if act_max[i] <= 0.0 { 1.0 } else { act_max[i] / 255.0 };
+            node_to_layer[i] = Some(layers.len());
+            layers.push(QLayer {
+                info: MvmLayerInfo {
+                    node: i,
+                    mvm_index: layers.len(),
+                    label: node.label.clone(),
+                    depth,
+                    outputs,
+                },
+                weights_q,
+                scale_w: wq.scale(),
+                scale_x,
+                bias,
+                geom,
+            });
+        }
+        Ok(QuantizedNetwork { net: net.clone(), layers, node_to_layer, act_qmax: 255 })
+    }
+
+    /// The quantized MVM layers, in calibration order.
+    pub fn layers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// The underlying float network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Runs quantized inference with the given engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/shape failures.
+    pub fn forward(&self, input: &Tensor, engine: &mut dyn MvmEngine) -> Result<Tensor, NnError> {
+        let nodes = self.net.nodes();
+        let mut outs: Vec<Tensor> = Vec::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            let value = match &node.op {
+                Op::Input => input.clone(),
+                Op::Conv2d { .. } | Op::Linear { .. } => {
+                    let layer = &self.layers[self.node_to_layer[i].expect("mvm node mapped")];
+                    let x = &outs[node.inputs[0]];
+                    self.run_mvm(layer, x, engine)?
+                }
+                Op::Relu => ops::relu(&outs[node.inputs[0]]),
+                Op::MaxPool(geom) => ops::max_pool2d(&outs[node.inputs[0]], geom)?,
+                Op::AvgPool(geom) => ops::avg_pool2d(&outs[node.inputs[0]], geom)?,
+                Op::GlobalAvgPool => ops::global_avg_pool(&outs[node.inputs[0]])?,
+                Op::Flatten => {
+                    let x = &outs[node.inputs[0]];
+                    x.reshape(vec![x.len()])?
+                }
+                Op::Add => outs[node.inputs[0]].add(&outs[node.inputs[1]])?,
+                Op::ConcatChannels => {
+                    let (a, b) = (&outs[node.inputs[0]], &outs[node.inputs[1]]);
+                    let (da, db) = (a.shape().dims().to_vec(), b.shape().dims().to_vec());
+                    let mut data = Vec::with_capacity(a.len() + b.len());
+                    data.extend_from_slice(a.data());
+                    data.extend_from_slice(b.data());
+                    Tensor::from_vec(vec![da[0] + db[0], da[1], da[2]], data)?
+                }
+            };
+            outs.push(value);
+        }
+        Ok(outs.pop().expect("non-empty graph"))
+    }
+
+    fn run_mvm(
+        &self,
+        layer: &QLayer,
+        x: &Tensor,
+        engine: &mut dyn MvmEngine,
+    ) -> Result<Tensor, NnError> {
+        // quantize activations to unsigned codes (values are non-negative
+        // in the ReLU networks under study; stray negatives clamp to 0)
+        let qmax = self.act_qmax as f32;
+        let codes = x.map(|v| (v / layer.scale_x).round().clamp(0.0, qmax));
+        let (cols_u8, n, out_dims) = match layer.geom {
+            Some(geom) => {
+                let cols = ops::im2col(&codes, &geom)?;
+                let d = x.shape().dims();
+                let (oh, ow) = geom.out_hw(d[1], d[2])?;
+                let n = oh * ow;
+                let cols_u8: Vec<u8> = cols.data().iter().map(|&v| v as u8).collect();
+                (cols_u8, n, vec![layer.info.outputs, oh, ow])
+            }
+            None => {
+                let cols_u8: Vec<u8> = codes.data().iter().map(|&v| v as u8).collect();
+                (cols_u8, 1, vec![layer.info.outputs])
+            }
+        };
+        let acc = engine.mvm(&layer.info, &layer.weights_q, &cols_u8, n);
+        debug_assert_eq!(acc.len(), layer.info.outputs * n);
+        let scale = layer.scale_w * layer.scale_x;
+        let mut data: Vec<f32> = acc.iter().map(|&v| v as f32 * scale).collect();
+        if let Some(bias) = &layer.bias {
+            for (o, &b) in bias.iter().enumerate() {
+                for v in &mut data[o * n..(o + 1) * n] {
+                    *v += b;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out_dims, data)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::data;
+
+    #[test]
+    fn exact_engine_matches_manual_product() {
+        let info = MvmLayerInfo { node: 0, mvm_index: 0, label: "t".into(), depth: 3, outputs: 2 };
+        let w = vec![1, -2, 3, 0, 5, -1]; // [[1,-2,3],[0,5,-1]]
+        let cols = vec![1u8, 2, 3, 4, 5, 6]; // [[1,2],[3,4],[5,6]]
+        let mut e = ExactMvm;
+        let y = e.mvm(&info, &w, &cols, 2);
+        assert_eq!(y, vec![10.0, 12.0, 10.0, 14.0]);
+    }
+
+    #[test]
+    fn quantized_mlp_tracks_float_model() {
+        let net = models::mlp(28 * 28, 16, 10, 11).unwrap();
+        let ds = data::synthetic_digits(24, 3);
+        let cal: Vec<Tensor> = ds.iter().take(8).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
+        let mut engine = ExactMvm;
+        let mut agree = 0;
+        for s in &ds {
+            let yf = net.forward(&s.image).unwrap();
+            let yq = qnet.forward(&s.image, &mut engine).unwrap();
+            assert_eq!(yf.shape().dims(), yq.shape().dims());
+            if yf.argmax() == yq.argmax() {
+                agree += 1;
+            }
+            // logits should be close in magnitude too
+            let err: f32 = yf
+                .data()
+                .iter()
+                .zip(yq.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max);
+            assert!(err < 0.25 * yf.max_abs().max(1.0), "max logit err {err}");
+        }
+        assert!(agree >= 22, "8-bit PTQ should rarely flip the argmax: {agree}/24");
+    }
+
+    #[test]
+    fn quantized_lenet_runs_end_to_end() {
+        let net = models::lenet5(2).unwrap();
+        let ds = data::synthetic_digits(4, 5);
+        let cal: Vec<Tensor> = ds.iter().map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
+        assert_eq!(qnet.layers().len(), 5);
+        let y = qnet.forward(&ds[0].image, &mut ExactMvm).unwrap();
+        assert_eq!(y.shape().dims(), &[10]);
+    }
+
+    #[test]
+    fn empty_calibration_rejected() {
+        let net = models::mlp(4, 2, 2, 1).unwrap();
+        assert!(QuantizedNetwork::quantize(&net, &[]).is_err());
+    }
+
+    #[test]
+    fn layer_infos_enumerate_mvms() {
+        let net = models::lenet5(2).unwrap();
+        let cal = vec![data::synthetic_digits(1, 1)[0].image.clone()];
+        let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
+        let labels: Vec<&str> = qnet.layers().iter().map(|l| l.info.label.as_str()).collect();
+        assert_eq!(labels, vec!["conv1", "conv2", "fc1", "fc2", "fc3"]);
+        assert_eq!(qnet.layers()[1].info.depth, 150);
+        assert_eq!(qnet.layers()[1].info.outputs, 16);
+    }
+}

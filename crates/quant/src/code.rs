@@ -1,0 +1,133 @@
+//! The compact ADC output code of Fig. 4b.
+//!
+//! Layout (MSB first): one range flag — `0` for R1, `1` for R2 — followed by
+//! `max(NR1, NR2)` payload bits of unsigned uniform code. Decoding is pure
+//! shift/concatenate arithmetic, which is exactly why the paper's hardware
+//! needs neither a codebook nor DAC changes (Section III-C).
+
+use crate::trq::{Range, TrqParams};
+use serde::{Deserialize, Serialize};
+
+/// A compact twin-range output code: range flag plus unsigned payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrqCode {
+    range: Range,
+    payload: u16,
+}
+
+impl TrqCode {
+    /// An R1 ("early bird") code.
+    pub fn r1(payload: u16) -> Self {
+        TrqCode { range: Range::R1, payload }
+    }
+
+    /// An R2 ("early stopping") code.
+    pub fn r2(payload: u16) -> Self {
+        TrqCode { range: Range::R2, payload }
+    }
+
+    /// The range flag.
+    pub fn range(&self) -> Range {
+        self.range
+    }
+
+    /// The unsigned payload.
+    pub fn payload(&self) -> u16 {
+        self.payload
+    }
+
+    /// Packs the code into the wire format of Fig. 4b: the range flag at bit
+    /// position `max(NR1, NR2)`, payload in the low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload does not fit in this parameter set's payload
+    /// width (a code from a different configuration was mixed in).
+    pub fn to_bits(&self, params: &TrqParams) -> u32 {
+        let width = params.n_r1().max(params.n_r2());
+        assert!(
+            (self.payload as u32) < (1u32 << width),
+            "payload {} wider than {width} bits",
+            self.payload
+        );
+        let flag = match self.range {
+            Range::R1 => 0u32,
+            Range::R2 => 1u32,
+        };
+        (flag << width) | self.payload as u32
+    }
+
+    /// Unpacks a wire-format code.
+    pub fn from_bits(bits: u32, params: &TrqParams) -> Self {
+        let width = params.n_r1().max(params.n_r2());
+        let payload = (bits & ((1u32 << width) - 1)) as u16;
+        if (bits >> width) & 1 == 1 {
+            TrqCode::r2(payload)
+        } else {
+            TrqCode::r1(payload)
+        }
+    }
+
+    /// Decodes to an integer in `ΔR1` LSB units — the operation the
+    /// modified shift-and-add module performs (Section III-D-2b):
+    /// R2 codes are shifted left by `M`; R1 codes get the window `bias`
+    /// concatenated on the left.
+    pub fn decode_lsb(&self, params: &TrqParams) -> u32 {
+        match self.range {
+            Range::R1 => (params.bias() << params.n_r1()) + self.payload as u32,
+            Range::R2 => (self.payload as u32) << params.m(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> TrqParams {
+        TrqParams::new(3, 5, 2, 1.0, 0).unwrap()
+    }
+
+    #[test]
+    fn bit_layout_matches_fig4b() {
+        let p = params(); // payload width = max(3,5) = 5, flag at bit 5
+        assert_eq!(TrqCode::r1(0b101).to_bits(&p), 0b0_00101);
+        assert_eq!(TrqCode::r2(0b11111).to_bits(&p), 0b1_11111);
+    }
+
+    #[test]
+    fn decode_r2_is_left_shift_by_m() {
+        let p = params(); // M = 2
+        assert_eq!(TrqCode::r2(5).decode_lsb(&p), 20);
+        assert_eq!(TrqCode::r2(0).decode_lsb(&p), 0);
+    }
+
+    #[test]
+    fn decode_r1_concatenates_bias() {
+        let p = TrqParams::new(3, 3, 2, 1.0, 3).unwrap();
+        // (bias << NR1) + payload = (3 << 3) + 5 = 29
+        assert_eq!(TrqCode::r1(5).decode_lsb(&p), 29);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn oversized_payload_rejected() {
+        let p = params();
+        let _ = TrqCode::r1(0b100000).to_bits(&p);
+    }
+
+    proptest! {
+        #[test]
+        fn bits_roundtrip(n_r1 in 1u32..8, n_r2 in 1u32..8, payload in 0u16..256, r2 in proptest::bool::ANY) {
+            let p = TrqParams::new(n_r1, n_r2, 2, 1.0, 0).unwrap();
+            let width = n_r1.max(n_r2);
+            let payload = payload & ((1u16 << width) - 1);
+            let code = if r2 { TrqCode::r2(payload) } else { TrqCode::r1(payload) };
+            let bits = code.to_bits(&p);
+            prop_assert_eq!(TrqCode::from_bits(bits, &p), code);
+            // total wire width is 1 + max(NR1, NR2) bits
+            prop_assert!(bits < (1u32 << (width + 1)));
+        }
+    }
+}

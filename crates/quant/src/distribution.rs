@@ -1,0 +1,170 @@
+//! Distribution-type classification (Section IV-B of the paper).
+//!
+//! Algorithm 1 first "judges the distribution type" of each layer's BL
+//! output and then picks a search strategy:
+//!
+//! - **ideal** (highly right-skewed, mass piled near zero — Fig. 3a): run
+//!   the biased R1 search at the bottom of the range (`bias = 0`,
+//!   lossless early birds, Eq. 11);
+//! - **normal-like** (strong unimodality, low variance, mode away from
+//!   zero): same, but slide the R1 window onto the mode via `bias`;
+//! - **other** (weak unimodal / multi-modal / flat): no sweet spot — use
+//!   `NR1 = NR2` and early-stop in both ranges.
+
+use crate::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// The three distribution regimes Algorithm 1 distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistributionClass {
+    /// Highly skewed toward zero: the paper's "ideal case".
+    IdealSkewed,
+    /// Strong unimodality away from zero with low variance: the paper's
+    /// "case N" (normal-like), handled with a non-zero `bias`.
+    NormalLike,
+    /// Everything else: weak unimodal, multi-modal, or flat.
+    Other,
+}
+
+/// Tunable thresholds for [`DistributionClass::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Minimum skewness to call a layer "ideal" skewed.
+    pub min_skew_ideal: f64,
+    /// Additionally require this much probability mass in the bottom
+    /// `bottom_fraction` of the value range.
+    pub bottom_mass: f64,
+    /// The "bottom of the range" used for the mass test, as a fraction of
+    /// `[min, max]`.
+    pub bottom_fraction: f64,
+    /// Maximum |skewness| for the normal-like case.
+    pub max_skew_normal: f64,
+    /// Maximum `std / range` for the normal-like (low variance) case.
+    pub max_rel_std_normal: f64,
+    /// Peak prominence threshold for the unimodality test.
+    pub peak_prominence: f64,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            min_skew_ideal: 1.0,
+            bottom_mass: 0.6,
+            bottom_fraction: 0.25,
+            max_skew_normal: 0.75,
+            max_rel_std_normal: 0.18,
+            peak_prominence: 0.25,
+        }
+    }
+}
+
+impl DistributionClass {
+    /// Classifies a layer's BL-output histogram.
+    ///
+    /// ```
+    /// use trq_quant::{DistributionClass, Histogram, ClassifierConfig};
+    /// // mass piled near zero with a long tail → ideal skewed
+    /// let samples: Vec<f64> = (0..1000)
+    ///     .map(|i| if i % 10 == 0 { 50.0 + (i / 10) as f64 } else { (i % 7) as f64 })
+    ///     .collect();
+    /// let h = Histogram::from_samples(&samples, 64).unwrap();
+    /// let class = DistributionClass::classify(&h, &ClassifierConfig::default());
+    /// assert_eq!(class, DistributionClass::IdealSkewed);
+    /// ```
+    pub fn classify(hist: &Histogram, cfg: &ClassifierConfig) -> DistributionClass {
+        if hist.count() == 0 {
+            return DistributionClass::Other;
+        }
+        let range = (hist.sample_max() - hist.sample_min()).max(f64::MIN_POSITIVE);
+        let skew = hist.skewness();
+        let bottom_edge = hist.sample_min() + cfg.bottom_fraction * range;
+        let bottom = hist.cdf(bottom_edge);
+        if skew >= cfg.min_skew_ideal && bottom >= cfg.bottom_mass {
+            return DistributionClass::IdealSkewed;
+        }
+        let peaks = hist.peak_bins(cfg.peak_prominence);
+        let rel_std = hist.std() / range;
+        if peaks.len() == 1 && skew.abs() <= cfg.max_skew_normal && rel_std <= cfg.max_rel_std_normal {
+            return DistributionClass::NormalLike;
+        }
+        DistributionClass::Other
+    }
+
+    /// True for the two cases that have a "sweet spot" R1 window (ideal or
+    /// normal-like), i.e. where Algorithm 1 searches `NR1` independently.
+    pub fn has_sweet_spot(&self) -> bool {
+        matches!(self, DistributionClass::IdealSkewed | DistributionClass::NormalLike)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(samples: &[f64]) -> DistributionClass {
+        let h = Histogram::from_samples(samples, 64).unwrap();
+        DistributionClass::classify(&h, &ClassifierConfig::default())
+    }
+
+    #[test]
+    fn exponential_like_is_ideal() {
+        // geometric decay: most samples tiny, few large
+        let mut samples = Vec::new();
+        for i in 0..4000u32 {
+            let u = (i as f64 + 0.5) / 4000.0;
+            samples.push(-8.0 * (1.0 - u).ln()); // exp(λ=1/8) via inverse CDF
+        }
+        assert_eq!(classify(&samples), DistributionClass::IdealSkewed);
+    }
+
+    #[test]
+    fn tight_gaussian_away_from_zero_is_normal_like() {
+        let mut samples = Vec::new();
+        for i in 0..4000u32 {
+            // Irwin–Hall(12) approximates a Gaussian; center 60, std ~2
+            let mut s = 0.0;
+            let mut state = i as u64 * 2654435761 + 1;
+            for _ in 0..12 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            samples.push(60.0 + (s - 6.0) * 2.0);
+        }
+        // widen support so rel_std is small: add range anchors
+        samples.push(0.0);
+        samples.push(120.0);
+        assert_eq!(classify(&samples), DistributionClass::NormalLike);
+    }
+
+    #[test]
+    fn uniform_flat_is_other() {
+        let samples: Vec<f64> = (0..4000).map(|i| i as f64 / 40.0).collect();
+        assert_eq!(classify(&samples), DistributionClass::Other);
+    }
+
+    #[test]
+    fn bimodal_is_other() {
+        let mut samples = Vec::new();
+        for i in 0..2000 {
+            let t = (i % 50) as f64 / 50.0;
+            samples.push(if i % 2 == 0 { 10.0 + t } else { 90.0 + t });
+        }
+        assert_eq!(classify(&samples), DistributionClass::Other);
+    }
+
+    #[test]
+    fn sweet_spot_flags() {
+        assert!(DistributionClass::IdealSkewed.has_sweet_spot());
+        assert!(DistributionClass::NormalLike.has_sweet_spot());
+        assert!(!DistributionClass::Other.has_sweet_spot());
+    }
+
+    #[test]
+    fn empty_histogram_is_other() {
+        let h = Histogram::new(0.0, 1.0, 8).unwrap();
+        assert_eq!(
+            DistributionClass::classify(&h, &ClassifierConfig::default()),
+            DistributionClass::Other
+        );
+    }
+}

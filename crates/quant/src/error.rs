@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing quantizer configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A bit-width of zero or above the supported maximum (16) was given.
+    BadBits {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Provided value.
+        value: u32,
+    },
+    /// A step size (`Δ`) was zero, negative, or non-finite.
+    BadStep {
+        /// Provided step value.
+        value: f64,
+    },
+    /// The `bias` window index exceeds what the code space can address.
+    BadBias {
+        /// Provided bias.
+        bias: u32,
+        /// Exclusive upper bound.
+        limit: u32,
+    },
+    /// A histogram was requested with no bins or an empty value range.
+    BadHistogram {
+        /// Explanation of the failed constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::BadBits { param, value } => {
+                write!(f, "{param} must be in 1..=16, got {value}")
+            }
+            QuantError::BadStep { value } => write!(f, "step must be finite and positive, got {value}"),
+            QuantError::BadBias { bias, limit } => write!(f, "bias {bias} out of range 0..{limit}"),
+            QuantError::BadHistogram { reason } => write!(f, "bad histogram: {reason}"),
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = QuantError::BadBits { param: "n_r1", value: 0 };
+        assert!(e.to_string().contains("n_r1"));
+        let e = QuantError::BadStep { value: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<QuantError>();
+    }
+}

@@ -1,0 +1,132 @@
+//! Post-training quantization of weights and activations (Section V-A).
+//!
+//! The paper applies 8-bit *symmetric uniform* quantization to both inputs
+//! and weights, with scaling factors "determined based on the maximum
+//! absolute values". This module provides exactly that scheme; it is
+//! orthogonal to the TRQ quantization of the ADC (Section III-B).
+
+use crate::QuantError;
+use serde::{Deserialize, Serialize};
+
+/// Returns the symmetric scale `Δ = max_abs / (2^(bits−1) − 1)` used to map
+/// reals to `[-(2^(bits−1)−1), 2^(bits−1)−1]`.
+///
+/// A zero `max_abs` (an all-zero tensor) yields a scale of 1.0 so the
+/// quantizer stays well defined.
+///
+/// # Errors
+///
+/// Returns [`QuantError::BadBits`] unless `2 <= bits <= 16`.
+pub fn symmetric_scale(max_abs: f32, bits: u32) -> Result<f32, QuantError> {
+    if !(2..=16).contains(&bits) {
+        return Err(QuantError::BadBits { param: "bits", value: bits });
+    }
+    let qmax = ((1u32 << (bits - 1)) - 1) as f32;
+    if max_abs <= 0.0 {
+        Ok(1.0)
+    } else {
+        Ok(max_abs / qmax)
+    }
+}
+
+/// A symmetric signed uniform quantizer for weights/activations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SymmetricQuant {
+    scale: f32,
+    bits: u32,
+}
+
+impl SymmetricQuant {
+    /// Builds a quantizer from calibration `max_abs` at the given bit width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadBits`] unless `2 <= bits <= 16`.
+    pub fn from_max_abs(max_abs: f32, bits: u32) -> Result<Self, QuantError> {
+        Ok(SymmetricQuant { scale: symmetric_scale(max_abs, bits)?, bits })
+    }
+
+    /// The scale factor `Δ`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest representable integer magnitude, `2^(bits−1) − 1`.
+    pub fn qmax(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Quantizes a real to a clamped signed integer.
+    pub fn quantize(&self, x: f32) -> i32 {
+        let q = (x / self.scale).round();
+        let limit = self.qmax() as f32;
+        q.clamp(-limit, limit) as i32
+    }
+
+    /// Reconstructs the real value of an integer code.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scale_formula() {
+        let s = symmetric_scale(127.0, 8).unwrap();
+        assert!((s - 1.0).abs() < 1e-6);
+        let s = symmetric_scale(1.0, 8).unwrap();
+        assert!((s - 1.0 / 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_tensor_gets_unit_scale() {
+        assert_eq!(symmetric_scale(0.0, 8).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bits_validation() {
+        assert!(symmetric_scale(1.0, 1).is_err());
+        assert!(symmetric_scale(1.0, 17).is_err());
+    }
+
+    #[test]
+    fn max_abs_maps_to_qmax() {
+        let q = SymmetricQuant::from_max_abs(2.54, 8).unwrap();
+        assert_eq!(q.quantize(2.54), 127);
+        assert_eq!(q.quantize(-2.54), -127);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn clamps_outliers() {
+        let q = SymmetricQuant::from_max_abs(1.0, 8).unwrap();
+        assert_eq!(q.quantize(50.0), 127);
+        assert_eq!(q.quantize(-50.0), -127);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_error_bounded(bits in 2u32..10, max_abs in 0.1f32..100.0, frac in -1.0f32..1.0) {
+            let q = SymmetricQuant::from_max_abs(max_abs, bits).unwrap();
+            let x = frac * max_abs;
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            prop_assert!(err <= q.scale() / 2.0 + 1e-5);
+        }
+
+        #[test]
+        fn quantize_odd_symmetric(bits in 2u32..10, max_abs in 0.1f32..100.0, frac in 0.0f32..1.0) {
+            let q = SymmetricQuant::from_max_abs(max_abs, bits).unwrap();
+            let x = frac * max_abs;
+            prop_assert_eq!(q.quantize(x), -q.quantize(-x));
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The Twin-Range Quantizer (TRQ) of Eq. 7 — the paper's core contribution
+//! viewed at the algorithm level.
+
+use crate::code::TrqCode;
+use crate::QuantError;
+use serde::{Deserialize, Serialize};
+
+/// Which of the two quantization ranges a sample fell into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Range {
+    /// The narrow, dense range — "early bird" conversions, full precision.
+    R1,
+    /// The wide, sparse range — "early stopping" conversions, coarse step.
+    R2,
+}
+
+/// Validated TRQ parameter set `(NR1, NR2, M, ΔR1, bias)`.
+///
+/// Derived quantities follow the paper exactly:
+/// - `ΔR2 = 2^M · ΔR1` (Eq. 8), which keeps the coarse grid aligned with the
+///   full-precision grid so decoding is a plain left shift;
+/// - the `R1` window is `[bias·2^NR1·ΔR1, (bias+1)·2^NR1·ΔR1)`. With
+///   `bias = 0` (the "ideal"/skewed case) this is `[0, θ)` with
+///   `θ = 2^NR1·ΔR1` as in Eq. 7. A non-zero `bias` slides the window up to
+///   cover normal-like distributions (Section IV-B); during decoding the
+///   bias is concatenated to the left of the R1 payload.
+/// - the pre-detection overhead `ν` is 1 comparison when `bias = 0` and 2
+///   otherwise (both window edges must be tested), matching Eq. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrqParams {
+    n_r1: u32,
+    n_r2: u32,
+    m: u32,
+    delta_r1: f64,
+    bias: u32,
+}
+
+impl TrqParams {
+    /// Creates a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// - [`QuantError::BadBits`] unless `1 <= n_r1, n_r2 <= 16` and `m <= 16`;
+    /// - [`QuantError::BadStep`] unless `delta_r1` is finite and positive;
+    /// - [`QuantError::BadBias`] unless the decoded R1 range
+    ///   `(bias + 1) << NR1` fits the 24-bit decode datapath (the window
+    ///   index tiles the covered range; the paper searches the offset over
+    ///   the windows reachable at the configured resolution).
+    pub fn new(n_r1: u32, n_r2: u32, m: u32, delta_r1: f64, bias: u32) -> Result<Self, QuantError> {
+        if n_r1 == 0 || n_r1 > 16 {
+            return Err(QuantError::BadBits { param: "n_r1", value: n_r1 });
+        }
+        if n_r2 == 0 || n_r2 > 16 {
+            return Err(QuantError::BadBits { param: "n_r2", value: n_r2 });
+        }
+        if m > 16 {
+            return Err(QuantError::BadBits { param: "m", value: m });
+        }
+        if !delta_r1.is_finite() || delta_r1 <= 0.0 {
+            return Err(QuantError::BadStep { value: delta_r1 });
+        }
+        let bias_limit = 1u32 << (24 - n_r1.min(23));
+        if bias >= bias_limit {
+            return Err(QuantError::BadBias { bias, limit: bias_limit });
+        }
+        Ok(TrqParams { n_r1, n_r2, m, delta_r1, bias })
+    }
+
+    /// R1 payload bits `NR1`.
+    pub fn n_r1(&self) -> u32 {
+        self.n_r1
+    }
+
+    /// R2 payload bits `NR2`.
+    pub fn n_r2(&self) -> u32 {
+        self.n_r2
+    }
+
+    /// Non-uniformity degree `M` (`ΔR2 = 2^M·ΔR1`).
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Fine step `ΔR1` (the paper's `Vgrid` in physical units).
+    pub fn delta_r1(&self) -> f64 {
+        self.delta_r1
+    }
+
+    /// Coarse step `ΔR2 = 2^M·ΔR1` (Eq. 8).
+    pub fn delta_r2(&self) -> f64 {
+        self.delta_r1 * (1u64 << self.m) as f64
+    }
+
+    /// R1 window index (`0` in the ideal skewed case).
+    pub fn bias(&self) -> u32 {
+        self.bias
+    }
+
+    /// Lower edge of the R1 window.
+    pub fn theta_lo(&self) -> f64 {
+        self.bias as f64 * self.r1_width()
+    }
+
+    /// Upper (exclusive) edge of the R1 window — `θ` in Eq. 7 when
+    /// `bias = 0`.
+    pub fn theta_hi(&self) -> f64 {
+        self.theta_lo() + self.r1_width()
+    }
+
+    /// Width of the R1 window, `2^NR1·ΔR1`.
+    pub fn r1_width(&self) -> f64 {
+        (1u64 << self.n_r1) as f64 * self.delta_r1
+    }
+
+    /// Pre-detection comparison count `ν`: 1 when `bias = 0`, else 2 (Eq. 9).
+    pub fn nu(&self) -> u32 {
+        if self.bias == 0 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Total output code width in bits: one range flag plus the wider
+    /// payload (Fig. 4b).
+    pub fn code_bits(&self) -> u32 {
+        1 + self.n_r1.max(self.n_r2)
+    }
+
+    /// A parameter set that makes TRQ behave exactly like a `bits`-bit
+    /// uniform quantizer with step `delta` (the hardware's "U ADC mode",
+    /// Section III-D); the pre-detection phase is still paid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation rules of [`TrqParams::new`].
+    pub fn uniform_equivalent(bits: u32, delta: f64) -> Result<Self, QuantError> {
+        TrqParams::new(bits, bits, 0, delta, 0)
+    }
+}
+
+/// Result of one TRQ quantization: the compact code, the reconstructed
+/// value, and the A/D operation count this conversion would cost on the
+/// modified SAR ADC (Eq. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrqValue {
+    /// Compact output code (range flag + payload).
+    pub code: TrqCode,
+    /// Reconstructed (dequantized) value.
+    pub value: f64,
+    /// A/D operations consumed: `ν + NR1` or `ν + NR2`.
+    pub ops: u32,
+}
+
+/// The twin-range quantizer `T_k` of Eq. 7.
+///
+/// ```
+/// use trq_quant::{Range, TrqParams, TwinRangeQuantizer};
+/// # fn main() -> Result<(), trq_quant::QuantError> {
+/// let q = TwinRangeQuantizer::new(TrqParams::new(3, 3, 2, 1.0, 0)?);
+/// let early_bird = q.quantize(6.7);
+/// assert_eq!(early_bird.code.range(), Range::R1);
+/// assert_eq!(early_bird.value, 7.0);        // fine grid, lossless
+/// let early_stop = q.quantize(21.0);
+/// assert_eq!(early_stop.code.range(), Range::R2);
+/// assert_eq!(early_stop.value, 20.0);       // coarse grid, 4x step
+/// assert!(early_bird.ops == early_stop.ops); // both 1 + 3 here
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwinRangeQuantizer {
+    params: TrqParams,
+}
+
+impl TwinRangeQuantizer {
+    /// Creates a quantizer from validated parameters.
+    pub fn new(params: TrqParams) -> Self {
+        TwinRangeQuantizer { params }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &TrqParams {
+        &self.params
+    }
+
+    /// True when `x` falls inside the dense R1 window.
+    pub fn in_r1(&self, x: f64) -> bool {
+        let x = x.max(0.0);
+        x >= self.params.theta_lo() && x < self.params.theta_hi()
+    }
+
+    /// Quantizes a non-negative sample (negative inputs clamp to zero,
+    /// matching the unsigned BL domain).
+    pub fn quantize(&self, x: f64) -> TrqValue {
+        let p = &self.params;
+        let x = x.max(0.0);
+        if self.in_r1(x) {
+            let max_code = (1u32 << p.n_r1) - 1;
+            let rel = ((x - p.theta_lo()) / p.delta_r1).round();
+            let payload = if rel <= 0.0 {
+                0
+            } else {
+                (rel as u32).min(max_code)
+            };
+            let code = TrqCode::r1(payload as u16);
+            TrqValue { code, value: p.theta_lo() + payload as f64 * p.delta_r1, ops: p.nu() + p.n_r1 }
+        } else {
+            let max_code = (1u32 << p.n_r2) - 1;
+            let rel = (x / p.delta_r2()).round();
+            let payload = if rel <= 0.0 {
+                0
+            } else if rel >= max_code as f64 {
+                max_code
+            } else {
+                rel as u32
+            };
+            let code = TrqCode::r2(payload as u16);
+            TrqValue { code, value: payload as f64 * p.delta_r2(), ops: p.nu() + p.n_r2 }
+        }
+    }
+
+    /// Reconstructs the value for a code under this quantizer's parameters
+    /// (what the shift-and-add decode stage computes, times `ΔR1`).
+    pub fn dequantize(&self, code: TrqCode) -> f64 {
+        code.decode_lsb(&self.params) as f64 * self.params.delta_r1
+    }
+
+    /// A/D operations that quantizing `x` costs, without computing the code.
+    pub fn ops_for(&self, x: f64) -> u32 {
+        if self.in_r1(x) {
+            self.params.nu() + self.params.n_r1
+        } else {
+            self.params.nu() + self.params.n_r2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformQuantizer;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(TrqParams::new(0, 3, 2, 1.0, 0).is_err());
+        assert!(TrqParams::new(3, 0, 2, 1.0, 0).is_err());
+        assert!(TrqParams::new(3, 3, 17, 1.0, 0).is_err());
+        assert!(TrqParams::new(3, 3, 2, 0.0, 0).is_err());
+        // bias may tile the full range independently of m...
+        assert!(TrqParams::new(3, 3, 2, 1.0, 4).is_ok());
+        assert!(TrqParams::new(3, 3, 0, 1.0, 1).is_ok());
+        assert!(TrqParams::new(3, 3, 2, 1.0, 3).is_ok());
+        // ...but the decoded window must fit the 24-bit decode datapath
+        assert!(TrqParams::new(8, 8, 2, 1.0, 1 << 16).is_err());
+    }
+
+    #[test]
+    fn delta_r2_follows_eq8() {
+        let p = TrqParams::new(3, 4, 5, 0.25, 0).unwrap();
+        assert_eq!(p.delta_r2(), 8.0);
+        assert_eq!(p.r1_width(), 2.0);
+        assert_eq!(p.theta_hi(), 2.0);
+        assert_eq!(p.code_bits(), 5);
+    }
+
+    #[test]
+    fn nu_depends_on_bias() {
+        assert_eq!(TrqParams::new(3, 3, 2, 1.0, 0).unwrap().nu(), 1);
+        assert_eq!(TrqParams::new(3, 3, 2, 1.0, 1).unwrap().nu(), 2);
+    }
+
+    #[test]
+    fn early_bird_is_lossless_on_fine_grid() {
+        // Ideal case of Eq. 11: ΔR1 = 1, integer-valued inputs inside R1.
+        let q = TwinRangeQuantizer::new(TrqParams::new(4, 4, 4, 1.0, 0).unwrap());
+        for v in 0..16 {
+            let out = q.quantize(v as f64);
+            assert_eq!(out.value, v as f64, "R1 must be exact for integer {v}");
+            assert_eq!(out.code.range(), Range::R1);
+        }
+    }
+
+    #[test]
+    fn early_stop_uses_coarse_grid() {
+        let q = TwinRangeQuantizer::new(TrqParams::new(3, 3, 3, 1.0, 0).unwrap());
+        // ΔR2 = 8; 20 → round(20/8)=3 (wait: 2.5 rounds to 3? ties-to-even
+        // not used: f64::round is away-from-zero) → 24? 20/8 = 2.5 → 3 → 24.
+        let out = q.quantize(20.0);
+        assert_eq!(out.code.range(), Range::R2);
+        assert_eq!(out.value, 24.0);
+        // saturation at (2^3−1)·8 = 56
+        assert_eq!(q.quantize(1e9).value, 56.0);
+    }
+
+    #[test]
+    fn ops_match_eq9() {
+        let q = TwinRangeQuantizer::new(TrqParams::new(2, 5, 3, 1.0, 0).unwrap());
+        assert_eq!(q.quantize(1.0).ops, 1 + 2); // R1: ν + NR1
+        assert_eq!(q.quantize(100.0).ops, 1 + 5); // R2: ν + NR2
+        let qb = TwinRangeQuantizer::new(TrqParams::new(2, 5, 3, 1.0, 1).unwrap());
+        assert_eq!(qb.quantize(5.0).ops, 2 + 2); // bias != 0 → ν = 2
+    }
+
+    #[test]
+    fn biased_window_covers_normal_like_mode() {
+        // bias = 2, NR1 = 3, ΔR1 = 1 → R1 = [16, 24)
+        let q = TwinRangeQuantizer::new(TrqParams::new(3, 3, 2, 1.0, 2).unwrap());
+        assert!(!q.in_r1(15.9));
+        assert!(q.in_r1(16.0));
+        assert!(q.in_r1(23.9));
+        assert!(!q.in_r1(24.0));
+        let out = q.quantize(19.0);
+        assert_eq!(out.code.range(), Range::R1);
+        assert_eq!(out.value, 19.0);
+        // decoding concatenates the bias on the left: (2 << 3) + 3 = 19
+        assert_eq!(out.code.decode_lsb(q.params()), 19);
+    }
+
+    #[test]
+    fn values_below_biased_window_go_to_r2() {
+        let q = TwinRangeQuantizer::new(TrqParams::new(3, 3, 2, 1.0, 2).unwrap());
+        let out = q.quantize(3.0);
+        assert_eq!(out.code.range(), Range::R2);
+        assert_eq!(out.value, 4.0); // ΔR2 = 4, round(3/4) = 1
+    }
+
+    #[test]
+    fn negative_inputs_clamp_to_zero() {
+        let q = TwinRangeQuantizer::new(TrqParams::new(3, 3, 2, 1.0, 0).unwrap());
+        let out = q.quantize(-5.0);
+        assert_eq!(out.value, 0.0);
+        assert_eq!(out.code.range(), Range::R1);
+    }
+
+    #[test]
+    fn uniform_equivalent_mode_matches_uniform_quantizer() {
+        let trq = TwinRangeQuantizer::new(TrqParams::uniform_equivalent(5, 0.5).unwrap());
+        let uq = UniformQuantizer::new(5, 0.5).unwrap();
+        for i in 0..2000 {
+            let x = i as f64 * 0.017;
+            assert_eq!(trq.quantize(x).value, uq.quantize(x), "x = {x}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn value_idempotence_via_grid_alignment(
+            n_r1 in 1u32..6, n_r2 in 1u32..6, m in 0u32..5, x in 0.0f64..200.0,
+        ) {
+            // Because ΔR2 = 2^M·ΔR1 (Eq. 8), every reconstructed value lies
+            // on the fine grid, so re-quantizing it is a fixed point.
+            let p = TrqParams::new(n_r1, n_r2, m, 1.0, 0).unwrap();
+            let q = TwinRangeQuantizer::new(p);
+            let once = q.quantize(x).value;
+            prop_assert_eq!(q.quantize(once).value, once);
+        }
+
+        #[test]
+        fn quantize_is_monotone_when_r2_covers_r1(
+            n_r1 in 1u32..6, n_r2 in 1u32..6, m in 0u32..5,
+            a in 0.0f64..200.0, b in 0.0f64..200.0,
+        ) {
+            // Monotonicity across the range boundary needs the coarse grid
+            // to resolve the boundary (m <= NR1) and R2's full scale to
+            // reach past R1 — exactly the coverage conditions Algorithm 1's
+            // calibrated configurations satisfy (NR2 + M = Rideal, Eq. 11).
+            prop_assume!(m <= n_r1);
+            prop_assume!(((1u64 << n_r2) - 1) << m >= 1u64 << n_r1);
+            let p = TrqParams::new(n_r1, n_r2, m, 0.8, 0).unwrap();
+            let q = TwinRangeQuantizer::new(p);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.quantize(lo).value <= q.quantize(hi).value + 1e-12);
+        }
+
+        #[test]
+        fn pathological_configs_can_be_non_monotone_but_stay_bounded(
+            x in 0.0f64..200.0,
+        ) {
+            // Document the failure mode the calibration must avoid: with
+            // m > NR1 the coarse grid cannot resolve the R1 window top.
+            let p = TrqParams::new(1, 3, 4, 1.0, 0).unwrap();
+            let q = TwinRangeQuantizer::new(p);
+            let v = q.quantize(x).value;
+            prop_assert!(v >= 0.0 && v <= p.delta_r2() * 7.0);
+        }
+
+        #[test]
+        fn dequantize_matches_reported_value(
+            n_r1 in 1u32..6, n_r2 in 1u32..6, m in 0u32..5, bias_frac in 0u32..8,
+            x in 0.0f64..300.0,
+        ) {
+            let bias = if m == 0 { 0 } else { bias_frac % (1 << m) };
+            let p = TrqParams::new(n_r1, n_r2, m, 1.0, bias).unwrap();
+            let q = TwinRangeQuantizer::new(p);
+            let out = q.quantize(x);
+            prop_assert!((q.dequantize(out.code) - out.value).abs() < 1e-9);
+        }
+
+        #[test]
+        fn r1_error_bounded_by_half_fine_lsb(
+            n_r1 in 2u32..8, m in 1u32..4, frac in 0.0f64..1.0,
+        ) {
+            let p = TrqParams::new(n_r1, n_r1, m, 0.5, 0).unwrap();
+            let q = TwinRangeQuantizer::new(p);
+            // sample strictly inside R1
+            let x = frac * (p.theta_hi() - p.delta_r1());
+            let out = q.quantize(x);
+            prop_assert!((out.value - x).abs() <= p.delta_r1() / 2.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The uniform quantizer of Eq. 1.
+
+use crate::QuantError;
+use serde::{Deserialize, Serialize};
+
+/// A `k`-bit uniform quantizer with step `Δ` over the unsigned range
+/// `[0, (2^k − 1)·Δ]` — Eq. 1 of the paper:
+///
+/// `x_q = Δ · clamp(round(x / Δ), 0, 2^k − 1)`
+///
+/// This is both the algorithm-level uniform quantizer and the behavioural
+/// model of a conventional uniform SAR ADC (which performs a `k`-step
+/// binary search against thresholds at `(code − ½)·Δ`).
+///
+/// ```
+/// use trq_quant::UniformQuantizer;
+/// # fn main() -> Result<(), trq_quant::QuantError> {
+/// let q = UniformQuantizer::new(3, 1.0)?; // 3 bits, LSB = 1.0
+/// assert_eq!(q.code(3.4), 3);
+/// assert_eq!(q.code(99.0), 7);            // clamped to 2^3 - 1
+/// assert_eq!(q.dequantize(q.code(3.4)), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformQuantizer {
+    bits: u32,
+    delta: f64,
+}
+
+impl UniformQuantizer {
+    /// Maximum supported resolution in bits.
+    pub const MAX_BITS: u32 = 16;
+
+    /// Creates a `bits`-bit quantizer with step `delta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadBits`] unless `1 <= bits <= 16`, and
+    /// [`QuantError::BadStep`] unless `delta` is finite and positive.
+    pub fn new(bits: u32, delta: f64) -> Result<Self, QuantError> {
+        if bits == 0 || bits > Self::MAX_BITS {
+            return Err(QuantError::BadBits { param: "bits", value: bits });
+        }
+        if !delta.is_finite() || delta <= 0.0 {
+            return Err(QuantError::BadStep { value: delta });
+        }
+        Ok(UniformQuantizer { bits, delta })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Step size `Δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of code levels, `2^bits`.
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Largest code, `2^bits − 1`.
+    pub fn max_code(&self) -> u32 {
+        self.levels() - 1
+    }
+
+    /// Full-scale reconstruction value, `(2^bits − 1)·Δ`.
+    pub fn full_scale(&self) -> f64 {
+        self.max_code() as f64 * self.delta
+    }
+
+    /// Quantizes `x` to its code (Eq. 1 without the final `Δ·` rescale).
+    pub fn code(&self, x: f64) -> u32 {
+        let r = (x / self.delta).round();
+        if r <= 0.0 {
+            0
+        } else if r >= self.max_code() as f64 {
+            self.max_code()
+        } else {
+            r as u32
+        }
+    }
+
+    /// Reconstructs the value for a code; codes above `max_code` saturate.
+    pub fn dequantize(&self, code: u32) -> f64 {
+        code.min(self.max_code()) as f64 * self.delta
+    }
+
+    /// Quantize-then-reconstruct (the full Eq. 1).
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.dequantize(self.code(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(UniformQuantizer::new(0, 1.0).is_err());
+        assert!(UniformQuantizer::new(17, 1.0).is_err());
+        assert!(UniformQuantizer::new(8, 0.0).is_err());
+        assert!(UniformQuantizer::new(8, f64::NAN).is_err());
+        assert!(UniformQuantizer::new(8, -0.5).is_err());
+        assert!(UniformQuantizer::new(16, 0.25).is_ok());
+    }
+
+    #[test]
+    fn rounding_is_to_nearest() {
+        let q = UniformQuantizer::new(4, 2.0).unwrap();
+        assert_eq!(q.code(0.99), 0);
+        assert_eq!(q.code(1.01), 1);
+        assert_eq!(q.code(2.0), 1);
+        assert_eq!(q.code(3.01), 2);
+    }
+
+    #[test]
+    fn clamps_both_ends() {
+        let q = UniformQuantizer::new(3, 1.0).unwrap();
+        assert_eq!(q.code(-5.0), 0);
+        assert_eq!(q.code(1000.0), 7);
+        assert_eq!(q.quantize(1000.0), 7.0);
+    }
+
+    #[test]
+    fn full_scale_and_levels() {
+        let q = UniformQuantizer::new(8, 0.5).unwrap();
+        assert_eq!(q.levels(), 256);
+        assert_eq!(q.max_code(), 255);
+        assert_eq!(q.full_scale(), 127.5);
+    }
+
+    #[test]
+    fn grid_points_are_fixed_points() {
+        let q = UniformQuantizer::new(6, 0.75).unwrap();
+        for code in 0..q.levels() {
+            let v = q.dequantize(code);
+            assert_eq!(q.quantize(v), v, "grid point {v} must be a fixed point");
+        }
+    }
+
+    #[test]
+    fn dequantize_saturates_codes() {
+        let q = UniformQuantizer::new(2, 1.0).unwrap();
+        assert_eq!(q.dequantize(100), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn quantize_is_idempotent(bits in 1u32..10, x in 0.0f64..1000.0) {
+            let q = UniformQuantizer::new(bits, 0.7).unwrap();
+            let once = q.quantize(x);
+            prop_assert_eq!(q.quantize(once), once);
+        }
+
+        #[test]
+        fn quantize_is_monotone(bits in 1u32..10, a in 0.0f64..500.0, b in 0.0f64..500.0) {
+            let q = UniformQuantizer::new(bits, 0.31).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        }
+
+        #[test]
+        fn error_bounded_by_half_lsb_in_range(bits in 2u32..12, frac in 0.0f64..1.0) {
+            let q = UniformQuantizer::new(bits, 0.5).unwrap();
+            let x = frac * q.full_scale();
+            let err = (q.quantize(x) - x).abs();
+            prop_assert!(err <= q.delta() / 2.0 + 1e-12, "err {} for x {}", err, x);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and shape-sensitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    LengthMismatch {
+        /// Expected number of elements (product of dims).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// A shape with a zero-sized dimension (or no dimensions) was rejected.
+    EmptyShape,
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        actual: usize,
+    },
+    /// Convolution/pooling geometry does not fit the input.
+    BadGeometry {
+        /// Explanation of the failed geometric constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::EmptyShape => write!(f, "empty or zero-sized shape"),
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got {actual}")
+            }
+            TensorError::BadGeometry { reason } => write!(f, "bad geometry: {reason}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+
+    #[test]
+    fn shape_mismatch_mentions_operation() {
+        let e = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        assert!(e.to_string().contains("matmul"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Seeded random tensor initialisation.
+//!
+//! Every stochastic choice in the reproduction flows through an explicit
+//! [`rand::rngs::StdRng`] seed so figures and tests are bit-reproducible.
+
+use crate::{Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a seeded RNG. A thin wrapper so downstream crates do not each
+/// depend on `rand` just to seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform initialisation in `[lo, hi)`.
+///
+/// # Errors
+///
+/// Returns an error for invalid shapes.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(dims: Vec<usize>, lo: f32, hi: f32, rng: &mut StdRng) -> Result<Tensor, TensorError> {
+    assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+    let mut t = Tensor::zeros(dims)?;
+    for x in t.data_mut() {
+        *x = rng.gen_range(lo..hi);
+    }
+    Ok(t)
+}
+
+/// Standard normal initialisation scaled by `std`, using Box–Muller.
+///
+/// # Errors
+///
+/// Returns an error for invalid shapes.
+pub fn normal(dims: Vec<usize>, mean: f32, std: f32, rng: &mut StdRng) -> Result<Tensor, TensorError> {
+    let mut t = Tensor::zeros(dims)?;
+    for x in t.data_mut() {
+        *x = mean + std * sample_standard_normal(rng);
+    }
+    Ok(t)
+}
+
+/// He (Kaiming) initialisation for a layer with `fan_in` inputs — the
+/// standard choice for ReLU networks, and what gives the crossbar bit-lines
+/// the realistic skewed statistics the paper's Fig. 3a relies on.
+///
+/// # Errors
+///
+/// Returns an error for invalid shapes.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn he(dims: Vec<usize>, fan_in: usize, rng: &mut StdRng) -> Result<Tensor, TensorError> {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(dims, 0.0, std, rng)
+}
+
+fn sample_standard_normal(rng: &mut StdRng) -> f32 {
+    // Box–Muller; rejection of u1 == 0 keeps ln() finite.
+    loop {
+        let u1: f32 = rng.gen();
+        let u2: f32 = rng.gen();
+        if u1 > f32::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = rng(1);
+        let t = uniform(vec![1000], -0.5, 0.5, &mut r).unwrap();
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = rng(2);
+        let t = normal(vec![20000], 1.0, 2.0, &mut r).unwrap();
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn he_std_scales_with_fan_in() {
+        let mut r = rng(3);
+        let t = he(vec![20000], 50, &mut r).unwrap();
+        let var = t.data().iter().map(|&x| x * x).sum::<f32>() / t.len() as f32;
+        assert!((var - 2.0 / 50.0).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn seeded_runs_are_identical() {
+        let a = uniform(vec![32], 0.0, 1.0, &mut rng(42)).unwrap();
+        let b = uniform(vec![32], 0.0, 1.0, &mut rng(42)).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform(vec![32], 0.0, 1.0, &mut rng(1)).unwrap();
+        let b = uniform(vec![32], 0.0, 1.0, &mut rng(2)).unwrap();
+        assert_ne!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,201 @@
+use crate::{Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major `i32` tensor used by the quantized / accumulator
+/// datapath.
+///
+/// The ReRAM datapath in the paper works on integers end-to-end: 8-bit
+/// weights and activations, 1-bit slices on cells and DACs, and 16-bit
+/// partial sums merged by shift-and-add. `ITensor` is the container for all
+/// of these integer intermediates.
+///
+/// ```
+/// use trq_tensor::ITensor;
+/// # fn main() -> Result<(), trq_tensor::TensorError> {
+/// let t = ITensor::from_vec(vec![2, 2], vec![1, -2, 3, -4])?;
+/// assert_eq!(t.at(&[1, 1]), -4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ITensor {
+    shape: Shape,
+    data: Vec<i32>,
+}
+
+impl ITensor {
+    /// Creates an integer tensor filled with zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or zero-sized shapes.
+    pub fn zeros(dims: Vec<usize>) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        let volume = shape.volume();
+        Ok(ITensor { shape, data: vec![0; volume] })
+    }
+
+    /// Creates an integer tensor from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the data length does not
+    /// match the shape volume.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<i32>) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+        }
+        Ok(ITensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false: zero-sized shapes are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Read-only view of the row-major buffer.
+    pub fn data(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<i32> {
+        self.data
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at(&self, index: &[usize]) -> i32 {
+        self.data[self.shape.flat_index(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn set(&mut self, index: &[usize], value: i32) {
+        let flat = self.shape.flat_index(index);
+        self.data[flat] = value;
+    }
+
+    /// Converts to a floating-point tensor by scaling each element.
+    pub fn to_f32(&self, scale: f32) -> Tensor {
+        let data = self.data.iter().map(|&x| x as f32 * scale).collect();
+        Tensor::from_vec(self.shape.dims().to_vec(), data)
+            .expect("shape volume is preserved by construction")
+    }
+
+    /// Quantizes a float tensor to integers with `round(x / scale)` clamped
+    /// to `[lo, hi]` — the symmetric PTQ used for 8-bit weights/activations
+    /// in the paper (Section V-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive or `lo > hi`.
+    pub fn quantize_from(t: &Tensor, scale: f32, lo: i32, hi: i32) -> ITensor {
+        assert!(scale > 0.0, "scale must be positive, got {scale}");
+        assert!(lo <= hi, "empty clamp range [{lo}, {hi}]");
+        let data = t
+            .data()
+            .iter()
+            .map(|&x| ((x / scale).round() as i64).clamp(lo as i64, hi as i64) as i32)
+            .collect();
+        ITensor { shape: t.shape().clone(), data }
+    }
+
+    /// Largest absolute value.
+    pub fn max_abs(&self) -> i32 {
+        self.data.iter().map(|x| x.abs()).max().unwrap_or(0)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> i32 {
+        self.data.iter().copied().min().expect("non-empty by construction")
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> i32 {
+        self.data.iter().copied().max().expect("non-empty by construction")
+    }
+
+    /// Index of the maximum element in the flattened buffer (first wins).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for ITensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ITensor{} n={}", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_and_clamp() {
+        let t = Tensor::from_vec(vec![5], vec![-3.2, -0.4, 0.0, 0.6, 200.0]).unwrap();
+        let q = ITensor::quantize_from(&t, 0.5, -128, 127);
+        assert_eq!(q.data(), &[-6, -1, 0, 1, 127]);
+    }
+
+    #[test]
+    fn to_f32_roundtrip_on_grid() {
+        let q = ITensor::from_vec(vec![3], vec![-2, 0, 5]).unwrap();
+        let f = q.to_f32(0.25);
+        assert_eq!(f.data(), &[-0.5, 0.0, 1.25]);
+        let back = ITensor::quantize_from(&f, 0.25, -128, 127);
+        assert_eq!(back.data(), q.data());
+    }
+
+    #[test]
+    fn extrema() {
+        let q = ITensor::from_vec(vec![4], vec![-7, 2, 5, -1]).unwrap();
+        assert_eq!(q.max_abs(), 7);
+        assert_eq!(q.min(), -7);
+        assert_eq!(q.max(), 5);
+        assert_eq!(q.argmax(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn quantize_rejects_bad_scale() {
+        let t = Tensor::zeros(vec![1]).unwrap();
+        let _ = ITensor::quantize_from(&t, 0.0, -1, 1);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(ITensor::from_vec(vec![2, 2], vec![1, 2, 3]).is_err());
+        assert!(ITensor::from_vec(vec![2, 2], vec![1, 2, 3, 4]).is_ok());
+    }
+}

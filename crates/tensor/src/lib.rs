@@ -1,0 +1,46 @@
+//! # trq-tensor
+//!
+//! Minimal dense tensor substrate for the TRQ reproduction.
+//!
+//! The paper's workloads (LeNet-5, ResNet-20/18, SqueezeNet-1.1) are lowered
+//! to matrix–vector multiplications before they ever touch the ReRAM
+//! crossbar, so all this crate has to provide is a small, predictable,
+//! row-major dense tensor with the handful of operations a convolutional
+//! network needs: `matmul`, `im2col`-based convolution, pooling, and simple
+//! element-wise activations — for both `f32` (reference datapath, training)
+//! and `i32` (quantized accumulator datapath).
+//!
+//! Design notes:
+//! - Shapes are plain `Vec<usize>`; a [`Shape`] newtype carries stride
+//!   arithmetic and validation (C-NEWTYPE).
+//! - All fallible constructors return [`TensorError`] rather than panicking
+//!   (C-GOOD-ERR, C-VALIDATE); indexing helpers panic on out-of-bounds like
+//!   `std` slices do and document it (C-FAILURE).
+//! - Randomised initialisation is seeded explicitly so every experiment in
+//!   the repository is reproducible bit-for-bit.
+//!
+//! ```
+//! use trq_tensor::{Tensor, ops};
+//! # fn main() -> Result<(), trq_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+//! let b = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0])?;
+//! let c = ops::matmul(&a, &b)?;
+//! assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod itensor;
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod ops;
+
+pub use error::TensorError;
+pub use itensor::ITensor;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,75 @@
+//! Element-wise activations.
+
+use crate::Tensor;
+
+/// Rectified linear unit, `max(x, 0)`.
+///
+/// ReLU matters to this reproduction beyond being a layer: it guarantees
+/// non-negative activations, which is what makes the paper's unsigned
+/// bit-line value domain (and therefore the skewed distribution of Fig. 3a)
+/// well defined.
+pub fn relu(t: &Tensor) -> Tensor {
+    t.map(|x| x.max(0.0))
+}
+
+/// The 0/1 derivative mask of ReLU evaluated at the pre-activation values.
+pub fn relu_mask(pre: &Tensor) -> Tensor {
+    pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Numerically-stable softmax over a rank-1 tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 1.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 1, "softmax expects a rank-1 tensor");
+    let m = logits.max();
+    let exps: Vec<f32> = logits.data().iter().map(|&x| (x - m).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(logits.shape().dims().to_vec(), exps.iter().map(|&e| e / sum).collect())
+        .expect("same shape as input")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(vec![4], vec![-2.0, -0.0, 0.5, 3.0]).unwrap();
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn relu_mask_matches_relu_support() {
+        let t = Tensor::from_vec(vec![4], vec![-2.0, 0.0, 0.5, 3.0]).unwrap();
+        assert_eq!(relu_mask(&t).data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let t = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let s = softmax(&t);
+        let total: f32 = s.data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(s.data()[2] > s.data()[1] && s.data()[1] > s.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![101.0, 102.0, 103.0]).unwrap();
+        let (sa, sb) = (softmax(&a), softmax(&b));
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::from_vec(vec![2], vec![1000.0, 1001.0]).unwrap();
+        let s = softmax(&t);
+        assert!(s.data().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,323 @@
+//! `im2col`-based 2-D convolution.
+//!
+//! The paper (Fig. 1) maps a `k×k×Ci` convolution kernel to crossbar columns
+//! and slides the input window over the feature map; this module performs
+//! exactly that lowering in software. The column matrix produced by
+//! [`im2col`] is what the crossbar simulator consumes, so the f32 reference
+//! path and the analog path share their geometry by construction.
+
+use crate::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D convolution over `[C, H, W]` feature maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeom {
+    /// Input channels `Ci`.
+    pub in_channels: usize,
+    /// Output channels (number of kernels) `Co`.
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dGeom {
+    /// Square-kernel convenience constructor.
+    pub fn square(in_channels: usize, out_channels: usize, k: usize, stride: usize, pad: usize) -> Self {
+        Conv2dGeom { in_channels, out_channels, kh: k, kw: k, stride, pad }
+    }
+
+    /// Output spatial size for an `[C, h, w]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadGeometry`] when the kernel does not fit.
+    pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        if self.stride == 0 {
+            return Err(TensorError::BadGeometry { reason: "stride must be positive".into() });
+        }
+        let h_eff = h + 2 * self.pad;
+        let w_eff = w + 2 * self.pad;
+        if self.kh == 0 || self.kw == 0 || self.kh > h_eff || self.kw > w_eff {
+            return Err(TensorError::BadGeometry {
+                reason: format!("kernel {}x{} does not fit padded input {h_eff}x{w_eff}", self.kh, self.kw),
+            });
+        }
+        Ok(((h_eff - self.kh) / self.stride + 1, (w_eff - self.kw) / self.stride + 1))
+    }
+
+    /// Rows of the im2col matrix: `kh * kw * Ci` — the MVM depth that must
+    /// be spread over crossbar word lines.
+    pub fn col_rows(&self) -> usize {
+        self.kh * self.kw * self.in_channels
+    }
+}
+
+/// Unfolds an `[C, H, W]` input into a `[kh*kw*C, out_h*out_w]` column
+/// matrix (each column is one sliding window, channel-major then row-major
+/// within the kernel).
+///
+/// # Errors
+///
+/// Returns an error when `input` is not rank-3, channels mismatch, or the
+/// geometry does not fit.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor, TensorError> {
+    let d = input.shape().dims();
+    if d.len() != 3 {
+        return Err(TensorError::RankMismatch { op: "im2col", expected: 3, actual: d.len() });
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    if c != geom.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: d.to_vec(),
+            rhs: vec![geom.in_channels],
+        });
+    }
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let rows = geom.col_rows();
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(vec![rows, cols])?;
+    let idata = input.data();
+    let odata = out.data_mut();
+    for ci in 0..c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (ci * geom.kh + ky) * geom.kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            idata[(ci * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        odata[row * cols + oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a `[kh*kw*C, out_h*out_w]` column-gradient matrix back to an
+/// `[C, H, W]` input gradient (the adjoint of [`im2col`]; overlapping
+/// windows accumulate).
+///
+/// # Errors
+///
+/// Returns an error if `cols`' shape is inconsistent with the geometry.
+pub fn col2im(
+    cols: &Tensor,
+    geom: &Conv2dGeom,
+    h: usize,
+    w: usize,
+) -> Result<Tensor, TensorError> {
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let d = cols.shape().dims();
+    if d.len() != 2 || d[0] != geom.col_rows() || d[1] != oh * ow {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: d.to_vec(),
+            rhs: vec![geom.col_rows(), oh * ow],
+        });
+    }
+    let mut out = Tensor::zeros(vec![geom.in_channels, h, w])?;
+    let cdata = cols.data();
+    let odata = out.data_mut();
+    let ncols = oh * ow;
+    for ci in 0..geom.in_channels {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (ci * geom.kh + ky) * geom.kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        odata[(ci * h + iy as usize) * w + ix as usize] +=
+                            cdata[row * ncols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Full 2-D convolution: weights `[Co, kh*kw*Ci]`, optional bias `[Co]`,
+/// input `[Ci, H, W]`, output `[Co, out_h, out_w]`.
+///
+/// # Errors
+///
+/// Returns an error for inconsistent shapes or geometry.
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    geom: &Conv2dGeom,
+) -> Result<Tensor, TensorError> {
+    let wd = weights.shape().dims();
+    if wd.len() != 2 || wd[0] != geom.out_channels || wd[1] != geom.col_rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: wd.to_vec(),
+            rhs: vec![geom.out_channels, geom.col_rows()],
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != geom.out_channels {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: vec![b.len()],
+                rhs: vec![geom.out_channels],
+            });
+        }
+    }
+    let d = input.shape().dims().to_vec();
+    let (oh, ow) = geom.out_hw(d[1], d[2])?;
+    let cols = im2col(input, geom)?;
+    let mut out = super::matmul(weights, &cols)?;
+    if let Some(b) = bias {
+        let od = out.data_mut();
+        let per = oh * ow;
+        for (co, &bv) in b.iter().enumerate() {
+            for v in &mut od[co * per..(co + 1) * per] {
+                *v += bv;
+            }
+        }
+    }
+    out.reshape(vec![geom.out_channels, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use proptest::prelude::*;
+
+    fn naive_conv(input: &Tensor, weights: &Tensor, geom: &Conv2dGeom) -> Tensor {
+        let d = input.shape().dims();
+        let (c, h, w) = (d[0], d[1], d[2]);
+        let (oh, ow) = geom.out_hw(h, w).unwrap();
+        let mut out = Tensor::zeros(vec![geom.out_channels, oh, ow]).unwrap();
+        for co in 0..geom.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ci in 0..c {
+                        for ky in 0..geom.kh {
+                            for kx in 0..geom.kw {
+                                let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                                let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                                if iy < 0 || iy as usize >= h || ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let wrow = (ci * geom.kh + ky) * geom.kw + kx;
+                                acc += input.at(&[ci, iy as usize, ix as usize])
+                                    * weights.at(&[co, wrow]);
+                            }
+                        }
+                    }
+                    out.set(&[co, oy, ox], acc);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // one 1x1 kernel with weight 1 on a single channel
+        let geom = Conv2dGeom::square(1, 1, 1, 1, 0);
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let weights = Tensor::from_vec(vec![1, 1], vec![1.0]).unwrap();
+        let out = conv2d(&input, &weights, None, &geom).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        let geom = Conv2dGeom::square(1, 1, 3, 1, 0);
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|x| x as f32).collect()).unwrap();
+        let weights = Tensor::full(vec![1, 9], 1.0).unwrap();
+        let out = conv2d(&input, &weights, None, &geom).unwrap();
+        assert_eq!(out.data(), &[45.0]);
+    }
+
+    #[test]
+    fn padding_and_stride_geometry() {
+        let geom = Conv2dGeom::square(1, 1, 3, 2, 1);
+        assert_eq!(geom.out_hw(5, 5).unwrap(), (3, 3));
+        let geom2 = Conv2dGeom::square(1, 1, 7, 2, 3);
+        assert_eq!(geom2.out_hw(224, 224).unwrap(), (112, 112));
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let geom = Conv2dGeom::square(1, 2, 1, 1, 0);
+        let input = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 2.0]).unwrap();
+        let weights = Tensor::from_vec(vec![2, 1], vec![1.0, 0.0]).unwrap();
+        let out = conv2d(&input, &weights, Some(&[10.0, 20.0]), &geom).unwrap();
+        assert_eq!(out.data(), &[11.0, 12.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn rejects_bad_weight_shape() {
+        let geom = Conv2dGeom::square(1, 1, 3, 1, 0);
+        let input = Tensor::zeros(vec![1, 4, 4]).unwrap();
+        let weights = Tensor::zeros(vec![1, 8]).unwrap();
+        assert!(conv2d(&input, &weights, None, &geom).is_err());
+    }
+
+    #[test]
+    fn kernel_larger_than_input_rejected() {
+        let geom = Conv2dGeom::square(1, 1, 5, 1, 0);
+        assert!(geom.out_hw(3, 3).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test).
+        let mut r = init::rng(11);
+        let geom = Conv2dGeom::square(2, 1, 3, 2, 1);
+        let x = init::uniform(vec![2, 5, 5], -1.0, 1.0, &mut r).unwrap();
+        let cols = im2col(&x, &geom).unwrap();
+        let y = init::uniform(cols.shape().dims().to_vec(), -1.0, 1.0, &mut r).unwrap();
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, &geom, 5, 5).unwrap();
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    proptest! {
+        #[test]
+        fn conv_matches_naive(
+            c in 1usize..3, co in 1usize..3, k in 1usize..4,
+            h in 4usize..8, stride in 1usize..3, pad in 0usize..2, seed in 0u64..200,
+        ) {
+            let geom = Conv2dGeom::square(c, co, k, stride, pad);
+            prop_assume!(geom.out_hw(h, h).is_ok());
+            let mut r = init::rng(seed);
+            let input = init::uniform(vec![c, h, h], -1.0, 1.0, &mut r).unwrap();
+            let weights = init::uniform(vec![co, geom.col_rows()], -1.0, 1.0, &mut r).unwrap();
+            let fast = conv2d(&input, &weights, None, &geom).unwrap();
+            let slow = naive_conv(&input, &weights, &geom);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

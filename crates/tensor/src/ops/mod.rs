@@ -1,0 +1,16 @@
+//! Tensor operations used by the DNN and crossbar lowering pipeline.
+//!
+//! Convolution is expressed through [`im2col`]/[`col2im`] plus [`matmul`] —
+//! exactly the lowering the paper's Fig. 1 performs before mapping MVMs to
+//! crossbars, so the same column matrices feed both the reference f32 path
+//! and the bit-sliced crossbar simulation.
+
+mod act;
+mod conv;
+mod matmul;
+mod pool;
+
+pub use act::{relu, relu_mask, softmax};
+pub use conv::{col2im, conv2d, im2col, Conv2dGeom};
+pub use matmul::{matmul, matmul_at, matmul_bt, matvec};
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d, max_pool2d_with_indices, PoolGeom};

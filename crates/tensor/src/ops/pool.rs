@@ -1,0 +1,201 @@
+//! Spatial pooling over `[C, H, W]` feature maps.
+
+use crate::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolGeom {
+    /// Window size (square).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl PoolGeom {
+    /// A `k×k` window with matching stride (the common non-overlapping case).
+    pub fn square(k: usize) -> Self {
+        PoolGeom { k, stride: k }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        if self.k == 0 || self.stride == 0 {
+            return Err(TensorError::BadGeometry { reason: "pool k/stride must be positive".into() });
+        }
+        if self.k > h || self.k > w {
+            return Err(TensorError::BadGeometry {
+                reason: format!("pool window {} larger than input {h}x{w}", self.k),
+            });
+        }
+        Ok(((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1))
+    }
+}
+
+fn expect_chw(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize), TensorError> {
+    let d = t.shape().dims();
+    if d.len() != 3 {
+        return Err(TensorError::RankMismatch { op, expected: 3, actual: d.len() });
+    }
+    Ok((d[0], d[1], d[2]))
+}
+
+/// Max pooling. Returns the pooled `[C, oh, ow]` map.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-3 inputs or windows that do not fit.
+pub fn max_pool2d(input: &Tensor, geom: &PoolGeom) -> Result<Tensor, TensorError> {
+    Ok(max_pool2d_with_indices(input, geom)?.0)
+}
+
+/// Max pooling that also returns, per output element, the flat input index
+/// of the winning element — needed by the trainer's backward pass.
+///
+/// # Errors
+///
+/// Same contract as [`max_pool2d`].
+pub fn max_pool2d_with_indices(
+    input: &Tensor,
+    geom: &PoolGeom,
+) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let (c, h, w) = expect_chw(input, "max_pool2d")?;
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let mut out = Tensor::zeros(vec![c, oh, ow])?;
+    let mut indices = vec![0usize; c * oh * ow];
+    let idata = input.data();
+    let odata = out.data_mut();
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..geom.k {
+                    for kx in 0..geom.k {
+                        let iy = oy * geom.stride + ky;
+                        let ix = ox * geom.stride + kx;
+                        let idx = (ci * h + iy) * w + ix;
+                        if idata[idx] > best {
+                            best = idata[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = (ci * oh + oy) * ow + ox;
+                odata[o] = best;
+                indices[o] = best_idx;
+            }
+        }
+    }
+    Ok((out, indices))
+}
+
+/// Average pooling. Returns the pooled `[C, oh, ow]` map.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-3 inputs or windows that do not fit.
+pub fn avg_pool2d(input: &Tensor, geom: &PoolGeom) -> Result<Tensor, TensorError> {
+    let (c, h, w) = expect_chw(input, "avg_pool2d")?;
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let mut out = Tensor::zeros(vec![c, oh, ow])?;
+    let idata = input.data();
+    let odata = out.data_mut();
+    let norm = 1.0 / (geom.k * geom.k) as f32;
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..geom.k {
+                    for kx in 0..geom.k {
+                        let iy = oy * geom.stride + ky;
+                        let ix = ox * geom.stride + kx;
+                        acc += idata[(ci * h + iy) * w + ix];
+                    }
+                }
+                odata[(ci * oh + oy) * ow + ox] = acc * norm;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: `[C, H, W] -> [C]`.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-3 inputs.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor, TensorError> {
+    let (c, h, w) = expect_chw(input, "global_avg_pool")?;
+    let mut out = Tensor::zeros(vec![c])?;
+    let idata = input.data();
+    let odata = out.data_mut();
+    let norm = 1.0 / (h * w) as f32;
+    for ci in 0..c {
+        odata[ci] = idata[ci * h * w..(ci + 1) * h * w].iter().sum::<f32>() * norm;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_2x2() {
+        let input = Tensor::from_vec(
+            vec![1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let out = max_pool2d(&input, &PoolGeom::square(2)).unwrap();
+        assert_eq!(out.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn max_pool_indices_point_at_winners() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1., 9., 3., 2.]).unwrap();
+        let (out, idx) = max_pool2d_with_indices(&input, &PoolGeom::square(2)).unwrap();
+        assert_eq!(out.data(), &[9.0]);
+        assert_eq!(idx, vec![1]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let out = avg_pool2d(&input, &PoolGeom::square(2)).unwrap();
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn overlapping_stride() {
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|x| x as f32).collect()).unwrap();
+        let out = max_pool2d(&input, &PoolGeom { k: 2, stride: 1 }).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn global_avg() {
+        let input = Tensor::from_vec(vec![2, 2, 2], vec![1., 1., 1., 1., 2., 2., 2., 6.]).unwrap();
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn window_too_large_rejected() {
+        let input = Tensor::zeros(vec![1, 2, 2]).unwrap();
+        assert!(max_pool2d(&input, &PoolGeom::square(3)).is_err());
+    }
+
+    #[test]
+    fn multichannel_independence() {
+        let input = Tensor::from_vec(vec![2, 2, 2], vec![1., 2., 3., 4., 40., 30., 20., 10.]).unwrap();
+        let out = max_pool2d(&input, &PoolGeom::square(2)).unwrap();
+        assert_eq!(out.data(), &[4.0, 40.0]);
+    }
+}

@@ -1,0 +1,166 @@
+use crate::TensorError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated, non-empty tensor shape with row-major stride arithmetic.
+///
+/// `Shape` guarantees every dimension is non-zero, so the volume is always
+/// positive and stride computations cannot overflow into nonsense.
+///
+/// ```
+/// use trq_tensor::Shape;
+/// # fn main() -> Result<(), trq_tensor::TensorError> {
+/// let s = Shape::new(vec![2, 3, 4])?;
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] when `dims` is empty or any
+    /// dimension is zero.
+    pub fn new(dims: Vec<usize>) -> Result<Self, TensorError> {
+        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+            return Err(TensorError::EmptyShape);
+        }
+        Ok(Shape { dims })
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, innermost dimension has stride 1.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-dimensional index to a linear offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds — the same contract as slice indexing.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for (i, (&ix, &d)) in index.iter().zip(self.dims.iter()).enumerate() {
+            assert!(ix < d, "index {ix} out of bounds for dim {i} of size {d}");
+            flat += ix * strides[i];
+        }
+        flat
+    }
+
+    /// True when both shapes describe the same dimensions.
+    pub fn same_dims(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl TryFrom<Vec<usize>> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: Vec<usize>) -> Result<Self, Self::Error> {
+        Shape::new(dims)
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_zero_dims() {
+        assert_eq!(Shape::new(vec![]), Err(TensorError::EmptyShape));
+        assert_eq!(Shape::new(vec![3, 0, 2]), Err(TensorError::EmptyShape));
+    }
+
+    #[test]
+    fn volume_and_strides() {
+        let s = Shape::new(vec![4, 3, 2]).unwrap();
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.strides(), vec![6, 2, 1]);
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let s = Shape::new(vec![2, 3, 4]).unwrap();
+        let mut seen = vec![false; s.volume()];
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    let f = s.flat_index(&[a, b, c]);
+                    assert!(!seen[f], "duplicate flat index");
+                    seen[f] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_out_of_bounds_panics() {
+        let s = Shape::new(vec![2, 2]).unwrap();
+        s.flat_index(&[0, 2]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Shape::new(vec![1, 28, 28]).unwrap();
+        assert_eq!(s.to_string(), "[1x28x28]");
+    }
+
+    #[test]
+    fn rank_one_shape() {
+        let s = Shape::new(vec![7]).unwrap();
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.strides(), vec![1]);
+        assert_eq!(s.flat_index(&[6]), 6);
+    }
+}

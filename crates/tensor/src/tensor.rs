@@ -1,0 +1,294 @@
+use crate::{Shape, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+///
+/// This is the reference (floating-point) datapath used for training the
+/// in-repo workloads and as the ground truth against which quantized /
+/// crossbar-simulated inference is compared.
+///
+/// ```
+/// use trq_tensor::Tensor;
+/// # fn main() -> Result<(), trq_tensor::TensorError> {
+/// let t = Tensor::zeros(vec![2, 3])?;
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is empty or has a zero dimension.
+    pub fn zeros(dims: Vec<usize>) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        let volume = shape.volume();
+        Ok(Tensor { shape, data: vec![0.0; volume] })
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is invalid.
+    pub fn full(dims: Vec<usize>, value: f32) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        let volume = shape.volume();
+        Ok(Tensor { shape, data: vec![value; volume] })
+    }
+
+    /// Creates a tensor from existing row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not
+    /// equal the shape volume, or [`TensorError::EmptyShape`] for invalid
+    /// shapes.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false: zero-sized shapes are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.flat_index(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let flat = self.shape.flat_index(index);
+        self.data[flat] = value;
+    }
+
+    /// Returns a tensor with the same data but a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new shape's volume differs from `len()`.
+    pub fn reshape(&self, dims: Vec<usize>) -> Result<Tensor, TensorError> {
+        Tensor::from_vec(dims, self.data.clone())
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction (`self - other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Largest absolute value, 0.0 for all-zero tensors.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Arithmetic mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum element in the flattened buffer (first wins).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: F,
+    ) -> Result<Tensor, TensorError> {
+        if !self.shape.same_dims(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape.dims().to_vec(),
+                rhs: other.shape.dims().to_vec(),
+            });
+        }
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} n={}", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(vec![2, 2]).unwrap();
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(vec![3], 1.5).unwrap();
+        assert_eq!(f.data(), &[1.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let err = Tensor::from_vec(vec![2, 2], vec![1.0]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 1 });
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![3.0, 5.0]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(vec![2]).unwrap();
+        let b = Tensor::zeros(vec![3]).unwrap();
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { op: "add", .. })));
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![4], vec![-3.0, 1.0, 2.0, -0.5]).unwrap();
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.min(), -3.0);
+        assert_eq!(t.max(), 2.0);
+        assert!((t.mean() + 0.125).abs() < 1e-6);
+        assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.at(&[2, 1]), 5.0);
+        assert!(t.reshape(vec![7]).is_err());
+    }
+
+    #[test]
+    fn at_and_set() {
+        let mut t = Tensor::zeros(vec![2, 2, 2]).unwrap();
+        t.set(&[1, 0, 1], 9.0);
+        assert_eq!(t.at(&[1, 0, 1]), 9.0);
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let t = Tensor::from_vec(vec![2, 2], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let relu = t.map(|x| x.max(0.0));
+        assert_eq!(relu.data(), &[0.0, 2.0, 0.0, 4.0]);
+        assert!(relu.shape().same_dims(t.shape()));
+    }
+}

@@ -1,0 +1,322 @@
+//! Packed binary storage for cells and input slices.
+//!
+//! With 1-bit cells and 1-bit DACs (the paper's architecture-level choice,
+//! Section II-C), an MVM cycle per bit line is `popcount(cells & inputs)`.
+//! Packing both sides into `u64` words makes a 128-row column two AND+
+//! POPCNT instructions — this is the kernel everything else sits on.
+
+use serde::{Deserialize, Serialize};
+
+/// A packed bit vector, LSB of word 0 is element 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Builds from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        if value {
+            self.words[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// `popcount(self & other)` — the binary dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn and_popcount(&self, other: &BitVec) -> u32 {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones()).sum()
+    }
+}
+
+/// A packed binary matrix stored column-major: each column (bit line) owns
+/// a contiguous run of words so the MVM kernel streams linearly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_col: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_col = rows.div_ceil(64).max(1);
+        BitMatrix { rows, cols, words_per_col, words: vec![0; words_per_col * cols] }
+    }
+
+    /// Number of rows (word lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bit lines).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "({row}, {col}) out of range");
+        let w = col * self.words_per_col + row / 64;
+        (self.words[w] >> (row % 64)) & 1 == 1
+    }
+
+    /// Writes the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "({row}, {col}) out of range");
+        let w = col * self.words_per_col + row / 64;
+        if value {
+            self.words[w] |= 1u64 << (row % 64);
+        } else {
+            self.words[w] &= !(1u64 << (row % 64));
+        }
+    }
+
+    /// Binary MVM: for every column, `popcount(column & input)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input length differs from `rows`.
+    pub fn mvm(&self, input: &BitVec) -> Vec<u32> {
+        assert_eq!(input.len(), self.rows, "input length != rows");
+        let iw = input.words();
+        let mut out = Vec::with_capacity(self.cols);
+        for col in 0..self.cols {
+            let base = col * self.words_per_col;
+            let mut acc = 0u32;
+            for (k, &w) in iw.iter().enumerate() {
+                acc += (self.words[base + k] & w).count_ones();
+            }
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Set bits in one column.
+    pub fn column_count_ones(&self, col: usize) -> u32 {
+        let base = col * self.words_per_col;
+        self.words[base..base + self.words_per_col].iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Batched binary MVM: treats `inputs`' columns as a batch of input
+    /// vectors and returns the `self.cols × inputs.cols` count matrix
+    /// (row-major): `out[c][i] = popcount(self.col(c) & inputs.col(i))`.
+    ///
+    /// This is the whole-layer kernel: one call per (subarray, input-bit
+    /// cycle) covers every sliding window at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when row counts differ.
+    pub fn mvm_matrix(&self, inputs: &BitMatrix) -> Vec<u32> {
+        assert_eq!(self.rows, inputs.rows, "row count mismatch");
+        let n = inputs.cols;
+        let wpc = self.words_per_col;
+        let mut out = vec![0u32; self.cols * n];
+        for c in 0..self.cols {
+            let a = &self.words[c * wpc..(c + 1) * wpc];
+            let orow = &mut out[c * n..(c + 1) * n];
+            for (i, o) in orow.iter_mut().enumerate() {
+                let b = &inputs.words[i * wpc..(i + 1) * wpc];
+                let mut acc = 0u32;
+                for (x, y) in a.iter().zip(b.iter()) {
+                    acc += (x & y).count_ones();
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bitvec_set_get() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(65));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn and_popcount_matches_manual() {
+        let a = BitVec::from_bools(&[true, true, false, true]);
+        let b = BitVec::from_bools(&[true, false, false, true]);
+        assert_eq!(a.and_popcount(&b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitvec_bounds_checked() {
+        let v = BitVec::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn matrix_set_get_across_word_boundary() {
+        let mut m = BitMatrix::zeros(128, 3);
+        m.set(63, 1, true);
+        m.set(64, 1, true);
+        m.set(127, 2, true);
+        assert!(m.get(63, 1) && m.get(64, 1) && m.get(127, 2));
+        assert!(!m.get(63, 0));
+        assert_eq!(m.column_count_ones(1), 2);
+    }
+
+    #[test]
+    fn mvm_small_example() {
+        // 3 rows x 2 cols; col0 = [1,0,1], col1 = [0,1,1]; input = [1,1,0]
+        let mut m = BitMatrix::zeros(3, 2);
+        m.set(0, 0, true);
+        m.set(2, 0, true);
+        m.set(1, 1, true);
+        m.set(2, 1, true);
+        let input = BitVec::from_bools(&[true, true, false]);
+        assert_eq!(m.mvm(&input), vec![1, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn mvm_matches_naive(rows in 1usize..200, cols in 1usize..8, seed in 0u64..100) {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 62) & 1 == 1
+            };
+            let mut m = BitMatrix::zeros(rows, cols);
+            let mut dense = vec![vec![false; cols]; rows];
+            for r in 0..rows {
+                for c in 0..cols {
+                    let b = next();
+                    dense[r][c] = b;
+                    m.set(r, c, b);
+                }
+            }
+            let in_bools: Vec<bool> = (0..rows).map(|_| next()).collect();
+            let input = BitVec::from_bools(&in_bools);
+            let got = m.mvm(&input);
+            for c in 0..cols {
+                let want: u32 = (0..rows).filter(|&r| dense[r][c] && in_bools[r]).count() as u32;
+                prop_assert_eq!(got[c], want);
+            }
+        }
+
+        #[test]
+        fn mvm_matrix_matches_per_vector_mvm(rows in 1usize..150, cols in 1usize..6, n in 1usize..6, seed in 0u64..60) {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 61) & 1 == 1
+            };
+            let mut m = BitMatrix::zeros(rows, cols);
+            let mut x = BitMatrix::zeros(rows, n);
+            for r in 0..rows {
+                for c in 0..cols {
+                    m.set(r, c, next());
+                }
+                for i in 0..n {
+                    x.set(r, i, next());
+                }
+            }
+            let batched = m.mvm_matrix(&x);
+            for i in 0..n {
+                let mut v = BitVec::zeros(rows);
+                for r in 0..rows {
+                    v.set(r, x.get(r, i));
+                }
+                let single = m.mvm(&v);
+                for c in 0..cols {
+                    prop_assert_eq!(batched[c * n + i], single[c]);
+                }
+            }
+        }
+
+        #[test]
+        fn popcount_bounded_by_rows(rows in 1usize..300, seed in 0u64..50) {
+            let mut m = BitMatrix::zeros(rows, 1);
+            for r in 0..rows {
+                if (seed + r as u64) % 3 != 0 {
+                    m.set(r, 0, true);
+                }
+            }
+            let input = BitVec::from_bools(&vec![true; rows]);
+            prop_assert!(m.mvm(&input)[0] as usize <= rows);
+        }
+    }
+}

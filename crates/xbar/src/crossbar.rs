@@ -1,0 +1,272 @@
+//! A single programmed crossbar array.
+
+use crate::bits::{BitMatrix, BitVec};
+use crate::config::CrossbarConfig;
+use crate::noise::NoiseModel;
+use crate::XbarError;
+use serde::{Deserialize, Serialize};
+
+/// One ReRAM crossbar: a binary cell array plus an optional analog view
+/// with device non-idealities.
+///
+/// Two read paths are provided:
+/// - [`Crossbar::mvm_counts`] — the ideal integer path
+///   (`popcount(cells & input)` per bit line), used by the bit-accurate
+///   executor and as ground truth;
+/// - [`Crossbar::mvm_analog`] — the same MVM through perturbed
+///   conductances and read noise, used for robustness studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crossbar {
+    config: CrossbarConfig,
+    cells: BitMatrix,
+    noise: NoiseModel,
+    /// Materialised only when the noise model is non-ideal: effective
+    /// conductance per cell, row-major.
+    analog: Option<Vec<f64>>,
+}
+
+impl Crossbar {
+    /// Creates an erased (all-OFF) crossbar.
+    ///
+    /// The cell array itself is binary (the paper's configuration);
+    /// multi-bit `cell_bits` values are accepted by [`CrossbarConfig`] for
+    /// the resolution arithmetic of Eq. 2 but cannot be instantiated here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::BadConfig`] for invalid configurations or
+    /// `cell_bits > 1`.
+    pub fn new(config: CrossbarConfig) -> Result<Self, XbarError> {
+        Self::with_noise(config, NoiseModel::ideal())
+    }
+
+    /// Creates a crossbar whose reads suffer the given non-idealities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::BadConfig`] for invalid configurations or
+    /// `cell_bits > 1` (see [`Crossbar::new`]).
+    pub fn with_noise(config: CrossbarConfig, noise: NoiseModel) -> Result<Self, XbarError> {
+        config.validate()?;
+        if config.cell_bits != 1 {
+            return Err(XbarError::BadConfig {
+                reason: format!(
+                    "instantiable cell arrays are binary; cell_bits = {} is analytic-only",
+                    config.cell_bits
+                ),
+            });
+        }
+        Ok(Crossbar { config, cells: BitMatrix::zeros(config.rows, config.cols), noise, analog: None })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Programs one binary cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::OutOfBounds`] outside the array.
+    pub fn program_bit(&mut self, row: usize, col: usize, on: bool) -> Result<(), XbarError> {
+        if row >= self.config.rows || col >= self.config.cols {
+            return Err(XbarError::OutOfBounds {
+                row,
+                col,
+                rows: self.config.rows,
+                cols: self.config.cols,
+            });
+        }
+        self.cells.set(row, col, on);
+        self.analog = None; // reprogramming invalidates the device sample
+        Ok(())
+    }
+
+    /// Reads back one cell's programmed (nominal) state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::OutOfBounds`] outside the array.
+    pub fn cell(&self, row: usize, col: usize) -> Result<bool, XbarError> {
+        if row >= self.config.rows || col >= self.config.cols {
+            return Err(XbarError::OutOfBounds {
+                row,
+                col,
+                rows: self.config.rows,
+                cols: self.config.cols,
+            });
+        }
+        Ok(self.cells.get(row, col))
+    }
+
+    /// Ideal integer MVM for one input bit-cycle: per bit line,
+    /// `Σ_rows input_bit · cell_bit` — the value in `[0, S]` the ADC sees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLength`] when the input vector length
+    /// differs from the number of word lines.
+    pub fn mvm_counts(&self, input: &BitVec) -> Result<Vec<u32>, XbarError> {
+        if input.len() != self.config.rows {
+            return Err(XbarError::InputLength { expected: self.config.rows, actual: input.len() });
+        }
+        Ok(self.cells.mvm(input))
+    }
+
+    /// Analog MVM: the same accumulation through sampled conductances, OFF
+    /// leakage (`1/on_off_ratio` per OFF cell on an active row), and read
+    /// noise. With an ideal noise model and infinite ON/OFF ratio this
+    /// equals [`Crossbar::mvm_counts`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLength`] on input length mismatch.
+    pub fn mvm_analog(&mut self, input: &BitVec) -> Result<Vec<f64>, XbarError> {
+        if input.len() != self.config.rows {
+            return Err(XbarError::InputLength { expected: self.config.rows, actual: input.len() });
+        }
+        self.ensure_analog();
+        let g_off = 1.0 / self.config.on_off_ratio;
+        let analog = self.analog.as_ref().expect("materialised above");
+        // read noise uses a stream decorrelated from the programming stream
+        let mut read_rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(self.noise.seed ^ 0x5EED_4EAD_0000_0001)
+        };
+        let mut out = Vec::with_capacity(self.config.cols);
+        for col in 0..self.config.cols {
+            let mut acc = 0.0f64;
+            for row in 0..self.config.rows {
+                if input.get(row) {
+                    let g = analog[row * self.config.cols + col];
+                    acc += if g == 0.0 { g_off } else { g };
+                }
+            }
+            acc += self.noise.sample_read_noise(&mut read_rng);
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    /// Fraction of programmed-ON cells.
+    pub fn density(&self) -> f64 {
+        let total = (self.config.rows * self.config.cols) as f64;
+        let ones: u32 = (0..self.config.cols).map(|c| self.cells.column_count_ones(c)).sum();
+        ones as f64 / total
+    }
+
+    fn ensure_analog(&mut self) {
+        if self.analog.is_some() {
+            return;
+        }
+        let mut rng = self.noise.rng();
+        let mut analog = Vec::with_capacity(self.config.rows * self.config.cols);
+        for row in 0..self.config.rows {
+            for col in 0..self.config.cols {
+                let nominal = if self.cells.get(row, col) { 1.0 } else { 0.0 };
+                analog.push(self.noise.sample_conductance(nominal, &mut rng));
+            }
+        }
+        self.analog = Some(analog);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CrossbarConfig {
+        CrossbarConfig { rows: 8, cols: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn program_and_read_back() {
+        let mut xb = Crossbar::new(small_cfg()).unwrap();
+        xb.program_bit(3, 2, true).unwrap();
+        assert!(xb.cell(3, 2).unwrap());
+        assert!(!xb.cell(3, 1).unwrap());
+        assert!(xb.program_bit(8, 0, true).is_err());
+        assert!(xb.cell(0, 4).is_err());
+    }
+
+    #[test]
+    fn mvm_counts_matches_manual_sum() {
+        let mut xb = Crossbar::new(small_cfg()).unwrap();
+        for row in 0..8 {
+            xb.program_bit(row, 0, row % 2 == 0).unwrap();
+            xb.program_bit(row, 1, true).unwrap();
+        }
+        let input = BitVec::from_bools(&[true; 8]);
+        let counts = xb.mvm_counts(&input).unwrap();
+        assert_eq!(counts[0], 4);
+        assert_eq!(counts[1], 8);
+        assert_eq!(counts[2], 0);
+    }
+
+    #[test]
+    fn multibit_cells_are_analytic_only() {
+        let cfg = CrossbarConfig { cell_bits: 2, ..small_cfg() };
+        assert!(cfg.validate().is_ok(), "config math supports multi-bit");
+        assert!(Crossbar::new(cfg).is_err(), "but cell arrays are binary");
+    }
+
+    #[test]
+    fn input_length_checked() {
+        let xb = Crossbar::new(small_cfg()).unwrap();
+        assert!(xb.mvm_counts(&BitVec::zeros(7)).is_err());
+    }
+
+    #[test]
+    fn ideal_analog_path_matches_counts_up_to_leakage() {
+        let mut xb = Crossbar::new(small_cfg()).unwrap();
+        for row in 0..8 {
+            xb.program_bit(row, 0, row < 3).unwrap();
+        }
+        let input = BitVec::from_bools(&[true; 8]);
+        let counts = xb.mvm_counts(&input).unwrap();
+        let analog = xb.mvm_analog(&input).unwrap();
+        for (c, a) in counts.iter().zip(analog.iter()) {
+            // leakage adds at most rows/on_off_ratio
+            assert!((a - *c as f64).abs() <= 8.0 / 1000.0 + 1e-12, "count {c} analog {a}");
+        }
+    }
+
+    #[test]
+    fn noisy_path_deviates_but_tracks() {
+        let noise = NoiseModel { sigma_prog: 0.05, sigma_read: 0.1, seed: 11, ..Default::default() };
+        let mut xb = Crossbar::with_noise(small_cfg(), noise).unwrap();
+        for row in 0..8 {
+            xb.program_bit(row, 0, true).unwrap();
+        }
+        let input = BitVec::from_bools(&[true; 8]);
+        let a = xb.mvm_analog(&input).unwrap();
+        assert!((a[0] - 8.0).abs() < 2.0, "noisy read {} too far from 8", a[0]);
+        assert_ne!(a[0], 8.0, "noise model must actually perturb");
+        // determinism: same device, same read sequence
+        let b = xb.mvm_analog(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reprogramming_resamples_device() {
+        let noise = NoiseModel { sigma_prog: 0.2, seed: 5, ..Default::default() };
+        let mut xb = Crossbar::with_noise(small_cfg(), noise).unwrap();
+        xb.program_bit(0, 0, true).unwrap();
+        let input = BitVec::from_bools(&[true, false, false, false, false, false, false, false]);
+        let first = xb.mvm_analog(&input).unwrap()[0];
+        xb.program_bit(1, 1, true).unwrap(); // invalidates device sample
+        let second = xb.mvm_analog(&input).unwrap()[0];
+        // same seed → same resample → stable value
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn density() {
+        let mut xb = Crossbar::new(small_cfg()).unwrap();
+        assert_eq!(xb.density(), 0.0);
+        xb.program_bit(0, 0, true).unwrap();
+        xb.program_bit(1, 1, true).unwrap();
+        assert!((xb.density() - 2.0 / 32.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by crossbar construction and operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XbarError {
+    /// A configuration field was out of the supported range.
+    BadConfig {
+        /// Explanation of the failed constraint.
+        reason: String,
+    },
+    /// A row/column index was outside the array.
+    OutOfBounds {
+        /// The offending row.
+        row: usize,
+        /// The offending column.
+        col: usize,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// An input vector's length did not match the number of word lines.
+    InputLength {
+        /// Expected length (rows).
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// A weight matrix did not fit the array being programmed.
+    WeightShape {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::BadConfig { reason } => write!(f, "bad crossbar config: {reason}"),
+            XbarError::OutOfBounds { row, col, rows, cols } => {
+                write!(f, "cell ({row}, {col}) outside {rows}x{cols} array")
+            }
+            XbarError::InputLength { expected, actual } => {
+                write!(f, "input vector length {actual} does not match {expected} word lines")
+            }
+            XbarError::WeightShape { reason } => write!(f, "weight shape mismatch: {reason}"),
+        }
+    }
+}
+
+impl Error for XbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = XbarError::OutOfBounds { row: 5, col: 6, rows: 4, cols: 4 };
+        assert!(e.to_string().contains("(5, 6)"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<XbarError>();
+    }
+}

@@ -1,0 +1,118 @@
+//! The analog front-end between bit line and ADC (Fig. 5 ➌): a
+//! trans-impedance amplifier (TIA) converting BL current to voltage, and
+//! the sample-and-hold (SH) circuit that presents a stable `V_hold` to the
+//! shared ADC.
+//!
+//! The paper configures the TRQ grid "by adjusting Vref of ADC or gain of
+//! the TIA amplifier" — in this model, [`Tia::gain`] *is* the knob that
+//! maps the integer BL domain onto the ADC's voltage grid.
+
+use serde::{Deserialize, Serialize};
+
+/// A trans-impedance amplifier with programmable gain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tia {
+    gain: f64,
+}
+
+impl Tia {
+    /// Creates a TIA with the given current→voltage gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gain` is finite and positive.
+    pub fn new(gain: f64) -> Self {
+        assert!(gain.is_finite() && gain > 0.0, "TIA gain must be positive, got {gain}");
+        Tia { gain }
+    }
+
+    /// Unit gain: BL integer counts pass through unchanged.
+    pub fn unity() -> Self {
+        Tia::new(1.0)
+    }
+
+    /// The gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Converts a BL current (in cell-current units) to a voltage.
+    pub fn to_voltage(&self, bl_current: f64) -> f64 {
+        bl_current * self.gain
+    }
+}
+
+/// A sample-and-hold stage with an optional droop model: the held voltage
+/// decays linearly by `droop_per_slot` for every ADC time slot it waits
+/// (the ADC is time-division shared by `α` bit lines, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleHold {
+    droop_per_slot: f64,
+}
+
+impl SampleHold {
+    /// An ideal hold (no droop).
+    pub fn ideal() -> Self {
+        SampleHold { droop_per_slot: 0.0 }
+    }
+
+    /// A hold that droops by `droop_per_slot` volts per waiting slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the droop is negative or non-finite.
+    pub fn with_droop(droop_per_slot: f64) -> Self {
+        assert!(
+            droop_per_slot.is_finite() && droop_per_slot >= 0.0,
+            "droop must be non-negative, got {droop_per_slot}"
+        );
+        SampleHold { droop_per_slot }
+    }
+
+    /// The held voltage after waiting `slots` ADC slots (clamped at zero).
+    pub fn held_voltage(&self, sampled: f64, slots: u32) -> f64 {
+        (sampled - self.droop_per_slot * slots as f64).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tia_scales_current() {
+        let tia = Tia::new(0.25);
+        assert_eq!(tia.to_voltage(100.0), 25.0);
+        assert_eq!(Tia::unity().to_voltage(7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tia_rejects_zero_gain() {
+        let _ = Tia::new(0.0);
+    }
+
+    #[test]
+    fn ideal_hold_is_stable() {
+        let sh = SampleHold::ideal();
+        assert_eq!(sh.held_voltage(3.3, 0), 3.3);
+        assert_eq!(sh.held_voltage(3.3, 1000), 3.3);
+    }
+
+    #[test]
+    fn droop_decays_and_clamps() {
+        let sh = SampleHold::with_droop(0.1);
+        assert!((sh.held_voltage(1.0, 3) - 0.7).abs() < 1e-12);
+        assert_eq!(sh.held_voltage(0.2, 100), 0.0);
+    }
+
+    #[test]
+    fn tia_gain_realises_vgrid_tuning() {
+        // Setting gain = 1/Vgrid maps "one cell current" onto one ADC LSB:
+        // the mechanism Section III-D describes for configuring ΔR1.
+        let vgrid: f64 = 0.004;
+        let tia = Tia::new(1.0 / vgrid);
+        let v = tia.to_voltage(5.0); // 5 active cells
+        assert!((v - 5.0 / 0.004).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! # trq-xbar
+//!
+//! ReRAM crossbar simulator — the analog substrate of the ISAAC-style
+//! accelerator (Section II-A, Fig. 1 and Fig. 5 of the paper).
+//!
+//! The simulated datapath follows the paper's configuration: `S×S`
+//! crossbars (128×128 by default) of single-bit cells, 1-bit DACs feeding
+//! word lines with input bit-slices cycle by cycle, and differential
+//! positive/negative crossbar pairs holding sign-magnitude weight slices.
+//! Each bit line accumulates `I_i = Σ_j G_ij · V_j`, which for binary cells
+//! and binary inputs is an integer population count in `[0, S]` — the value
+//! the ADC digitises and whose skewed distribution (Fig. 3a) motivates the
+//! whole co-design.
+//!
+//! Modules:
+//! - [`BitMatrix`] / [`BitVec`] — packed binary cell arrays with
+//!   popcount-based MVM (the performance-critical kernel);
+//! - [`WeightSlicer`] / input bit-plane helpers — the spatial (weight) and
+//!   temporal (input) bit slicing of Fig. 1;
+//! - [`Crossbar`] and [`DiffPair`] — programmed arrays with optional device
+//!   non-idealities ([`NoiseModel`]);
+//! - [`Tia`] and [`SampleHold`] — the analog front-end between bit line and
+//!   ADC.
+//!
+//! ```
+//! use trq_xbar::{Crossbar, CrossbarConfig, BitVec};
+//! # fn main() -> Result<(), trq_xbar::XbarError> {
+//! let cfg = CrossbarConfig::default(); // 128x128, 1-bit cells
+//! let mut xbar = Crossbar::new(cfg)?;
+//! xbar.program_bit(0, 0, true)?;
+//! xbar.program_bit(1, 0, true)?;
+//! let mut wl = BitVec::zeros(128); // one input bit per word line
+//! wl.set(0, true);
+//! wl.set(1, true);
+//! let counts = xbar.mvm_counts(&wl)?;
+//! assert_eq!(counts[0], 2); // two active cells on bit line 0
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod bits;
+mod config;
+mod crossbar;
+mod error;
+mod frontend;
+mod noise;
+mod pair;
+mod slicing;
+
+pub use bits::{BitMatrix, BitVec};
+pub use config::CrossbarConfig;
+pub use crossbar::Crossbar;
+pub use error::XbarError;
+pub use frontend::{SampleHold, Tia};
+pub use noise::NoiseModel;
+pub use pair::DiffPair;
+pub use slicing::{bit_plane, unsigned_bit_planes, WeightSlicer};

@@ -1,0 +1,158 @@
+//! Device non-ideality models for the analog read path.
+//!
+//! The paper's evaluation assumes ideal devices (its contribution is in the
+//! digital SAR logic), but a credible crossbar substrate must let users ask
+//! "does TRQ survive device noise?". This module provides the standard
+//! trio used by NeuroSim-style simulators:
+//!
+//! - **programming variation**: each programmed conductance deviates
+//!   log-normally from nominal (`σ_prog` in log-space);
+//! - **read noise**: additive Gaussian noise on each BL current, in units
+//!   of one cell current (`σ_read`);
+//! - **stuck-at faults**: a fraction of cells permanently ON or OFF.
+//!
+//! A model with all parameters zero is exactly the ideal integer datapath
+//! (verified by test).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for device non-idealities. All default to zero (ideal).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Log-normal programming variation σ (log-space standard deviation).
+    pub sigma_prog: f64,
+    /// Additive Gaussian read noise per BL sample, in cell-current units.
+    pub sigma_read: f64,
+    /// Probability a cell is stuck OFF.
+    pub stuck_off_rate: f64,
+    /// Probability a cell is stuck ON.
+    pub stuck_on_rate: f64,
+    /// RNG seed; the same seed reproduces the same device instance.
+    pub seed: u64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { sigma_prog: 0.0, sigma_read: 0.0, stuck_off_rate: 0.0, stuck_on_rate: 0.0, seed: 0 }
+    }
+}
+
+impl NoiseModel {
+    /// An ideal (noiseless) model.
+    pub fn ideal() -> Self {
+        NoiseModel::default()
+    }
+
+    /// True when every non-ideality is disabled.
+    pub fn is_ideal(&self) -> bool {
+        self.sigma_prog == 0.0
+            && self.sigma_read == 0.0
+            && self.stuck_off_rate == 0.0
+            && self.stuck_on_rate == 0.0
+    }
+
+    /// A deterministic RNG for this device instance.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// Samples the effective conductance (in cell-current units) for one
+    /// programmed cell of nominal value `nominal` (0.0 or 1.0 for binary
+    /// cells), applying stuck faults then programming variation.
+    pub fn sample_conductance(&self, nominal: f64, rng: &mut StdRng) -> f64 {
+        let fault: f64 = rng.gen();
+        let base = if fault < self.stuck_off_rate {
+            0.0
+        } else if fault < self.stuck_off_rate + self.stuck_on_rate {
+            1.0
+        } else {
+            nominal
+        };
+        if base == 0.0 || self.sigma_prog == 0.0 {
+            base
+        } else {
+            base * (self.sigma_prog * standard_normal(rng)).exp()
+        }
+    }
+
+    /// Samples additive read noise for one BL observation.
+    pub fn sample_read_noise(&self, rng: &mut StdRng) -> f64 {
+        if self.sigma_read == 0.0 {
+            0.0
+        } else {
+            self.sigma_read * standard_normal(rng)
+        }
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_model_is_identity() {
+        let m = NoiseModel::ideal();
+        assert!(m.is_ideal());
+        let mut rng = m.rng();
+        assert_eq!(m.sample_conductance(1.0, &mut rng), 1.0);
+        assert_eq!(m.sample_conductance(0.0, &mut rng), 0.0);
+        assert_eq!(m.sample_read_noise(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn programming_variation_is_unbiased_in_log_space() {
+        let m = NoiseModel { sigma_prog: 0.1, seed: 3, ..Default::default() };
+        let mut rng = m.rng();
+        let mut log_sum = 0.0;
+        let n = 20000;
+        for _ in 0..n {
+            log_sum += m.sample_conductance(1.0, &mut rng).ln();
+        }
+        assert!((log_sum / n as f64).abs() < 0.01);
+    }
+
+    #[test]
+    fn stuck_rates_are_respected() {
+        let m = NoiseModel { stuck_off_rate: 0.2, stuck_on_rate: 0.1, seed: 7, ..Default::default() };
+        let mut rng = m.rng();
+        let n = 50000;
+        let mut off = 0;
+        let mut on = 0;
+        for _ in 0..n {
+            // nominal 0 cell: stuck-ON makes it 1
+            match m.sample_conductance(0.0, &mut rng) {
+                c if c == 0.0 => off += 1,
+                _ => on += 1,
+            }
+        }
+        let on_rate = on as f64 / n as f64;
+        assert!((on_rate - 0.1).abs() < 0.01, "stuck-on rate {on_rate}");
+        assert!(off > 0);
+    }
+
+    #[test]
+    fn same_seed_same_device() {
+        let m = NoiseModel { sigma_prog: 0.2, seed: 42, ..Default::default() };
+        let a: Vec<f64> = {
+            let mut rng = m.rng();
+            (0..10).map(|_| m.sample_conductance(1.0, &mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = m.rng();
+            (0..10).map(|_| m.sample_conductance(1.0, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,63 @@
+//! Algorithm 1 on ResNet-20: per-layer distribution typing and the chosen
+//! TRQ/uniform configuration at each `Nmax`, showing how the co-design
+//! trades operations for reconstruction error layer by layer.
+//!
+//! Run with: `cargo run --release --example calibration_sweep`
+
+use trq::core::arch::ArchConfig;
+use trq::core::calib::{collect_bl_samples, plan_network, CalibSettings};
+use trq::core::pim::{AdcScheme, CollectorConfig};
+use trq::nn::{data, models, QuantizedNetwork};
+use trq::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = models::resnet20(7)?;
+    let cal_ds = data::synthetic_cifar(8, 3);
+    let cal: Vec<Tensor> = cal_ds.iter().map(|s| s.image.clone()).collect();
+    let qnet = QuantizedNetwork::quantize(&net, &cal)?;
+    let arch = ArchConfig::default();
+
+    println!("collecting bit-line statistics from {} calibration images...", 2);
+    let samples = collect_bl_samples(&qnet, &arch, &cal[..2], CollectorConfig::default());
+
+    let settings = CalibSettings::default();
+    for nmax in [7u32, 4] {
+        println!("\n=== Nmax = {nmax} ===");
+        println!(
+            "{:<22} {:<13} {:>6} {:>9} {:>10}  scheme",
+            "layer", "class", "Rideal", "mean ops", "mse"
+        );
+        let plans = plan_network(&samples, &arch, nmax, &settings);
+        let mut total_ops = 0.0;
+        for plan in &plans {
+            let scheme = match plan.scheme {
+                AdcScheme::Trq(p) => format!(
+                    "TRQ NR1={} NR2={} M={} bias={}",
+                    p.n_r1(),
+                    p.n_r2(),
+                    p.m(),
+                    p.bias()
+                ),
+                AdcScheme::Uniform { bits, vgrid } => format!("U {bits}b Δ={vgrid:.3}"),
+                AdcScheme::Ideal => "ideal".into(),
+            };
+            println!(
+                "{:<22} {:<13} {:>6} {:>9.2} {:>10.4}  {}",
+                plan.label,
+                format!("{:?}", plan.class),
+                plan.rideal,
+                plan.mean_ops,
+                plan.mse,
+                scheme
+            );
+            total_ops += plan.mean_ops;
+        }
+        let mean = total_ops / plans.len() as f64;
+        println!(
+            "network mean ops/conversion: {:.2} ({:.0}% of the 8-op baseline)",
+            mean,
+            mean / arch.adc_bits as f64 * 100.0
+        );
+    }
+    Ok(())
+}

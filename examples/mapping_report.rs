@@ -1,0 +1,54 @@
+//! Static mapping report: how the four paper workloads occupy an
+//! ISAAC-style crossbar fabric (Fig. 5 ➊–➌ arithmetic).
+//!
+//! Run with: `cargo run --release --example mapping_report`
+
+use trq::core::arch::{map_network, ArchConfig};
+use trq::nn::{data, models, QuantizedNetwork};
+use trq::tensor::Tensor;
+
+fn report(name: &str, net: &trq::nn::Network, cal: &[Tensor]) -> Result<(), Box<dyn std::error::Error>> {
+    let qnet = QuantizedNetwork::quantize(net, cal)?;
+    let arch = ArchConfig::default();
+    let m = map_network(&qnet, &arch);
+    println!("\n== {name} ==");
+    println!("{:<26} {:>7} {:>8} {:>5}x{:<4} {:>6} {:>6}", "layer", "depth", "outputs", "rows", "cols", "pairs", "util");
+    for layer in m.layers.iter().take(6) {
+        println!(
+            "{:<26} {:>7} {:>8} {:>5}x{:<4} {:>6} {:>5.0}%",
+            layer.label,
+            layer.depth,
+            layer.outputs,
+            layer.row_blocks,
+            layer.col_blocks,
+            layer.xbar_pairs,
+            layer.utilization * 100.0
+        );
+    }
+    if m.layers.len() > 6 {
+        println!("  ... ({} more layers)", m.layers.len() - 6);
+    }
+    println!(
+        "total: {} differential pairs = {} physical 128x128 crossbars, mean utilization {:.0}%",
+        m.total_pairs,
+        m.total_xbars,
+        m.mean_utilization * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let digit = vec![data::synthetic_digits(1, 1)[0].image.clone()];
+    let cifar = vec![data::synthetic_cifar(1, 1)[0].image.clone()];
+    let imagenet = vec![data::synthetic_imagenet(1, 100, 56, 1)[0].image.clone()];
+
+    report("lenet5", &models::lenet5(1)?, &digit)?;
+    report("resnet20 (CIFAR-10)", &models::resnet20(1)?, &cifar)?;
+    report("squeezenet1.1", &models::squeezenet1_1(1, 56, 100)?, &imagenet)?;
+    report("resnet18", &models::resnet18(1, 56, 100)?, &imagenet)?;
+    println!("\n(per Fig. 5, ADCs and shift-add trees are time-division shared");
+    println!(" across bit lines, so array count — not ADC count — scales with");
+    println!(" model size; the ADC bill scales with *conversions*, which is");
+    println!(" what TRQ attacks.)");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # trq — facade crate
+//!
+//! Reproduction of *"Algorithm-Hardware Co-Design for Energy-Efficient A/D
+//! Conversion in ReRAM-Based Accelerators"* (DATE 2024). This crate
+//! re-exports the public API of every sub-crate so applications can depend
+//! on a single package:
+//!
+//! - [`tensor`] — dense f32/i32 tensors, im2col convolution;
+//! - [`quant`] — uniform and twin-range quantizers, histograms;
+//! - [`xbar`] — ReRAM crossbar simulator with bit-sliced mapping;
+//! - [`adc`] — SAR ADC state machines (uniform / non-uniform / TRQ);
+//! - [`nn`] — DNN graph engine, paper workloads, synthetic datasets;
+//! - [`core`] — ISAAC-like architecture, energy model, Algorithm 1,
+//!   experiment drivers.
+//!
+//! ```
+//! use trq::quant::{TrqParams, TwinRangeQuantizer};
+//! # fn main() -> Result<(), trq::quant::QuantError> {
+//! let q = TwinRangeQuantizer::new(TrqParams::new(3, 3, 2, 1.0, 0)?);
+//! assert_eq!(q.quantize(5.0).value, 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub use trq_adc as adc;
+pub use trq_core as core;
+pub use trq_nn as nn;
+pub use trq_quant as quant;
+pub use trq_tensor as tensor;
+pub use trq_xbar as xbar;

@@ -1,0 +1,106 @@
+//! Cross-crate equivalence chain: the paper's "behaviour abstraction"
+//! claim verified end to end —
+//! behavioural quantizer == traced SAR ADC == engine lookup table ==
+//! full bit-sliced crossbar datapath.
+
+use trq::adc::{ShiftAdd, TrqSarAdc, UniformSarAdc};
+use trq::core::arch::ArchConfig;
+use trq::core::pim::{AdcScheme, PimMvm};
+use trq::nn::{ExactMvm, MvmEngine, MvmLayerInfo};
+use trq::quant::{TrqParams, TwinRangeQuantizer, UniformQuantizer};
+
+fn lcg(seed: u64) -> impl FnMut(i64) -> i32 {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    move |m: i64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as i64 % m) as i32
+    }
+}
+
+#[test]
+fn quantizer_adc_and_lut_agree_on_the_count_domain() {
+    // every integer BL count a 128-row array can produce
+    for &(n1, n2, m, bias) in &[(3u32, 7u32, 1u32, 0u32), (2, 5, 3, 0), (4, 4, 2, 3), (1, 8, 0, 0)]
+    {
+        let params = TrqParams::new(n1, n2, m, 1.0, bias).unwrap();
+        let q = TwinRangeQuantizer::new(params);
+        let adc = TrqSarAdc::new(params);
+        for count in 0..=128u32 {
+            let x = count as f64;
+            let behav = q.quantize(x);
+            let conv = adc.convert(x);
+            assert_eq!(behav.value, conv.value, "params {params:?} count {count}");
+            assert_eq!(behav.ops, conv.ops, "params {params:?} count {count}");
+        }
+    }
+}
+
+#[test]
+fn uniform_adc_equals_uniform_quantizer_on_counts() {
+    for bits in 1..=8u32 {
+        let adc = UniformSarAdc::new(bits, 0.73).unwrap();
+        let q = UniformQuantizer::new(bits, 0.73).unwrap();
+        for count in 0..=128u32 {
+            assert_eq!(adc.convert(count as f64).value, q.quantize(count as f64));
+        }
+    }
+}
+
+#[test]
+fn crossbar_engine_with_ideal_adc_is_exact_for_every_layer_shape() {
+    let arch = ArchConfig::default();
+    for &(depth, outputs, n) in &[(1usize, 1usize, 1usize), (16, 4, 9), (128, 8, 5), (300, 3, 7)] {
+        let mut next = lcg(depth as u64 * 31 + outputs as u64);
+        let weights: Vec<i32> = (0..depth * outputs).map(|_| next(255) - 127).collect();
+        let cols: Vec<u8> = (0..depth * n).map(|_| next(256) as u8).collect();
+        let info = MvmLayerInfo {
+            node: 1,
+            mvm_index: 0,
+            label: format!("d{depth}o{outputs}"),
+            depth,
+            outputs,
+        };
+        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+        let got = pim.mvm(&info, &weights, &cols, n);
+        let want = ExactMvm.mvm(&info, &weights, &cols, n);
+        assert_eq!(got, want, "shape ({depth}, {outputs}, {n})");
+    }
+}
+
+#[test]
+fn lossless_trq_config_matches_exact_engine_through_crossbars() {
+    // Eq. 11: ΔR1 = 1, NR1 wide enough for every count → zero loss
+    let arch = ArchConfig::default();
+    let params = TrqParams::new(8, 4, 4, 1.0, 0).unwrap();
+    let mut next = lcg(77);
+    let (depth, outputs, n) = (140usize, 5usize, 6usize);
+    let weights: Vec<i32> = (0..depth * outputs).map(|_| next(255) - 127).collect();
+    let cols: Vec<u8> = (0..depth * n).map(|_| next(256) as u8).collect();
+    let info =
+        MvmLayerInfo { node: 1, mvm_index: 0, label: "lossless".into(), depth, outputs };
+    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let got = pim.mvm(&info, &weights, &cols, n);
+    let want = ExactMvm.mvm(&info, &weights, &cols, n);
+    assert_eq!(got, want);
+    // and it still saves ops: every conversion is 1 + 8 = 9? No: NR1 = 8
+    // costs 9 ops > 8. The *lossless* configuration is the energy-neutral
+    // anchor; savings require narrowing R1, which Algorithm 1 does under
+    // the accuracy constraint.
+    assert_eq!(pim.stats().mean_ops(), 9.0);
+}
+
+#[test]
+fn shift_add_decode_matches_quantizer_arithmetic() {
+    let params = TrqParams::new(3, 6, 2, 1.0, 0).unwrap();
+    let q = TwinRangeQuantizer::new(params);
+    let mut sa = ShiftAdd::new(24);
+    let mut direct = 0f64;
+    for (i, count) in [0u32, 3, 9, 17, 64, 128].iter().enumerate() {
+        let out = q.quantize(*count as f64);
+        let shift = (i % 4) as u32;
+        sa.add_code(out.code, &params, shift);
+        direct += out.value * (1u64 << shift) as f64;
+    }
+    assert_eq!(sa.value() as f64 * params.delta_r1(), direct);
+    assert_eq!(sa.overflows(), 0, "24-bit partial sums suffice here");
+}

@@ -1,0 +1,58 @@
+//! Coverage for graph operations not exercised by the four paper models:
+//! average pooling inside the quantized datapath, and mixed merge nodes.
+
+use trq::nn::{ExactMvm, Network, Op, QuantizedNetwork};
+use trq::tensor::ops::{Conv2dGeom, PoolGeom};
+use trq::tensor::Tensor;
+
+fn avgpool_net() -> Network {
+    let mut net = Network::new("avgpool-net");
+    let geom = Conv2dGeom::square(1, 2, 3, 1, 1);
+    let w = Tensor::from_vec(vec![2, 9], (0..18).map(|i| (i as f32 - 9.0) / 12.0).collect()).unwrap();
+    let c = net.chain(Op::Conv2d { weights: w, bias: Some(vec![0.1, -0.1]), geom }, 0, "conv").unwrap();
+    let r = net.chain(Op::Relu, c, "relu").unwrap();
+    let p = net.chain(Op::AvgPool(PoolGeom::square(2)), r, "avg").unwrap();
+    let g = net.chain(Op::GlobalAvgPool, p, "gap").unwrap();
+    let wfc = Tensor::from_vec(vec![3, 2], vec![1.0, -0.5, 0.25, 0.75, -1.0, 0.5]).unwrap();
+    net.chain(Op::Linear { weights: wfc, bias: None }, g, "fc").unwrap();
+    net
+}
+
+#[test]
+fn avgpool_float_and_quantized_paths_agree() {
+    let net = avgpool_net();
+    let x = Tensor::from_vec(vec![1, 4, 4], (0..16).map(|i| i as f32 / 16.0).collect()).unwrap();
+    let yf = net.forward(&x).unwrap();
+    assert_eq!(yf.shape().dims(), &[3]);
+
+    let qnet = QuantizedNetwork::quantize(&net, &[x.clone()]).unwrap();
+    let yq = qnet.forward(&x, &mut ExactMvm).unwrap();
+    assert_eq!(yq.shape().dims(), &[3]);
+    for (a, b) in yf.data().iter().zip(yq.data()) {
+        assert!((a - b).abs() < 0.05, "avgpool path diverged: {a} vs {b}");
+    }
+    assert_eq!(yf.argmax(), yq.argmax());
+}
+
+#[test]
+fn add_after_different_depths_is_rejected_at_runtime() {
+    let mut net = Network::new("bad-add");
+    let r = net.chain(Op::Relu, 0, "relu").unwrap();
+    let g = net.chain(Op::GlobalAvgPool, r, "gap").unwrap();
+    // adding a [C] vector to a [C,H,W] map must fail cleanly
+    net.push(Op::Add, vec![r, g], "mix").unwrap();
+    let x = Tensor::full(vec![2, 3, 3], 1.0).unwrap();
+    assert!(net.forward(&x).is_err());
+}
+
+#[test]
+fn deep_chains_of_mixed_pools_stay_consistent() {
+    let mut net = Network::new("pools");
+    let m = net.chain(Op::MaxPool(PoolGeom::square(2)), 0, "max").unwrap();
+    let a = net.chain(Op::AvgPool(PoolGeom { k: 2, stride: 1 }), m, "avg").unwrap();
+    net.chain(Op::Flatten, a, "flat").unwrap();
+    let x = Tensor::from_vec(vec![1, 4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
+    let y = net.forward(&x).unwrap();
+    // max 2x2 → [[5,7],[13,15]]; avg 2x2 stride 1 → [(5+7+13+15)/4] = [10]
+    assert_eq!(y.data(), &[10.0]);
+}

@@ -1,0 +1,61 @@
+//! Serialisation contracts: experiment records round-trip through JSON so
+//! the figure harnesses' outputs stay machine-readable.
+
+use trq::core::arch::ArchConfig;
+use trq::core::calib::CalibSettings;
+use trq::core::energy::{EnergyParams, PowerBreakdown};
+use trq::core::experiments::{fig3a, fig6_accuracy, fig7_power, headline, SuiteConfig, Workload};
+use trq::quant::TrqParams;
+
+#[test]
+fn fig3a_report_roundtrips() {
+    let w = Workload::lenet5(&SuiteConfig::quick());
+    let report = fig3a(&w, &ArchConfig::default(), 1);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: trq::core::experiments::Fig3aReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.layers.len(), report.layers.len());
+    assert_eq!(back.workload, report.workload);
+}
+
+#[test]
+fn fig6_series_roundtrips() {
+    let w = Workload::lenet5(&SuiteConfig::quick());
+    let settings = CalibSettings { candidates: 6, ..Default::default() };
+    let series = fig6_accuracy(&w, &ArchConfig::default(), &settings, true, &[6]);
+    let json = serde_json::to_string(&series).unwrap();
+    let back: trq::core::experiments::Fig6Series = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.points.len(), series.points.len());
+    assert!(back.trq);
+}
+
+#[test]
+fn fig7_and_headline_roundtrip() {
+    let w = Workload::lenet5(&SuiteConfig::quick());
+    let settings = CalibSettings { candidates: 6, theta: 0.1, ..Default::default() };
+    let bars = fig7_power(&w, &ArchConfig::default(), &settings, &EnergyParams::default());
+    let json = serde_json::to_string(&bars).unwrap();
+    let back: Vec<trq::core::experiments::Fig7Bar> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), 3);
+    let report = headline(&back);
+    assert_eq!(report.reductions.len(), 1);
+}
+
+#[test]
+fn params_and_breakdown_serde() {
+    let p = TrqParams::new(3, 7, 2, 0.5, 1).unwrap();
+    let json = serde_json::to_string(&p).unwrap();
+    let back: TrqParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+
+    let bd = PowerBreakdown {
+        adc_pj: 1.0,
+        crossbar_pj: 2.0,
+        dac_pj: 3.0,
+        buffer_pj: 4.0,
+        register_pj: 5.0,
+        bus_router_pj: 6.0,
+    };
+    let back: PowerBreakdown = serde_json::from_str(&serde_json::to_string(&bd).unwrap()).unwrap();
+    assert_eq!(bd, back);
+    assert_eq!(back.total_pj(), 21.0);
+}

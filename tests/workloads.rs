@@ -1,0 +1,68 @@
+//! Integration coverage for the three He-initialised paper workloads:
+//! quantized inference must track the float reference through the full
+//! graph machinery (residuals, fire-module concats, projections).
+
+use trq::core::arch::ArchConfig;
+use trq::core::calib::{evaluate_plan, EvalMetric};
+use trq::core::experiments::{SuiteConfig, Workload};
+use trq::core::pim::AdcScheme;
+use trq::nn::ExactMvm;
+
+fn exact_fidelity(w: &Workload, n: usize) -> f64 {
+    let mut engine = ExactMvm;
+    let mut agree = 0usize;
+    for image in w.eval_inputs.iter().take(n) {
+        let q = w.qnet.forward(image, &mut engine).expect("quantized forward");
+        let f = w.net.forward(image).expect("float forward");
+        if q.argmax() == f.argmax() {
+            agree += 1;
+        }
+    }
+    agree as f64 / n as f64
+}
+
+#[test]
+fn resnet20_quantized_tracks_float() {
+    let w = Workload::resnet20(&SuiteConfig::quick());
+    assert!(exact_fidelity(&w, 4) >= 0.5, "8-bit PTQ should mostly agree with FP32");
+}
+
+#[test]
+fn squeezenet_quantized_tracks_float() {
+    let w = Workload::squeezenet1_1(&SuiteConfig::quick());
+    assert!(exact_fidelity(&w, 2) >= 0.5);
+}
+
+#[test]
+fn resnet18_pim_ideal_equals_exact_engine() {
+    // the whole ResNet-18 graph through bit-sliced crossbars with the
+    // lossless scheme must match the plain integer engine decision-for-
+    // decision (they are the same function; this guards the wiring)
+    let w = Workload::resnet18(&SuiteConfig::quick());
+    let arch = ArchConfig::default();
+    let inputs = &w.eval_inputs[..2];
+    let plan = vec![AdcScheme::Ideal; w.qnet.layers().len()];
+    let metric = EvalMetric::Fidelity(inputs);
+    let pim = evaluate_plan(&w.qnet, &arch, &plan, &metric);
+
+    let mut engine = ExactMvm;
+    let mut agree = 0usize;
+    for image in inputs {
+        let q = w.qnet.forward(image, &mut engine).expect("exact forward");
+        let f = w.net.forward(image).expect("float forward");
+        if q.argmax() == f.argmax() {
+            agree += 1;
+        }
+    }
+    let exact_score = agree as f64 / inputs.len() as f64;
+    assert_eq!(pim.score, exact_score, "ideal PIM and exact engine must decide identically");
+}
+
+#[test]
+fn suite_contains_the_four_paper_workloads_in_figure_order() {
+    let cfg = SuiteConfig::quick();
+    let suite = Workload::paper_suite(&cfg);
+    let names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+    assert_eq!(names, vec!["resnet20_cifar10", "squeezenet1_1", "lenet5", "resnet18"]);
+    assert!(suite.iter().any(|w| w.is_trained()), "lenet must carry real accuracy");
+}
