@@ -130,7 +130,8 @@ mod tests {
 
     #[test]
     fn fixed_ops_per_conversion() {
-        let adc = NonUniformSarAdc::from_levels((0..16).map(|i| i as f64 * i as f64).collect()).unwrap();
+        let adc =
+            NonUniformSarAdc::from_levels((0..16).map(|i| i as f64 * i as f64).collect()).unwrap();
         for x in [0.0, 3.0, 77.0, 500.0] {
             assert_eq!(adc.convert(x).ops, 4);
             assert_eq!(adc.convert(x).trace.len(), 4);
@@ -150,7 +151,11 @@ mod tests {
         let hist = Histogram::from_samples(&samples, 128).unwrap();
         let adc = NonUniformSarAdc::from_histogram(&hist, 4).unwrap();
         let below_10 = adc.levels().iter().filter(|&&l| l < 10.0).count();
-        assert!(below_10 >= 12, "expected most levels below 10, got {below_10}: {:?}", adc.levels());
+        assert!(
+            below_10 >= 12,
+            "expected most levels below 10, got {below_10}: {:?}",
+            adc.levels()
+        );
     }
 
     proptest! {

@@ -149,6 +149,9 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    // the literal is grouped by register field (mode | bias | M | NR2 | NR1),
+    // not in uniform nibbles
+    #[allow(clippy::unusual_byte_groupings)]
     fn pack_layout_is_stable() {
         let reg = CfgRegister { n_r1: 3, n_r2: 5, m: 2, bias: 1, mode: AdcMode::TwinRange };
         // (3-1) | (5-1)<<4 | 2<<8 | 1<<12 | 1<<20
@@ -157,10 +160,7 @@ mod tests {
 
     #[test]
     fn reserved_bits_rejected() {
-        assert!(matches!(
-            CfgRegister::unpack(1 << 25),
-            Err(RegisterError::ReservedBitsSet { .. })
-        ));
+        assert!(matches!(CfgRegister::unpack(1 << 25), Err(RegisterError::ReservedBitsSet { .. })));
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub(crate) fn binary_search_uniform(
     bits: u32,
     trace: Option<&mut ConversionTrace>,
 ) -> u32 {
-    debug_assert!(bits >= 1 && bits <= 16);
+    debug_assert!((1..=16).contains(&bits));
     let r = (x - base) / step;
     let mut acc: u32 = 0;
     let mut local = Vec::new();

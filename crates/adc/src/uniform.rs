@@ -54,8 +54,13 @@ impl UniformSarAdc {
     /// Converts a held sample, recording the full search trace.
     pub fn convert(&self, x: f64) -> Conversion {
         let mut trace = Vec::new();
-        let code =
-            binary_search_uniform(x, 0.0, self.quantizer.delta(), self.quantizer.bits(), Some(&mut trace));
+        let code = binary_search_uniform(
+            x,
+            0.0,
+            self.quantizer.delta(),
+            self.quantizer.bits(),
+            Some(&mut trace),
+        );
         Conversion {
             code_bits: code,
             value: self.quantizer.dequantize(code),
@@ -67,7 +72,8 @@ impl UniformSarAdc {
     /// Converts without building a trace — the hot path for full-network
     /// simulation.
     pub fn convert_fast(&self, x: f64) -> (u32, f64, u32) {
-        let code = binary_search_uniform(x, 0.0, self.quantizer.delta(), self.quantizer.bits(), None);
+        let code =
+            binary_search_uniform(x, 0.0, self.quantizer.delta(), self.quantizer.bits(), None);
         (code, self.quantizer.dequantize(code), self.quantizer.bits())
     }
 }

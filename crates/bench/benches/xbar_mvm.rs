@@ -24,9 +24,7 @@ fn bench_mvm(c: &mut Criterion) {
 
     let cells = setup(128, 128, 1);
     let input = BitVec::from_bools(&(0..128).map(|i| i % 3 != 0).collect::<Vec<_>>());
-    group.bench_function("single_128x128", |b| {
-        b.iter(|| black_box(cells.mvm(black_box(&input))))
-    });
+    group.bench_function("single_128x128", |b| b.iter(|| black_box(cells.mvm(black_box(&input)))));
 
     let windows = setup(128, 256, 2);
     group.bench_function("batched_128x128_x256win", |b| {

@@ -31,7 +31,7 @@ struct AblationReport {
     guard_sweep: Vec<(f64, f64, f64)>, // (guard, score, remaining_ops)
     nonuniform_mse: f64,
     trq_busiest_mse: f64,
-    nonuniform_mse_ratio: f64,         // NU-ADC mse / TRQ mse at equal bits
+    nonuniform_mse_ratio: f64, // NU-ADC mse / TRQ mse at equal bits
 }
 
 fn main() {
@@ -85,10 +85,7 @@ fn main() {
 
     // 3. non-uniform SAR at nmax bits vs the TRQ reconstruction, on the
     //    busiest layer's calibration samples
-    let busiest = samples
-        .iter()
-        .max_by_key(|s| s.seen)
-        .expect("at least one layer");
+    let busiest = samples.iter().max_by_key(|s| s.seen).expect("at least one layer");
     let nu = NonUniformSarAdc::from_histogram(&busiest.hist, nmax)
         .expect("non-degenerate calibration histogram");
     let nu_mse = quantizer_mse(&busiest.values, |x| nu.convert(x).value);

@@ -71,10 +71,10 @@ pub fn evaluate_plan(
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8).min(n);
     let chunk = n.div_ceil(threads);
     let indices: Vec<usize> = (0..n).collect();
-    let results: Vec<(usize, PimStats)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(usize, PimStats)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for piece in indices.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut engine = PimMvm::new(arch, plan.to_vec());
                 let mut correct = 0usize;
                 for &i in piece {
@@ -101,8 +101,7 @@ pub fn evaluate_plan(
             }));
         }
         handles.into_iter().map(|h| h.join().expect("eval worker panicked")).collect()
-    })
-    .expect("evaluation scope failed");
+    });
 
     let mut stats = PimStats::default();
     let mut correct = 0usize;
@@ -143,7 +142,11 @@ mod tests {
         let metric = EvalMetric::Fidelity(&images);
         let plan = vec![AdcScheme::Ideal; qnet.layers().len()];
         let eval = evaluate_plan(&qnet, &arch, &plan, &metric);
-        assert!(eval.score >= 0.8, "8-bit PTQ + lossless ADC should agree with FP32: {}", eval.score);
+        assert!(
+            eval.score >= 0.8,
+            "8-bit PTQ + lossless ADC should agree with FP32: {}",
+            eval.score
+        );
         assert!(eval.stats.conversions() > 0);
     }
 

@@ -174,11 +174,8 @@ pub fn plan_layer(
     // reproduction reads the two objectives together: among grids whose
     // reconstruction error is within `mse_guard` of the best achievable,
     // take the one with the lowest A/D-operation cost.
-    let min_mse = per_grid_best
-        .iter()
-        .map(|c| c.mse)
-        .fold(f64::INFINITY, f64::min)
-        .max(f64::MIN_POSITIVE);
+    let min_mse =
+        per_grid_best.iter().map(|c| c.mse).fold(f64::INFINITY, f64::min).max(f64::MIN_POSITIVE);
     let trq_best = per_grid_best
         .into_iter()
         .filter(|c| c.mse <= min_mse * s.mse_guard)
@@ -245,16 +242,15 @@ pub fn plan_network(
     }
     let mut out: Vec<Option<LayerPlan>> = vec![None; samples.len()];
     let chunk = samples.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot_chunk, sample_chunk) in out.chunks_mut(chunk).zip(samples.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, smp) in slot_chunk.iter_mut().zip(sample_chunk.iter()) {
                     *slot = Some(plan_layer(smp, arch, nmax, settings));
                 }
             });
         }
-    })
-    .expect("calibration worker panicked");
+    });
     out.into_iter().map(|p| p.expect("every slot filled")).collect()
 }
 

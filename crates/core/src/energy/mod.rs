@@ -67,7 +67,12 @@ pub struct PowerBreakdown {
 impl PowerBreakdown {
     /// Total energy.
     pub fn total_pj(&self) -> f64 {
-        self.adc_pj + self.crossbar_pj + self.dac_pj + self.buffer_pj + self.register_pj + self.bus_router_pj
+        self.adc_pj
+            + self.crossbar_pj
+            + self.dac_pj
+            + self.buffer_pj
+            + self.register_pj
+            + self.bus_router_pj
     }
 
     /// ADC share of the total (the paper's ">60 % of total power" hook).
@@ -158,7 +163,8 @@ mod tests {
 
     fn run_layer(scheme: AdcScheme) -> PimStats {
         let arch = ArchConfig::default();
-        let info = MvmLayerInfo { node: 1, mvm_index: 0, label: "l".into(), depth: 128, outputs: 16 };
+        let info =
+            MvmLayerInfo { node: 1, mvm_index: 0, label: "l".into(), depth: 128, outputs: 16 };
         let mut state = 99u64;
         let mut next = |m: i64| {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -187,7 +193,8 @@ mod tests {
     fn trq_cuts_only_the_adc_component() {
         let base = breakdown_from_stats(&run_layer(AdcScheme::Ideal), &EnergyParams::default());
         let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
-        let ours = breakdown_from_stats(&run_layer(AdcScheme::Trq(params)), &EnergyParams::default());
+        let ours =
+            breakdown_from_stats(&run_layer(AdcScheme::Trq(params)), &EnergyParams::default());
         assert!(ours.adc_pj < base.adc_pj, "TRQ must reduce ADC energy");
         assert_eq!(ours.crossbar_pj, base.crossbar_pj);
         assert_eq!(ours.dac_pj, base.dac_pj);
@@ -229,7 +236,8 @@ mod tests {
 
     #[test]
     fn component_labels_match_fig7_legend() {
-        let labels: Vec<&str> = PowerBreakdown::default().components().iter().map(|c| c.0).collect();
+        let labels: Vec<&str> =
+            PowerBreakdown::default().components().iter().map(|c| c.0).collect();
         assert_eq!(labels, vec!["ADC", "Crossbar", "DAC", "Buffer", "Register", "Bus&Router"]);
     }
 }

@@ -113,7 +113,11 @@ mod tests {
         }
         // convolution layers carry most conversions and must show the
         // "ideal skewed" sweet spot; small FC layers may land in "other"
-        assert!(report.skewed_fraction() >= 0.4, "{:?}", report.layers.iter().map(|l| l.class).collect::<Vec<_>>());
+        assert!(
+            report.skewed_fraction() >= 0.4,
+            "{:?}",
+            report.layers.iter().map(|l| l.class).collect::<Vec<_>>()
+        );
         assert_eq!(report.layers[0].class, DistributionClass::IdealSkewed);
     }
 }

@@ -99,7 +99,7 @@ pub fn fig6_accuracy(
     });
 
     // BL statistics drive both the TRQ search and the uniform Vgrid choice
-    let collect_n = workload.cal_images.len().min(4).max(1);
+    let collect_n = workload.cal_images.len().clamp(1, 4);
     let samples = collect_bl_samples(
         &workload.qnet,
         arch,
@@ -167,12 +167,8 @@ mod tests {
         let cfg = SuiteConfig::quick();
         let w = Workload::lenet5(&cfg);
         let arch = ArchConfig::default();
-        let samples = collect_bl_samples(
-            &w.qnet,
-            &arch,
-            &w.cal_images[..1],
-            CollectorConfig::default(),
-        );
+        let samples =
+            collect_bl_samples(&w.qnet, &arch, &w.cal_images[..1], CollectorConfig::default());
         let plan = plan_uniform_network(&samples, &arch, 6, &CalibSettings::default());
         assert_eq!(plan.len(), w.qnet.layers().len());
         for scheme in plan {

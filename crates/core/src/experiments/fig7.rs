@@ -61,7 +61,7 @@ pub fn fig7_power(
 ) -> Vec<Fig7Bar> {
     let metric = workload.metric();
     let n_layers = workload.qnet.layers().len();
-    let collect_n = workload.cal_images.len().min(4).max(1);
+    let collect_n = workload.cal_images.len().clamp(1, 4);
     let samples = collect_bl_samples(
         &workload.qnet,
         arch,

@@ -149,8 +149,18 @@ impl Workload {
     pub fn resnet18(cfg: &SuiteConfig) -> Self {
         let net = models::resnet18(cfg.seed, cfg.imagenet_hw, cfg.imagenet_classes)
             .expect("validated size");
-        let cal = data::synthetic_imagenet(cfg.cal_images, cfg.imagenet_classes, cfg.imagenet_hw, cfg.seed ^ 0x5);
-        let eval = data::synthetic_imagenet(cfg.eval_images, cfg.imagenet_classes, cfg.imagenet_hw, cfg.seed ^ 0x6);
+        let cal = data::synthetic_imagenet(
+            cfg.cal_images,
+            cfg.imagenet_classes,
+            cfg.imagenet_hw,
+            cfg.seed ^ 0x5,
+        );
+        let eval = data::synthetic_imagenet(
+            cfg.eval_images,
+            cfg.imagenet_classes,
+            cfg.imagenet_hw,
+            cfg.seed ^ 0x6,
+        );
         Self::fidelity_workload("resnet18", net, cal, eval)
     }
 
@@ -159,8 +169,10 @@ impl Workload {
         let net = models::squeezenet1_1(cfg.seed, cfg.imagenet_hw.max(24), cfg.imagenet_classes)
             .expect("validated size");
         let hw = cfg.imagenet_hw.max(24);
-        let cal = data::synthetic_imagenet(cfg.cal_images, cfg.imagenet_classes, hw, cfg.seed ^ 0x7);
-        let eval = data::synthetic_imagenet(cfg.eval_images, cfg.imagenet_classes, hw, cfg.seed ^ 0x8);
+        let cal =
+            data::synthetic_imagenet(cfg.cal_images, cfg.imagenet_classes, hw, cfg.seed ^ 0x7);
+        let eval =
+            data::synthetic_imagenet(cfg.eval_images, cfg.imagenet_classes, hw, cfg.seed ^ 0x8);
         Self::fidelity_workload("squeezenet1_1", net, cal, eval)
     }
 

@@ -161,8 +161,8 @@ impl<'a> PimMvm<'a> {
         } else {
             // deterministic pseudo-random replacement keeps the reservoir
             // representative without an RNG dependency in the hot loop
-            let slot = (entry.seen.wrapping_mul(0x9E3779B97F4A7C15) >> 16) as usize
-                % cfg.reservoir_cap;
+            let slot =
+                (entry.seen.wrapping_mul(0x9E3779B97F4A7C15) >> 16) as usize % cfg.reservoir_cap;
             entry.values[slot] = count as f64;
         }
     }
@@ -342,7 +342,7 @@ mod tests {
     fn collector_gathers_bl_distribution() {
         let arch = arch();
         let info = info(64, 2);
-        let weights: Vec<i32> = (0..64 * 2).map(|i| (i % 5) as i32 - 2).collect();
+        let weights: Vec<i32> = (0..64 * 2).map(|i| (i % 5) - 2).collect();
         let cols: Vec<u8> = (0..64 * 4).map(|i| (i % 7) as u8 * 30).collect();
         let mut pim = PimMvm::collector(&arch, 1, CollectorConfig { reservoir_cap: 512 });
         let _ = pim.mvm(&info, &weights, &cols, 4);

@@ -33,16 +33,16 @@ pub fn synthetic_digits(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     // seven-segment encodings of digits 0-9
     const SEGMENTS: [[bool; 7]; 10] = [
-        [true, true, true, false, true, true, true],    // 0
+        [true, true, true, false, true, true, true],     // 0
         [false, false, true, false, false, true, false], // 1
-        [true, false, true, true, true, false, true],   // 2
-        [true, false, true, true, false, true, true],   // 3
-        [false, true, true, true, false, true, false],  // 4
-        [true, true, false, true, false, true, true],   // 5
-        [true, true, false, true, true, true, true],    // 6
-        [true, false, true, false, false, true, false], // 7
-        [true, true, true, true, true, true, true],     // 8
-        [true, true, true, true, false, true, true],    // 9
+        [true, false, true, true, true, false, true],    // 2
+        [true, false, true, true, false, true, true],    // 3
+        [false, true, true, true, false, true, false],   // 4
+        [true, true, false, true, false, true, true],    // 5
+        [true, true, false, true, true, true, true],     // 6
+        [true, false, true, false, false, true, false],  // 7
+        [true, true, true, true, true, true, true],      // 8
+        [true, true, true, true, false, true, true],     // 9
     ];
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
@@ -75,7 +75,8 @@ pub fn synthetic_digits(n: usize, seed: u64) -> Dataset {
         let vsegs = [(1usize, 0usize, 0i32), (2, 1, 0), (4, 0, 1), (5, 1, 1)];
         for &(si, col_i, half) in &vsegs {
             if segs[si] {
-                let (r0, r1) = if half == 0 { (h_rows[0], h_rows[1]) } else { (h_rows[1], h_rows[2]) };
+                let (r0, r1) =
+                    if half == 0 { (h_rows[0], h_rows[1]) } else { (h_rows[1], h_rows[2]) };
                 for r in r0..=r1 {
                     paint(r, v_cols[col_i], 0.9);
                     paint(r, v_cols[col_i] + 1, 0.9);
@@ -113,12 +114,12 @@ pub fn synthetic_textures(n: usize, classes: usize, hw: usize, seed: u64) -> Dat
         let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
         let mut img = Tensor::zeros(vec![3, hw, hw]).expect("validated shape");
         let (s, c) = (angle.sin(), angle.cos());
-        for ch in 0..3 {
+        for (ch, &tint) in color.iter().enumerate() {
             for y in 0..hw {
                 for x in 0..hw {
                     let u = (x as f32 * c + y as f32 * s) / hw as f32;
                     let wave = (u * freq * std::f32::consts::TAU + phase).sin() * 0.5 + 0.5;
-                    let v = (wave * color[ch] + rng.gen_range(-0.06f32..0.06)).clamp(0.0, 1.0);
+                    let v = (wave * tint + rng.gen_range(-0.06f32..0.06)).clamp(0.0, 1.0);
                     img.set(&[ch, y, x], v);
                 }
             }

@@ -32,13 +32,15 @@ pub fn lenet5_untrained(seed: u64) -> Result<Network, NnError> {
 
     let g1 = Conv2dGeom::square(1, 6, 5, 1, 0);
     let w1 = conv_weights(&g1, &mut rng)?;
-    let c1 = net.chain(Op::Conv2d { weights: w1, bias: Some(vec![0.0; 6]), geom: g1 }, 0, "conv1")?;
+    let c1 =
+        net.chain(Op::Conv2d { weights: w1, bias: Some(vec![0.0; 6]), geom: g1 }, 0, "conv1")?;
     let r1 = net.chain(Op::Relu, c1, "conv1.relu")?;
     let p1 = net.chain(Op::MaxPool(PoolGeom::square(2)), r1, "pool1")?;
 
     let g2 = Conv2dGeom::square(6, 16, 5, 1, 0);
     let w2 = conv_weights(&g2, &mut rng)?;
-    let c2 = net.chain(Op::Conv2d { weights: w2, bias: Some(vec![0.0; 16]), geom: g2 }, p1, "conv2")?;
+    let c2 =
+        net.chain(Op::Conv2d { weights: w2, bias: Some(vec![0.0; 16]), geom: g2 }, p1, "conv2")?;
     let r2 = net.chain(Op::Relu, c2, "conv2.relu")?;
     let p2 = net.chain(Op::MaxPool(PoolGeom::square(2)), r2, "pool2")?;
 

@@ -35,11 +35,24 @@ fn basic_block(
     rng: &mut StdRng,
     label: &str,
 ) -> Result<usize, NnError> {
-    let c1 = conv(net, from, Conv2dGeom::square(in_c, out_c, 3, stride, 1), rng, format!("{label}.conv1"))?;
+    let c1 = conv(
+        net,
+        from,
+        Conv2dGeom::square(in_c, out_c, 3, stride, 1),
+        rng,
+        format!("{label}.conv1"),
+    )?;
     let r1 = net.chain(Op::Relu, c1, format!("{label}.relu1"))?;
-    let c2 = conv(net, r1, Conv2dGeom::square(out_c, out_c, 3, 1, 1), rng, format!("{label}.conv2"))?;
+    let c2 =
+        conv(net, r1, Conv2dGeom::square(out_c, out_c, 3, 1, 1), rng, format!("{label}.conv2"))?;
     let shortcut = if stride != 1 || in_c != out_c {
-        conv(net, from, Conv2dGeom::square(in_c, out_c, 1, stride, 0), rng, format!("{label}.proj"))?
+        conv(
+            net,
+            from,
+            Conv2dGeom::square(in_c, out_c, 1, stride, 0),
+            rng,
+            format!("{label}.proj"),
+        )?
     } else {
         from
     };
@@ -89,7 +102,9 @@ pub fn resnet20(seed: u64) -> Result<Network, NnError> {
 /// least 16).
 pub fn resnet18(seed: u64, input_hw: usize, classes: usize) -> Result<Network, NnError> {
     if input_hw < 16 {
-        return Err(NnError::BadGraph { reason: format!("input {input_hw} too small for resnet18") });
+        return Err(NnError::BadGraph {
+            reason: format!("input {input_hw} too small for resnet18"),
+        });
     }
     let mut rng = init::rng(seed);
     let mut net = Network::new("resnet18");

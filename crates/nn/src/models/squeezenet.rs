@@ -30,9 +30,27 @@ fn fire(
     rng: &mut StdRng,
     label: &str,
 ) -> Result<usize, NnError> {
-    let s = conv_relu(net, from, Conv2dGeom::square(in_c, squeeze, 1, 1, 0), rng, format!("{label}.squeeze"))?;
-    let e1 = conv_relu(net, s, Conv2dGeom::square(squeeze, expand, 1, 1, 0), rng, format!("{label}.expand1x1"))?;
-    let e3 = conv_relu(net, s, Conv2dGeom::square(squeeze, expand, 3, 1, 1), rng, format!("{label}.expand3x3"))?;
+    let s = conv_relu(
+        net,
+        from,
+        Conv2dGeom::square(in_c, squeeze, 1, 1, 0),
+        rng,
+        format!("{label}.squeeze"),
+    )?;
+    let e1 = conv_relu(
+        net,
+        s,
+        Conv2dGeom::square(squeeze, expand, 1, 1, 0),
+        rng,
+        format!("{label}.expand1x1"),
+    )?;
+    let e3 = conv_relu(
+        net,
+        s,
+        Conv2dGeom::square(squeeze, expand, 3, 1, 1),
+        rng,
+        format!("{label}.expand3x3"),
+    )?;
     net.push(Op::ConcatChannels, vec![e1, e3], format!("{label}.concat"))
 }
 
@@ -47,7 +65,9 @@ fn fire(
 /// the room).
 pub fn squeezenet1_1(seed: u64, input_hw: usize, classes: usize) -> Result<Network, NnError> {
     if input_hw < 24 {
-        return Err(NnError::BadGraph { reason: format!("input {input_hw} too small for squeezenet1.1") });
+        return Err(NnError::BadGraph {
+            reason: format!("input {input_hw} too small for squeezenet1.1"),
+        });
     }
     let mut rng = init::rng(seed);
     let mut net = Network::new("squeezenet1_1");
@@ -65,7 +85,13 @@ pub fn squeezenet1_1(seed: u64, input_hw: usize, classes: usize) -> Result<Netwo
     let f8 = fire(&mut net, f7, 384, 64, 256, &mut rng, "fire8")?;
     let f9 = fire(&mut net, f8, 512, 64, 256, &mut rng, "fire9")?;
     // classifier: conv1x1 to classes, GAP
-    let cls = conv_relu(&mut net, f9, Conv2dGeom::square(512, classes, 1, 1, 0), &mut rng, "conv10".into())?;
+    let cls = conv_relu(
+        &mut net,
+        f9,
+        Conv2dGeom::square(512, classes, 1, 1, 0),
+        &mut rng,
+        "conv10".into(),
+    )?;
     net.chain(Op::GlobalAvgPool, cls, "gap")?;
     Ok(net)
 }

@@ -82,7 +82,12 @@ impl Network {
     ///
     /// Returns [`NnError::BadGraph`] if any input index is not an earlier
     /// node, or [`NnError::Arity`] if the input count is wrong for the op.
-    pub fn push(&mut self, op: Op, inputs: Vec<usize>, label: impl Into<String>) -> Result<usize, NnError> {
+    pub fn push(
+        &mut self,
+        op: Op,
+        inputs: Vec<usize>,
+        label: impl Into<String>,
+    ) -> Result<usize, NnError> {
         let label = label.into();
         let idx = self.nodes.len();
         for &i in &inputs {
@@ -109,7 +114,12 @@ impl Network {
     /// # Errors
     ///
     /// Same contract as [`Network::push`].
-    pub fn chain(&mut self, op: Op, from: usize, label: impl Into<String>) -> Result<usize, NnError> {
+    pub fn chain(
+        &mut self,
+        op: Op,
+        from: usize,
+        label: impl Into<String>,
+    ) -> Result<usize, NnError> {
         self.push(op, vec![from], label)
     }
 
@@ -217,7 +227,9 @@ impl Network {
                     x.reshape(vec![x.len()])?
                 }
                 Op::Add => outs[node.inputs[0]].add(&outs[node.inputs[1]])?,
-                Op::ConcatChannels => concat_channels(&outs[node.inputs[0]], &outs[node.inputs[1]])?,
+                Op::ConcatChannels => {
+                    concat_channels(&outs[node.inputs[0]], &outs[node.inputs[1]])?
+                }
             };
             outs.push(value);
         }
@@ -249,7 +261,9 @@ mod tests {
         let mut net = Network::new("tiny");
         let geom = Conv2dGeom::square(1, 2, 3, 1, 1);
         let w = Tensor::full(vec![2, 9], 0.1).unwrap();
-        let c = net.chain(Op::Conv2d { weights: w, bias: Some(vec![0.0, 1.0]), geom }, 0, "conv").unwrap();
+        let c = net
+            .chain(Op::Conv2d { weights: w, bias: Some(vec![0.0, 1.0]), geom }, 0, "conv")
+            .unwrap();
         let r = net.chain(Op::Relu, c, "relu").unwrap();
         let g = net.chain(Op::GlobalAvgPool, r, "gap").unwrap();
         let w2 = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();

@@ -135,8 +135,8 @@ impl QuantizedNetwork {
                 Op::Linear { weights, bias } => (weights, bias.clone(), None),
                 _ => continue,
             };
-            let wq = SymmetricQuant::from_max_abs(weights.max_abs(), 8)
-                .expect("8 is a valid bit width");
+            let wq =
+                SymmetricQuant::from_max_abs(weights.max_abs(), 8).expect("8 is a valid bit width");
             let weights_q: Vec<i32> = weights.data().iter().map(|&w| wq.quantize(w)).collect();
             let dims = weights.shape().dims();
             let (outputs, depth) = (dims[0], dims[1]);
@@ -251,8 +251,8 @@ impl QuantizedNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models;
     use crate::data;
+    use crate::models;
 
     #[test]
     fn exact_engine_matches_manual_product() {
@@ -280,12 +280,8 @@ mod tests {
                 agree += 1;
             }
             // logits should be close in magnitude too
-            let err: f32 = yf
-                .data()
-                .iter()
-                .zip(yq.data())
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f32::max);
+            let err: f32 =
+                yf.data().iter().zip(yq.data()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
             assert!(err < 0.25 * yf.max_abs().max(1.0), "max logit err {err}");
         }
         assert!(agree >= 22, "8-bit PTQ should rarely flip the argmax: {agree}/24");

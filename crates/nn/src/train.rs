@@ -65,7 +65,11 @@ struct Cache {
 /// Returns [`NnError::BadGraph`] when the network is not a simple chain or
 /// contains ops without a backward implementation, and propagates forward
 /// failures.
-pub fn sgd_train(net: &mut Network, data: &[Sample], cfg: &TrainConfig) -> Result<TrainReport, NnError> {
+pub fn sgd_train(
+    net: &mut Network,
+    data: &[Sample],
+    cfg: &TrainConfig,
+) -> Result<TrainReport, NnError> {
     validate_chain(net)?;
     if data.is_empty() {
         return Err(NnError::BadGraph { reason: "empty training set".into() });
@@ -115,7 +119,10 @@ fn validate_chain(net: &Network) -> Result<(), NnError> {
     for (i, node) in net.nodes().iter().enumerate().skip(1) {
         if node.inputs != vec![i - 1] {
             return Err(NnError::BadGraph {
-                reason: format!("trainer supports chains only; node {} has inputs {:?}", node.label, node.inputs),
+                reason: format!(
+                    "trainer supports chains only; node {} has inputs {:?}",
+                    node.label, node.inputs
+                ),
             });
         }
         if matches!(node.op, Op::Add | Op::ConcatChannels) {
@@ -308,7 +315,8 @@ fn apply_sgd(
         let (Some(dw), db) = (grad_w[i].take(), grad_b[i].take()) else {
             continue;
         };
-        let v = vel_w[i].get_or_insert_with(|| Tensor::zeros(dw.shape().dims().to_vec()).expect("valid"));
+        let v = vel_w[i]
+            .get_or_insert_with(|| Tensor::zeros(dw.shape().dims().to_vec()).expect("valid"));
         for (vv, &g) in v.data_mut().iter_mut().zip(dw.data()) {
             *vv = cfg.momentum * *vv - cfg.lr * g * scale;
         }
@@ -354,10 +362,7 @@ mod tests {
         let data = synthetic_digits(120, 8);
         let cfg = TrainConfig { epochs: 20, lr: 0.02, momentum: 0.9, batch: 12, seed: 1 };
         let report = sgd_train(&mut net, &data, &cfg).unwrap();
-        assert!(
-            report.final_train_accuracy > 0.9,
-            "MLP should fit the digits: {report:?}"
-        );
+        assert!(report.final_train_accuracy > 0.9, "MLP should fit the digits: {report:?}");
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl DistributionClass {
         }
         let peaks = hist.peak_bins(cfg.peak_prominence);
         let rel_std = hist.std() / range;
-        if peaks.len() == 1 && skew.abs() <= cfg.max_skew_normal && rel_std <= cfg.max_rel_std_normal {
+        if peaks.len() == 1
+            && skew.abs() <= cfg.max_skew_normal
+            && rel_std <= cfg.max_rel_std_normal
+        {
             return DistributionClass::NormalLike;
         }
         DistributionClass::Other

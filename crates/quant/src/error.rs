@@ -36,7 +36,9 @@ impl fmt::Display for QuantError {
             QuantError::BadBits { param, value } => {
                 write!(f, "{param} must be in 1..=16, got {value}")
             }
-            QuantError::BadStep { value } => write!(f, "step must be finite and positive, got {value}"),
+            QuantError::BadStep { value } => {
+                write!(f, "step must be finite and positive, got {value}")
+            }
             QuantError::BadBias { bias, limit } => write!(f, "bias {bias} out of range 0..{limit}"),
             QuantError::BadHistogram { reason } => write!(f, "bad histogram: {reason}"),
         }

@@ -19,7 +19,8 @@ pub fn mse(a: &[f64], b: &[f64]) -> f64 {
 /// Panics when `samples` is empty.
 pub fn quantizer_mse<F: Fn(f64) -> f64>(samples: &[f64], quantize: F) -> f64 {
     assert!(!samples.is_empty(), "quantizer_mse of empty samples is undefined");
-    samples.iter().map(|&x| (quantize(x) - x) * (quantize(x) - x)).sum::<f64>() / samples.len() as f64
+    samples.iter().map(|&x| (quantize(x) - x) * (quantize(x) - x)).sum::<f64>()
+        / samples.len() as f64
 }
 
 /// Signal-to-quantization-noise ratio in dB; `+inf` for exact

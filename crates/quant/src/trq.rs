@@ -198,13 +198,13 @@ impl TwinRangeQuantizer {
         if self.in_r1(x) {
             let max_code = (1u32 << p.n_r1) - 1;
             let rel = ((x - p.theta_lo()) / p.delta_r1).round();
-            let payload = if rel <= 0.0 {
-                0
-            } else {
-                (rel as u32).min(max_code)
-            };
+            let payload = if rel <= 0.0 { 0 } else { (rel as u32).min(max_code) };
             let code = TrqCode::r1(payload as u16);
-            TrqValue { code, value: p.theta_lo() + payload as f64 * p.delta_r1, ops: p.nu() + p.n_r1 }
+            TrqValue {
+                code,
+                value: p.theta_lo() + payload as f64 * p.delta_r1,
+                ops: p.nu() + p.n_r1,
+            }
         } else {
             let max_code = (1u32 << p.n_r2) - 1;
             let rel = (x / p.delta_r2()).round();

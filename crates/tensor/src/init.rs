@@ -22,7 +22,12 @@ pub fn rng(seed: u64) -> StdRng {
 /// # Panics
 ///
 /// Panics if `lo >= hi`.
-pub fn uniform(dims: Vec<usize>, lo: f32, hi: f32, rng: &mut StdRng) -> Result<Tensor, TensorError> {
+pub fn uniform(
+    dims: Vec<usize>,
+    lo: f32,
+    hi: f32,
+    rng: &mut StdRng,
+) -> Result<Tensor, TensorError> {
     assert!(lo < hi, "empty uniform range [{lo}, {hi})");
     let mut t = Tensor::zeros(dims)?;
     for x in t.data_mut() {
@@ -36,7 +41,12 @@ pub fn uniform(dims: Vec<usize>, lo: f32, hi: f32, rng: &mut StdRng) -> Result<T
 /// # Errors
 ///
 /// Returns an error for invalid shapes.
-pub fn normal(dims: Vec<usize>, mean: f32, std: f32, rng: &mut StdRng) -> Result<Tensor, TensorError> {
+pub fn normal(
+    dims: Vec<usize>,
+    mean: f32,
+    std: f32,
+    rng: &mut StdRng,
+) -> Result<Tensor, TensorError> {
     let mut t = Tensor::zeros(dims)?;
     for x in t.data_mut() {
         *x = mean + std * sample_standard_normal(rng);

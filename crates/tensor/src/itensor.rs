@@ -45,7 +45,10 @@ impl ITensor {
     pub fn from_vec(dims: Vec<usize>, data: Vec<i32>) -> Result<Self, TensorError> {
         let shape = Shape::new(dims)?;
         if shape.volume() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(ITensor { shape, data })
     }

@@ -28,7 +28,13 @@ pub struct Conv2dGeom {
 
 impl Conv2dGeom {
     /// Square-kernel convenience constructor.
-    pub fn square(in_channels: usize, out_channels: usize, k: usize, stride: usize, pad: usize) -> Self {
+    pub fn square(
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         Conv2dGeom { in_channels, out_channels, kh: k, kw: k, stride, pad }
     }
 
@@ -45,7 +51,10 @@ impl Conv2dGeom {
         let w_eff = w + 2 * self.pad;
         if self.kh == 0 || self.kw == 0 || self.kh > h_eff || self.kw > w_eff {
             return Err(TensorError::BadGeometry {
-                reason: format!("kernel {}x{} does not fit padded input {h_eff}x{w_eff}", self.kh, self.kw),
+                reason: format!(
+                    "kernel {}x{} does not fit padded input {h_eff}x{w_eff}",
+                    self.kh, self.kw
+                ),
             });
         }
         Ok(((h_eff - self.kh) / self.stride + 1, (w_eff - self.kw) / self.stride + 1))
@@ -114,12 +123,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor, TensorError> 
 /// # Errors
 ///
 /// Returns an error if `cols`' shape is inconsistent with the geometry.
-pub fn col2im(
-    cols: &Tensor,
-    geom: &Conv2dGeom,
-    h: usize,
-    w: usize,
-) -> Result<Tensor, TensorError> {
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeom, h: usize, w: usize) -> Result<Tensor, TensorError> {
     let (oh, ow) = geom.out_hw(h, w)?;
     let d = cols.shape().dims();
     if d.len() != 2 || d[0] != geom.col_rows() || d[1] != oh * ow {

@@ -20,7 +20,9 @@ impl PoolGeom {
 
     fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
         if self.k == 0 || self.stride == 0 {
-            return Err(TensorError::BadGeometry { reason: "pool k/stride must be positive".into() });
+            return Err(TensorError::BadGeometry {
+                reason: "pool k/stride must be positive".into(),
+            });
         }
         if self.k > h || self.k > w {
             return Err(TensorError::BadGeometry {
@@ -194,7 +196,8 @@ mod tests {
 
     #[test]
     fn multichannel_independence() {
-        let input = Tensor::from_vec(vec![2, 2, 2], vec![1., 2., 3., 4., 40., 30., 20., 10.]).unwrap();
+        let input =
+            Tensor::from_vec(vec![2, 2, 2], vec![1., 2., 3., 4., 40., 30., 20., 10.]).unwrap();
         let out = max_pool2d(&input, &PoolGeom::square(2)).unwrap();
         assert_eq!(out.data(), &[4.0, 40.0]);
     }

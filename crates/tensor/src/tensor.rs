@@ -56,7 +56,10 @@ impl Tensor {
     pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Result<Self, TensorError> {
         let shape = Shape::new(dims)?;
         if shape.volume() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }

@@ -261,10 +261,10 @@ mod tests {
             };
             let mut m = BitMatrix::zeros(rows, cols);
             let mut dense = vec![vec![false; cols]; rows];
-            for r in 0..rows {
-                for c in 0..cols {
+            for (r, dense_row) in dense.iter_mut().enumerate() {
+                for (c, cell) in dense_row.iter_mut().enumerate() {
                     let b = next();
-                    dense[r][c] = b;
+                    *cell = b;
                     m.set(r, c, b);
                 }
             }

@@ -42,16 +42,22 @@ impl CrossbarConfig {
     /// extension), or a non-positive ON/OFF ratio.
     pub fn validate(&self) -> Result<(), XbarError> {
         if self.rows == 0 || self.cols == 0 {
-            return Err(XbarError::BadConfig { reason: "array dimensions must be positive".into() });
+            return Err(XbarError::BadConfig {
+                reason: "array dimensions must be positive".into(),
+            });
         }
         if self.rows > 4096 || self.cols > 4096 {
             return Err(XbarError::BadConfig { reason: "array dimension above 4096".into() });
         }
         if self.cell_bits == 0 || self.cell_bits > 4 {
-            return Err(XbarError::BadConfig { reason: format!("cell_bits {} not in 1..=4", self.cell_bits) });
+            return Err(XbarError::BadConfig {
+                reason: format!("cell_bits {} not in 1..=4", self.cell_bits),
+            });
         }
         if self.dac_bits == 0 || self.dac_bits > 4 {
-            return Err(XbarError::BadConfig { reason: format!("dac_bits {} not in 1..=4", self.dac_bits) });
+            return Err(XbarError::BadConfig {
+                reason: format!("dac_bits {} not in 1..=4", self.dac_bits),
+            });
         }
         if !self.on_off_ratio.is_finite() || self.on_off_ratio <= 1.0 {
             return Err(XbarError::BadConfig { reason: "on_off_ratio must exceed 1".into() });
@@ -94,20 +100,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut cfg = CrossbarConfig::default();
-        cfg.rows = 0;
+        let cfg = CrossbarConfig { rows: 0, ..Default::default() };
         assert!(cfg.validate().is_err());
-        let mut cfg = CrossbarConfig::default();
-        cfg.cell_bits = 0;
+        let cfg = CrossbarConfig { cell_bits: 0, ..Default::default() };
         assert!(cfg.validate().is_err());
-        let mut cfg = CrossbarConfig::default();
-        cfg.cell_bits = 5;
+        let cfg = CrossbarConfig { cell_bits: 5, ..Default::default() };
         assert!(cfg.validate().is_err());
-        let mut cfg = CrossbarConfig::default();
-        cfg.on_off_ratio = 0.5;
+        let cfg = CrossbarConfig { on_off_ratio: 0.5, ..Default::default() };
         assert!(cfg.validate().is_err());
-        let mut cfg = CrossbarConfig::default();
-        cfg.rows = 8192;
+        let cfg = CrossbarConfig { rows: 8192, ..Default::default() };
         assert!(cfg.validate().is_err());
     }
 

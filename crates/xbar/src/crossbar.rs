@@ -56,7 +56,12 @@ impl Crossbar {
                 ),
             });
         }
-        Ok(Crossbar { config, cells: BitMatrix::zeros(config.rows, config.cols), noise, analog: None })
+        Ok(Crossbar {
+            config,
+            cells: BitMatrix::zeros(config.rows, config.cols),
+            noise,
+            analog: None,
+        })
     }
 
     /// The configuration.
@@ -234,7 +239,8 @@ mod tests {
 
     #[test]
     fn noisy_path_deviates_but_tracks() {
-        let noise = NoiseModel { sigma_prog: 0.05, sigma_read: 0.1, seed: 11, ..Default::default() };
+        let noise =
+            NoiseModel { sigma_prog: 0.05, sigma_read: 0.1, seed: 11, ..Default::default() };
         let mut xb = Crossbar::with_noise(small_cfg(), noise).unwrap();
         for row in 0..8 {
             xb.program_bit(row, 0, true).unwrap();

@@ -35,7 +35,13 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        NoiseModel { sigma_prog: 0.0, sigma_read: 0.0, stuck_off_rate: 0.0, stuck_on_rate: 0.0, seed: 0 }
+        NoiseModel {
+            sigma_prog: 0.0,
+            sigma_read: 0.0,
+            stuck_off_rate: 0.0,
+            stuck_on_rate: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -125,16 +131,18 @@ mod tests {
 
     #[test]
     fn stuck_rates_are_respected() {
-        let m = NoiseModel { stuck_off_rate: 0.2, stuck_on_rate: 0.1, seed: 7, ..Default::default() };
+        let m =
+            NoiseModel { stuck_off_rate: 0.2, stuck_on_rate: 0.1, seed: 7, ..Default::default() };
         let mut rng = m.rng();
         let n = 50000;
         let mut off = 0;
         let mut on = 0;
         for _ in 0..n {
             // nominal 0 cell: stuck-ON makes it 1
-            match m.sample_conductance(0.0, &mut rng) {
-                c if c == 0.0 => off += 1,
-                _ => on += 1,
+            if m.sample_conductance(0.0, &mut rng) == 0.0 {
+                off += 1;
+            } else {
+                on += 1;
             }
         }
         let on_rate = on as f64 / n as f64;

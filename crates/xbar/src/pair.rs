@@ -50,14 +50,16 @@ impl DiffPair {
         }
         if slicer.columns() > config.cols {
             return Err(XbarError::WeightShape {
-                reason: format!("{} slice columns exceed {} bit lines", slicer.columns(), config.cols),
+                reason: format!(
+                    "{} slice columns exceed {} bit lines",
+                    slicer.columns(),
+                    config.cols
+                ),
             });
         }
         let mut pos = Crossbar::with_noise(config, noise)?;
-        let mut neg = Crossbar::with_noise(
-            config,
-            NoiseModel { seed: noise.seed.wrapping_add(1), ..noise },
-        )?;
+        let mut neg =
+            Crossbar::with_noise(config, NoiseModel { seed: noise.seed.wrapping_add(1), ..noise })?;
         for row in 0..depth {
             for out in 0..outputs {
                 for alpha in 0..weight_bits {
@@ -133,11 +135,11 @@ impl DiffPair {
         for c in 0..input_bits {
             let plane = crate::slicing::bit_plane(&padded, c);
             let (pos, neg) = self.mvm_counts(&plane)?;
-            for out in 0..self.slicer.outputs {
+            for (out, acc) in y.iter_mut().enumerate() {
                 for alpha in 0..self.slicer.weight_bits {
                     let col = self.slicer.column_of(out, alpha);
                     let diff = pos[col] as i64 - neg[col] as i64;
-                    y[out] += diff << (alpha + c);
+                    *acc += diff << (alpha + c);
                 }
             }
         }

@@ -59,7 +59,9 @@ impl WeightSlicer {
             return Err(XbarError::WeightShape { reason: "zero-sized weight matrix".into() });
         }
         if weight_bits == 0 || weight_bits > 16 {
-            return Err(XbarError::WeightShape { reason: format!("weight_bits {weight_bits} not in 1..=16") });
+            return Err(XbarError::WeightShape {
+                reason: format!("weight_bits {weight_bits} not in 1..=16"),
+            });
         }
         Ok(WeightSlicer { depth, outputs, weight_bits })
     }
@@ -116,7 +118,10 @@ impl WeightSlicer {
         for (i, &w) in weights.iter().enumerate() {
             if (w as i64).abs() > limit {
                 return Err(XbarError::WeightShape {
-                    reason: format!("weight {w} at index {i} exceeds {} magnitude bits", self.weight_bits),
+                    reason: format!(
+                        "weight {w} at index {i} exceeds {} magnitude bits",
+                        self.weight_bits
+                    ),
                 });
             }
         }

@@ -31,13 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut total_ops = 0.0;
         for plan in &plans {
             let scheme = match plan.scheme {
-                AdcScheme::Trq(p) => format!(
-                    "TRQ NR1={} NR2={} M={} bias={}",
-                    p.n_r1(),
-                    p.n_r2(),
-                    p.m(),
-                    p.bias()
-                ),
+                AdcScheme::Trq(p) => {
+                    format!("TRQ NR1={} NR2={} M={} bias={}", p.n_r1(), p.n_r2(), p.m(), p.bias())
+                }
                 AdcScheme::Uniform { bits, vgrid } => format!("U {bits}b Δ={vgrid:.3}"),
                 AdcScheme::Ideal => "ideal".into(),
             };

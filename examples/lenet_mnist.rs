@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let settings = CalibSettings::default();
     let result = algorithm1(&qnet, &arch, &samples, &metric, &settings);
 
-    println!("\nAlgorithm 1 accepted Nmax = {} with accuracy {:.1}%", result.nmax, result.score * 100.0);
+    println!(
+        "\nAlgorithm 1 accepted Nmax = {} with accuracy {:.1}%",
+        result.nmax,
+        result.score * 100.0
+    );
     println!("(lossless-ADC reference: {:.1}%)", result.reference_score * 100.0);
     println!("\nper-layer plan:");
     println!("{:<8} {:<14} {:>9} {:>10}  scheme", "layer", "class", "mean ops", "mse");

@@ -7,12 +7,19 @@ use trq::core::arch::{map_network, ArchConfig};
 use trq::nn::{data, models, QuantizedNetwork};
 use trq::tensor::Tensor;
 
-fn report(name: &str, net: &trq::nn::Network, cal: &[Tensor]) -> Result<(), Box<dyn std::error::Error>> {
+fn report(
+    name: &str,
+    net: &trq::nn::Network,
+    cal: &[Tensor],
+) -> Result<(), Box<dyn std::error::Error>> {
     let qnet = QuantizedNetwork::quantize(net, cal)?;
     let arch = ArchConfig::default();
     let m = map_network(&qnet, &arch);
     println!("\n== {name} ==");
-    println!("{:<26} {:>7} {:>8} {:>5}x{:<4} {:>6} {:>6}", "layer", "depth", "outputs", "rows", "cols", "pairs", "util");
+    println!(
+        "{:<26} {:>7} {:>8} {:>5}x{:<4} {:>6} {:>6}",
+        "layer", "depth", "outputs", "rows", "cols", "pairs", "util"
+    );
     for layer in m.layers.iter().take(6) {
         println!(
             "{:<26} {:>7} {:>8} {:>5}x{:<4} {:>6} {:>5.0}%",

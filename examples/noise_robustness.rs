@@ -37,14 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[(0.0, 0.0), (0.02, 0.0), (0.05, 0.0), (0.05, 0.25), (0.1, 0.5)]
     {
         let noise = NoiseModel { sigma_prog, sigma_read, seed: 11, ..Default::default() };
-        let pair = DiffPair::program(
-            CrossbarConfig::default(),
-            noise,
-            &weights,
-            depth,
-            outputs,
-            8,
-        )?;
+        let pair =
+            DiffPair::program(CrossbarConfig::default(), noise, &weights, depth, outputs, 8)?;
         // run the bit-serial MVM through the *analog* path, digitising each
         // BL with both ADCs
         let mut y_uniform = vec![0f64; outputs];

@@ -48,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nADC ledger over {} conversions:", meter_u.conversions());
-    println!(
-        "  uniform 8-bit : {:>6} ops  {:>8.1} pJ",
-        meter_u.ops(),
-        meter_u.energy_pj()
-    );
+    println!("  uniform 8-bit : {:>6} ops  {:>8.1} pJ", meter_u.ops(), meter_u.energy_pj());
     println!(
         "  TRQ (3/7, M=1): {:>6} ops  {:>8.1} pJ   ({:.2}x fewer ops)",
         meter_t.ops(),

@@ -64,8 +64,7 @@ fn fig6_series_is_well_formed_and_monotone_in_ops() {
     assert_eq!(series.points[0].config, "f/f");
     assert_eq!(series.points[1].config, "8/f");
     // remaining ops must not increase as the bit cap tightens
-    let ops: Vec<f64> =
-        series.points[2..].iter().map(|p| p.remaining_ops.unwrap()).collect();
+    let ops: Vec<f64> = series.points[2..].iter().map(|p| p.remaining_ops.unwrap()).collect();
     for w in ops.windows(2) {
         assert!(w[1] <= w[0] + 1e-9, "ops series not monotone: {ops:?}");
     }

@@ -76,8 +76,7 @@ fn lossless_trq_config_matches_exact_engine_through_crossbars() {
     let (depth, outputs, n) = (140usize, 5usize, 6usize);
     let weights: Vec<i32> = (0..depth * outputs).map(|_| next(255) - 127).collect();
     let cols: Vec<u8> = (0..depth * n).map(|_| next(256) as u8).collect();
-    let info =
-        MvmLayerInfo { node: 1, mvm_index: 0, label: "lossless".into(), depth, outputs };
+    let info = MvmLayerInfo { node: 1, mvm_index: 0, label: "lossless".into(), depth, outputs };
     let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
     let got = pim.mvm(&info, &weights, &cols, n);
     let want = ExactMvm.mvm(&info, &weights, &cols, n);

@@ -8,8 +8,10 @@ use trq::tensor::Tensor;
 fn avgpool_net() -> Network {
     let mut net = Network::new("avgpool-net");
     let geom = Conv2dGeom::square(1, 2, 3, 1, 1);
-    let w = Tensor::from_vec(vec![2, 9], (0..18).map(|i| (i as f32 - 9.0) / 12.0).collect()).unwrap();
-    let c = net.chain(Op::Conv2d { weights: w, bias: Some(vec![0.1, -0.1]), geom }, 0, "conv").unwrap();
+    let w =
+        Tensor::from_vec(vec![2, 9], (0..18).map(|i| (i as f32 - 9.0) / 12.0).collect()).unwrap();
+    let c =
+        net.chain(Op::Conv2d { weights: w, bias: Some(vec![0.1, -0.1]), geom }, 0, "conv").unwrap();
     let r = net.chain(Op::Relu, c, "relu").unwrap();
     let p = net.chain(Op::AvgPool(PoolGeom::square(2)), r, "avg").unwrap();
     let g = net.chain(Op::GlobalAvgPool, p, "gap").unwrap();
@@ -25,7 +27,7 @@ fn avgpool_float_and_quantized_paths_agree() {
     let yf = net.forward(&x).unwrap();
     assert_eq!(yf.shape().dims(), &[3]);
 
-    let qnet = QuantizedNetwork::quantize(&net, &[x.clone()]).unwrap();
+    let qnet = QuantizedNetwork::quantize(&net, std::slice::from_ref(&x)).unwrap();
     let yq = qnet.forward(&x, &mut ExactMvm).unwrap();
     assert_eq!(yq.shape().dims(), &[3]);
     for (a, b) in yf.data().iter().zip(yq.data()) {

@@ -24,7 +24,8 @@ fn engine_equals_discrete_component_composition() {
     };
     // weights in engine layout [outputs × depth]
     let weights_eng: Vec<i32> = (0..outputs * depth).map(|_| next(255) - 127).collect();
-    let inputs: Vec<Vec<u8>> = (0..n).map(|_| (0..depth).map(|_| next(256) as u8).collect()).collect();
+    let inputs: Vec<Vec<u8>> =
+        (0..n).map(|_| (0..depth).map(|_| next(256) as u8).collect()).collect();
 
     // ── path A: the engine ────────────────────────────────────────────
     let mut cols = vec![0u8; depth * n];
@@ -67,23 +68,24 @@ fn engine_equals_discrete_component_composition() {
         for cycle in 0..arch.input_bits {
             let plane = bit_plane(&padded, cycle);
             let (pos, neg) = pair.mvm_counts(&plane).unwrap();
-            for o in 0..outputs {
+            for (o, acc) in accs.iter_mut().enumerate() {
                 for alpha in 0..arch.weight_bits {
                     let col = pair.slicer().column_of(o, alpha);
                     let cp = adc.convert(pos[col] as f64);
                     let cn = adc.convert(neg[col] as f64);
                     discrete_ops += (cp.ops + cn.ops) as u64;
                     let shift = alpha + cycle;
-                    accs[o].add_code(adc.decode(cp.code_bits), &params, shift);
+                    acc.add_code(adc.decode(cp.code_bits), &params, shift);
                     let decoded_neg = adc.decode(cn.code_bits).decode_lsb(&params) as i64;
-                    accs[o].sub_raw(decoded_neg, shift);
+                    acc.sub_raw(decoded_neg, shift);
                 }
             }
         }
         for (o, acc) in accs.iter().enumerate() {
             let discrete_value = acc.value() as f64 * params.delta_r1();
             assert_eq!(
-                engine_out[o * n + i], discrete_value,
+                engine_out[o * n + i],
+                discrete_value,
                 "window {i} output {o}: engine vs discrete"
             );
         }

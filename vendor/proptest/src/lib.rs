@@ -1,0 +1,271 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the property-test surface the workspace uses: the
+//! [`proptest!`] macro over named strategies, integer / float range
+//! strategies, [`bool::ANY`], tuple strategies, [`collection::vec`],
+//! `prop_assert!` / `prop_assert_eq!`, and `prop_assume!`.
+//!
+//! Unlike upstream proptest there is no shrinking: cases are sampled from a
+//! deterministic seeded generator (plus a low-discrepancy sweep of each
+//! range, so boundary values are always exercised) and failures panic with
+//! the sampled inputs visible via the assertion message. The number of
+//! cases per property defaults to 256 and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Outcome of one sampled test case: `Ok` ran to completion, `Err(Rejected)`
+/// was skipped by `prop_assume!`.
+pub type TestCaseResult = Result<(), Rejected>;
+
+/// Marker for a case rejected by `prop_assume!`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Returns the number of cases to run per property.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+/// Returns the deterministic generator used to sample cases.
+pub fn test_rng() -> StdRng {
+    StdRng::seed_from_u64(0x5EED_CA5E_D00D_F00D)
+}
+
+/// A source of values for one named test parameter.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value. `case` is the index of the current test case,
+    /// letting range strategies sweep their bounds deterministically.
+    fn sample(&self, rng: &mut StdRng, case: usize) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng, case: usize) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // The first cases pin the boundaries, the rest are uniform.
+                match case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => rng.gen_range(self.clone()),
+                }
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng, case: usize) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                match case {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ => rng.gen_range(self.clone()),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng, case: usize) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                match case {
+                    0 => self.start,
+                    _ => rng.gen_range(self.clone()),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng, case: usize) -> Self::Value {
+                ($(self.$idx.sample(rng, case),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng, case: usize) -> bool {
+            match case {
+                0 => false,
+                1 => true,
+                _ => rng.gen::<bool>(),
+            }
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Produces vectors with lengths drawn from `size` and elements drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng, case: usize) -> Vec<S::Value> {
+            let len = match case {
+                0 => self.size.start,
+                1 => self.size.end - 1,
+                _ => rng.gen_range(self.size.clone()),
+            };
+            (0..len).map(|_| self.element.sample(rng, case)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
+}
+
+/// Declares property tests: each named parameter is sampled from its
+/// strategy for [`cases()`] iterations and the body is run per case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng = $crate::test_rng();
+                let __cases = $crate::cases();
+                let mut __rejected = 0usize;
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng, __case);)+
+                    // the closure exists so prop_assume! can early-return
+                    // out of one case without ending the whole test
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: $crate::TestCaseResult = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if __outcome.is_err() {
+                        __rejected += 1;
+                    }
+                }
+                assert!(
+                    __rejected < __cases,
+                    "every generated case was rejected by prop_assume!"
+                );
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_cover_bounds(a in 0u32..4, x in -1.0f64..1.0) {
+            prop_assert!(a < 4);
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec((0i64..256, 0u32..8), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (value, bits) in v {
+                prop_assert!(value < 256);
+                prop_assert!(bits < 8);
+            }
+        }
+
+    }
+
+    #[test]
+    fn bool_any_produces_both_values() {
+        let mut rng = crate::test_rng();
+        let seen: Vec<bool> = (0..32)
+            .map(|case| crate::Strategy::sample(&crate::bool::ANY, &mut rng, case))
+            .collect();
+        assert!(seen.contains(&true) && seen.contains(&false));
+    }
+}

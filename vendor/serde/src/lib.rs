@@ -1,0 +1,506 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this shim provides the small slice of serde's surface the workspace
+//! actually uses: the [`Serialize`] / [`Deserialize`] traits, derive macros
+//! for plain (non-generic) structs and enums, and implementations for the
+//! primitive, container, and tuple types that appear in the workspace's
+//! records. The data model is a single self-describing [`Content`] tree;
+//! `serde_json` (the sibling shim) renders it to and from JSON text.
+//!
+//! The shim intentionally mirrors serde's *external* behaviour where the
+//! workspace can observe it: field names become map keys, unit enum
+//! variants serialise as strings, newtype variants as `{"Variant": value}`,
+//! and `Option` fields absent from a map deserialise to `None`.
+
+#![deny(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialised value — the shim's entire data model.
+///
+/// JSON has no integer/float split, so both are kept distinct here and
+/// coerced on deserialisation ([`Content::as_f64`] accepts any numeric
+/// variant).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer that does not fit (or is not) an `i64`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Returns the value as `f64` if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer (or integral float).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e15 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::I64(v) => u64::try_from(v).ok(),
+            Content::U64(v) => Some(v),
+            Content::F64(v) if v.fract() == 0.0 && (0.0..1.9e19).contains(&v) => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the underlying sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the underlying map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable name of the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Content`] tree cannot be decoded into the
+/// requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+
+    /// Creates a type-mismatch error: `expected` within `context`.
+    pub fn expected(expected: &str, context: &str) -> Self {
+        DeError { message: format!("expected {expected} while deserializing {context}") }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can be rendered into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Content`] tree.
+    fn serialize(&self) -> Content;
+}
+
+/// A type that can be reconstructed from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Content`] tree.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field by name (derive-macro support).
+///
+/// A missing key decodes from [`Content::Null`], which makes `Option`
+/// fields implicitly optional — the behaviour real serde exhibits for
+/// `Option` — while any other type reports the missing field.
+pub fn __field<T: Deserialize>(
+    content: &Content,
+    name: &str,
+    type_name: &str,
+) -> Result<T, DeError> {
+    let map = content.as_map().ok_or_else(|| DeError::expected("map", type_name))?;
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::deserialize(v).map_err(|e| DeError::custom(format!("{type_name}.{name}: {e}")))
+        }
+        None => T::deserialize(&Content::Null)
+            .map_err(|_| DeError::custom(format!("{type_name}: missing field `{name}`"))),
+    }
+}
+
+/// Looks up a tuple element by index (derive-macro support).
+pub fn __element<T: Deserialize>(
+    seq: &[Content],
+    index: usize,
+    type_name: &str,
+) -> Result<T, DeError> {
+    let item = seq
+        .get(index)
+        .ok_or_else(|| DeError::custom(format!("{type_name}: missing tuple element {index}")))?;
+    T::deserialize(item)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content.as_f64().map(|v| v as f32).ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", other.kind())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References and smart pointers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::deserialize(content)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+/// Map keys must render to / parse from plain strings.
+pub trait MapKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a JSON object key.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| {
+                    DeError::custom(format!("invalid {} map key `{key}`", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int_key!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: MapKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Content {
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                Ok(($(__element::<$name>(seq, $idx, "tuple")?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

@@ -1,0 +1,454 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Parses non-generic `struct` and `enum` definitions directly from the
+//! `proc_macro` token stream (no `syn`/`quote` — the build environment has
+//! no registry access) and emits `Serialize` / `Deserialize` impls against
+//! the shim's `Content` data model. Generics, lifetimes, and `#[serde(..)]`
+//! attributes are unsupported and reported as compile errors; none of the
+//! workspace's record types need them.
+
+#![deny(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the type a derive is being generated for.
+enum Input {
+    /// `struct X;`
+    UnitStruct(String),
+    /// `struct X { a: A, b: B }`
+    NamedStruct(String, Vec<String>),
+    /// `struct X(A, B);`
+    TupleStruct(String, usize),
+    /// `enum X { ... }`
+    Enum(String, Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(..)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim: cannot derive for generic type `{name}`"));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct(name)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::NamedStruct(name, parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::TupleStruct(name, count_tuple_fields(g.stream())))
+            }
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::Enum(name, parse_variants(g.stream())?))
+            }
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("serde shim: cannot derive for `{other}` items")),
+    }
+}
+
+/// Extracts field names from `a: A, b: Vec<(B, C)>, ...`.
+///
+/// Types are skipped by scanning to the next comma at angle-bracket depth
+/// zero; commas inside `()`/`[]`/`{}` are invisible because those arrive as
+/// single `Group` tokens.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        let mut last_was_dash = false;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if last_was_dash => {} // `->` in an fn-pointer type
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+                last_was_dash = p.as_char() == '-';
+            } else {
+                last_was_dash = false;
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut saw_token = false;
+    let mut last_was_dash = false;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if last_was_dash => {}
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_token = false;
+                    last_was_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            last_was_dash = p.as_char() == '-';
+        } else {
+            last_was_dash = false;
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let data = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantData::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantData::Named(fields)
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        variants.push(Variant { name, data });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (rendered as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    match item {
+        Input::UnitStruct(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n\
+             }}"
+        ),
+        Input::NamedStruct(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Input::TupleStruct(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n\
+             ::serde::Serialize::serialize(&self.0)\n}}\n}}"
+        ),
+        Input::TupleStruct(name, arity) => {
+            let entries: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Seq(vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.data {
+                        VariantData::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        VariantData::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Content::Map(vec![\
+                             (::std::string::String::from({vname:?}), \
+                             ::serde::Serialize::serialize(__f0))]),"
+                        ),
+                        VariantData::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                 ::serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let body = match item {
+        Input::UnitStruct(name) => format!(
+            "match __content {{\n\
+             ::serde::Content::Null => Ok({name}),\n\
+             __other => Err(::serde::DeError::expected(\"null\", __other.kind())),\n}}"
+        ),
+        Input::NamedStruct(name, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__content, {f:?}, {name:?})?,"))
+                .collect();
+            format!("Ok({name} {{\n{}\n}})", inits.join("\n"))
+        }
+        Input::TupleStruct(name, 1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(__content)?))")
+        }
+        Input::TupleStruct(name, arity) => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::__element(__seq, {i}, {name:?})?")).collect();
+            format!(
+                "let __seq = __content.as_seq()\
+                 .ok_or_else(|| ::serde::DeError::expected(\"sequence\", {name:?}))?;\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Input::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => return Ok({name}::{vname}),\n"));
+                    }
+                    VariantData::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vname:?} => return Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize(__value)?)),\n"
+                        ));
+                    }
+                    VariantData::Tuple(arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::__element(__seq, {i}, {name:?})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __seq = __value.as_seq()\
+                             .ok_or_else(|| ::serde::DeError::expected(\
+                             \"sequence\", {name:?}))?;\n\
+                             return Ok({name}::{vname}({}));\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__field(__value, {f:?}, {name:?})?,"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => return Ok({name}::{vname} {{\n{}\n}}),\n",
+                            inits.join("\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => return Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __value) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => return Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => return Err(::serde::DeError::expected(\
+                 \"variant string or single-entry map\", __other.kind())),\n}}"
+            )
+        }
+    };
+    let name = match item {
+        Input::UnitStruct(n)
+        | Input::NamedStruct(n, _)
+        | Input::TupleStruct(n, _)
+        | Input::Enum(n, _) => n,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         #[allow(clippy::needless_return, unreachable_code)]\n\
+         fn deserialize(__content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
