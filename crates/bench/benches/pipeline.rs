@@ -1,9 +1,9 @@
-//! End-to-end PIM inference: one LeNet image through the bit-accurate
-//! crossbar + TRQ ADC datapath.
+//! End-to-end PIM inference through the tiled execution pipeline: serial
+//! vs threaded tiles, and per-image vs whole-batch forward passes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use trq_core::arch::ArchConfig;
+use trq_core::arch::{ArchConfig, ExecConfig};
 use trq_core::pim::{AdcScheme, PimMvm};
 use trq_nn::{data, models, QuantizedNetwork};
 use trq_quant::TrqParams;
@@ -17,16 +17,33 @@ fn bench_pipeline(c: &mut Criterion) {
     let cal: Vec<_> = ds.iter().map(|s| s.image.clone()).collect();
     let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
     let arch = ArchConfig::default();
+    let arch_threaded =
+        ArchConfig { exec: ExecConfig::serial().with_threads(4), ..ArchConfig::default() };
+    let trq = AdcScheme::Trq(TrqParams::new(3, 7, 1, 1.0, 0).unwrap());
 
     group.bench_function("lenet_pim_ideal", |b| {
         let mut engine = PimMvm::new(&arch, vec![AdcScheme::Ideal; qnet.layers().len()]);
         b.iter(|| black_box(qnet.forward(black_box(&ds[0].image), &mut engine).unwrap()))
     });
 
-    let trq = AdcScheme::Trq(TrqParams::new(3, 7, 1, 1.0, 0).unwrap());
     group.bench_function("lenet_pim_trq", |b| {
         let mut engine = PimMvm::new(&arch, vec![trq; qnet.layers().len()]);
         b.iter(|| black_box(qnet.forward(black_box(&ds[0].image), &mut engine).unwrap()))
+    });
+
+    group.bench_function("lenet_pim_trq_threads4", |b| {
+        let mut engine = PimMvm::new(&arch_threaded, vec![trq; qnet.layers().len()]);
+        b.iter(|| black_box(qnet.forward(black_box(&ds[0].image), &mut engine).unwrap()))
+    });
+
+    group.bench_function("lenet_pim_trq_batch8", |b| {
+        let mut engine = PimMvm::new(&arch, vec![trq; qnet.layers().len()]);
+        b.iter(|| black_box(qnet.forward_batch(black_box(&cal), &mut engine).unwrap()))
+    });
+
+    group.bench_function("lenet_pim_trq_batch8_threads4", |b| {
+        let mut engine = PimMvm::new(&arch_threaded, vec![trq; qnet.layers().len()]);
+        b.iter(|| black_box(qnet.forward_batch(black_box(&cal), &mut engine).unwrap()))
     });
     group.finish();
 }

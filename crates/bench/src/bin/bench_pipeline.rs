@@ -1,0 +1,78 @@
+//! Measures MVM throughput of the tiled execution pipeline — serial vs
+//! threaded tiles on the ResNet workload — and records the result to
+//! `results/BENCH_pipeline.json` so regressions in either path are
+//! visible in version control.
+//!
+//! Environment knobs:
+//! - `TRQ_SUITE=quick|paper` — workload size (default `paper`);
+//! - `TRQ_THREADS` — worker count for the threaded run (default 4);
+//! - `TRQ_BENCH_ITERS` — timed passes over the batch (default 2).
+//!
+//! Usage: `TRQ_SUITE=quick cargo run --release -p trq-bench --bin bench_pipeline`
+
+use std::time::Instant;
+use trq_bench::{suite_from_env, write_json, PipelineBenchRecord};
+use trq_core::arch::{ArchConfig, ExecConfig};
+use trq_core::experiments::Workload;
+use trq_core::pim::{AdcScheme, PimMvm};
+use trq_quant::TrqParams;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Runs `iters` timed batch passes and returns (MVM windows/sec, windows
+/// per pass).
+fn measure(workload: &Workload, arch: &ArchConfig, iters: usize) -> (f64, u64) {
+    let params = TrqParams::new(3, 7, 1, 1.0, 0).expect("static params");
+    let plan = vec![AdcScheme::Trq(params); workload.qnet.layers().len()];
+    let mut engine = PimMvm::new(arch, plan);
+    // warmup pass: programs every layer and sizes the scratch pools
+    let _ = workload.qnet.forward_batch(&workload.eval_inputs, &mut engine).expect("warmup");
+    engine.reset_stats();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = workload.qnet.forward_batch(&workload.eval_inputs, &mut engine).expect("forward");
+    }
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    let windows: u64 = engine.stats().layers.iter().map(|l| l.windows).sum();
+    (windows as f64 / dt, windows / iters.max(1) as u64)
+}
+
+fn main() {
+    let cfg = suite_from_env();
+    let threads = env_usize("TRQ_THREADS", 4);
+    let iters = env_usize("TRQ_BENCH_ITERS", 2);
+    let workload = Workload::resnet20(&cfg);
+
+    let serial_arch = ArchConfig::default();
+    let threaded_arch =
+        ArchConfig { exec: ExecConfig::serial().with_threads(threads), ..ArchConfig::default() };
+
+    println!(
+        "pipeline throughput: {} ({} images, {} timed passes)",
+        workload.name,
+        workload.eval_inputs.len(),
+        iters
+    );
+    let (serial, windows_per_pass) = measure(&workload, &serial_arch, iters);
+    println!("  serial (threads=1)    {serial:>12.0} MVM windows/sec");
+    let (threaded, _) = measure(&workload, &threaded_arch, iters);
+    println!("  threaded (threads={threads})  {threaded:>12.0} MVM windows/sec");
+    let speedup = threaded / serial.max(1e-9);
+    let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("  speedup {speedup:.2}x on a {host}-core host");
+
+    let record = PipelineBenchRecord {
+        workload: workload.name.clone(),
+        images: workload.eval_inputs.len(),
+        iters,
+        host_cores: host,
+        threads,
+        windows_per_pass,
+        serial_mvms_per_sec: serial,
+        threaded_mvms_per_sec: threaded,
+        speedup,
+    };
+    write_json("BENCH_pipeline", &record);
+}

@@ -10,9 +10,35 @@
 
 #![deny(missing_docs)]
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use trq_core::experiments::SuiteConfig;
+
+/// The record `bench_pipeline` writes to `results/BENCH_pipeline.json`:
+/// MVM-window throughput of the tiled engine, serial vs threaded, on one
+/// workload. Throughput is a host-machine property; `host_cores` records
+/// how much parallelism was physically available for the `speedup` field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineBenchRecord {
+    /// Workload name (Fig. 6 naming).
+    pub workload: String,
+    /// Images per timed batch pass.
+    pub images: usize,
+    /// Timed passes.
+    pub iters: usize,
+    /// Physical parallelism of the measuring host.
+    pub host_cores: usize,
+    /// Worker threads of the threaded run.
+    pub threads: usize,
+    /// MVM windows executed per pass (all layers).
+    pub windows_per_pass: u64,
+    /// Serial (threads = 1) throughput in MVM windows/sec.
+    pub serial_mvms_per_sec: f64,
+    /// Threaded throughput in MVM windows/sec.
+    pub threaded_mvms_per_sec: f64,
+    /// `threaded / serial`.
+    pub speedup: f64,
+}
 
 /// Reads the suite configuration from `TRQ_SUITE` (`paper` by default).
 pub fn suite_from_env() -> SuiteConfig {

@@ -8,6 +8,80 @@ pub use mapping::{map_network, LayerMapping, NetworkMapping};
 use serde::{Deserialize, Serialize};
 use trq_xbar::CrossbarConfig;
 
+/// Host-side execution strategy for the simulated MVM datapath: how the
+/// engine tiles a layer's work and how many worker threads run the tiles.
+///
+/// Tiles are (output-channel block × window block) units; subarrays and
+/// input bit-planes are looped inside each tile, so every tile owns a
+/// disjoint region of the accumulator and tiles compose in any order —
+/// results are bit-identical for every `threads` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Worker threads for tile execution. `0` auto-detects from the host
+    /// (capped at 8); `1` runs tiles serially on the calling thread.
+    pub threads: usize,
+    /// Output channels per tile. `0` picks the default of 16 channels —
+    /// with 8-bit weights that is 128 bit lines, one physical crossbar.
+    pub tile_outputs: usize,
+    /// MVM windows per tile. `0` picks the default of 64 windows.
+    pub tile_windows: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { threads: 1, tile_outputs: 0, tile_windows: 0 }
+    }
+}
+
+impl ExecConfig {
+    /// The serial configuration (one thread, default tiling).
+    pub fn serial() -> Self {
+        ExecConfig::default()
+    }
+
+    /// Builder: sets the worker-thread count (`0` = auto-detect).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder: sets the output channels per tile (`0` = default).
+    #[must_use]
+    pub fn with_tile_outputs(mut self, tile_outputs: usize) -> Self {
+        self.tile_outputs = tile_outputs;
+        self
+    }
+
+    /// Builder: sets the windows per tile (`0` = default).
+    #[must_use]
+    pub fn with_tile_windows(mut self, tile_windows: usize) -> Self {
+        self.tile_windows = tile_windows;
+        self
+    }
+
+    /// The worker count after auto-detection.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Output channels per tile for a layer with `outputs` channels.
+    pub fn tile_outputs_for(&self, outputs: usize) -> usize {
+        let t = if self.tile_outputs == 0 { 16 } else { self.tile_outputs };
+        t.min(outputs).max(1)
+    }
+
+    /// Windows per tile for a layer processing `windows` windows.
+    pub fn tile_windows_for(&self, windows: usize) -> usize {
+        let t = if self.tile_windows == 0 { 64 } else { self.tile_windows };
+        t.min(windows).max(1)
+    }
+}
+
 /// Architecture-level configuration of the accelerator.
 ///
 /// Defaults reproduce the paper's evaluation platform: ISAAC organisation,
@@ -29,6 +103,9 @@ pub struct ArchConfig {
     pub adc_bits: u32,
     /// System clock in MHz.
     pub clock_mhz: f64,
+    /// Host-side tiling/threading strategy (simulation-speed knob only —
+    /// never changes simulated results or event counts).
+    pub exec: ExecConfig,
 }
 
 impl Default for ArchConfig {
@@ -41,6 +118,7 @@ impl Default for ArchConfig {
             psum_bits: 16,
             adc_bits: xbar.ideal_adc_bits(),
             clock_mhz: 100.0,
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -105,5 +183,32 @@ mod tests {
         let a = ArchConfig::default();
         // depth 147 → 2 subarrays; 64 outputs × 8 slices × 8 cycles × 2 arrays
         assert_eq!(a.conversions_per_window(147, 64), 2 * 8 * 64 * 8 * 2);
+    }
+
+    #[test]
+    fn exec_defaults_are_serial_with_auto_tiles() {
+        let e = ExecConfig::default();
+        assert_eq!(e.effective_threads(), 1);
+        assert_eq!(e.tile_outputs_for(100), 16);
+        assert_eq!(e.tile_windows_for(1000), 64);
+        // tiles never exceed the layer and never degenerate to zero
+        assert_eq!(e.tile_outputs_for(3), 3);
+        assert_eq!(e.tile_windows_for(1), 1);
+    }
+
+    #[test]
+    fn exec_builders_compose() {
+        let e = ExecConfig::serial().with_threads(4).with_tile_outputs(8).with_tile_windows(32);
+        assert_eq!(e, ExecConfig { threads: 4, tile_outputs: 8, tile_windows: 32 });
+        assert_eq!(e.effective_threads(), 4);
+        assert_eq!(e.tile_outputs_for(100), 8);
+        assert_eq!(e.tile_windows_for(5), 5);
+    }
+
+    #[test]
+    fn exec_auto_threads_detects_host() {
+        let e = ExecConfig::serial().with_threads(0);
+        let t = e.effective_threads();
+        assert!((1..=8).contains(&t), "auto thread count in [1, 8]: {t}");
     }
 }

@@ -51,9 +51,10 @@ pub fn collect_bl_samples(
     config: CollectorConfig,
 ) -> Vec<LayerSamples> {
     let mut engine = PimMvm::collector(arch, qnet.layers().len(), config);
-    for image in images {
-        let _ = qnet.forward(image, &mut engine).expect("calibration forward failed");
-    }
+    // the whole calibration batch goes through each layer in one engine
+    // call; the collector's per-tile counts pass sees every BL sample in
+    // deterministic tile order
+    let _ = qnet.forward_batch(images, &mut engine).expect("calibration forward failed");
     engine.take_samples()
 }
 
@@ -76,21 +77,29 @@ pub fn evaluate_plan(
         for piece in indices.chunks(chunk) {
             handles.push(scope.spawn(move || {
                 let mut engine = PimMvm::new(arch, plan.to_vec());
+                // the worker's whole slice runs as one window batch, so
+                // the engine tiles across images as well as windows
+                let images: Vec<Tensor> = piece
+                    .iter()
+                    .map(|&i| match metric {
+                        EvalMetric::Labeled(samples) => samples[i].0.clone(),
+                        EvalMetric::Fidelity(inputs) => inputs[i].clone(),
+                    })
+                    .collect();
+                let ys = qnet.forward_batch(&images, &mut engine).expect("eval forward failed");
                 let mut correct = 0usize;
-                for &i in piece {
+                for (&i, y) in piece.iter().zip(ys.iter()) {
                     match metric {
                         EvalMetric::Labeled(samples) => {
-                            let (image, label) = &samples[i];
-                            let y = qnet.forward(image, &mut engine).expect("eval forward failed");
-                            if y.argmax() == *label {
+                            if y.argmax() == samples[i].1 {
                                 correct += 1;
                             }
                         }
                         EvalMetric::Fidelity(inputs) => {
-                            let image = &inputs[i];
-                            let y = qnet.forward(image, &mut engine).expect("eval forward failed");
-                            let reference =
-                                qnet.network().forward(image).expect("reference forward failed");
+                            let reference = qnet
+                                .network()
+                                .forward(&inputs[i])
+                                .expect("reference forward failed");
                             if y.argmax() == reference.argmax() {
                                 correct += 1;
                             }

@@ -1,12 +1,29 @@
-//! The crossbar MVM engine.
+//! The crossbar MVM engine — a tiled program / execute / account pipeline.
+//!
+//! A layer invocation runs in three stages:
+//!
+//! 1. **program** — on first sight of a layer, split its weights into
+//!    sign-magnitude bit slices on differential subarray pairs and build
+//!    the per-count conversion LUT once (stored with the programmed layer,
+//!    never rebuilt or cloned per call);
+//! 2. **execute** — pack all `input_bits` bit-planes of the window batch
+//!    in one pass over the activation codes (scratch `BitMatrix` buffers
+//!    reused across calls), then run (output-block × window-block) tiles
+//!    through the fused popcount kernel. Subarrays and bit-planes are
+//!    looped *inside* each tile, so every tile owns a disjoint region of
+//!    the accumulator and tiles run on any number of worker threads with
+//!    bit-identical results;
+//! 3. **account** — merge per-worker event tallies into the layer's
+//!    [`PimStats`] and scale the integer accumulator into code units.
 
 use crate::arch::ArchConfig;
 use crate::pim::scheme::{AdcScheme, Lut};
 use crate::pim::stats::PimStats;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use trq_nn::{MvmEngine, MvmLayerInfo};
 use trq_quant::Histogram;
-use trq_xbar::BitMatrix;
+use trq_xbar::{pack_window_planes, BitMatrix};
 
 /// Configuration for bit-line sample collection during calibration runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,19 +57,138 @@ struct Programmed {
     /// One `(pos, neg)` slice-plane pair per 128-row subarray; columns are
     /// `outputs × weight_bits` wide.
     subarrays: Vec<(BitMatrix, BitMatrix)>,
+    /// Per-count conversion table, built once at programming time.
+    lut: Lut,
+}
+
+/// One (output-block × window-block) unit of work. Subarrays and input
+/// bit-planes are looped inside the tile, so a tile owns the disjoint
+/// accumulator region `[o0, o1) × [w0, w1)` outright.
+#[derive(Debug, Clone, Copy)]
+struct Tile {
+    o0: usize,
+    o1: usize,
+    w0: usize,
+    w1: usize,
+}
+
+impl Tile {
+    fn len(&self) -> usize {
+        (self.o1 - self.o0) * (self.w1 - self.w0)
+    }
+}
+
+/// Architectural events tallied while executing tiles; one per worker,
+/// merged in the account stage.
+#[derive(Debug, Default, Clone, Copy)]
+struct TileEvents {
+    ops: u64,
+    conversions: u64,
+    max_count: u32,
+    max_abs_acc: i64,
+}
+
+impl TileEvents {
+    fn merge(&mut self, other: &TileEvents) {
+        self.ops += other.ops;
+        self.conversions += other.conversions;
+        self.max_count = self.max_count.max(other.max_count);
+        self.max_abs_acc = self.max_abs_acc.max(other.max_abs_acc);
+    }
+}
+
+/// Per-worker scratch reused across tiles (no allocation in steady state).
+#[derive(Default)]
+struct TileScratch {
+    counts_pos: Vec<u32>,
+    counts_neg: Vec<u32>,
+}
+
+/// What one worker returns: completed `(tile index, tile accumulator)`
+/// pairs plus its event tally.
+type WorkerResult = (Vec<(usize, Vec<i64>)>, TileEvents);
+
+/// Executes one tile: fused popcount over every (subarray × bit-plane),
+/// then LUT decode and shift-add into the tile-local accumulator `acc`
+/// (length `tile.len()`, zeroed by the caller). When `on_count` is given
+/// (calibration), every pos/neg BL count of the tile is fed to it in a
+/// deterministic per-tile counts pass.
+#[allow(clippy::too_many_arguments)]
+fn execute_tile(
+    prog: &Programmed,
+    planes: &[Vec<BitMatrix>],
+    tile: Tile,
+    wbits: usize,
+    ibits: usize,
+    scratch: &mut TileScratch,
+    acc: &mut [i64],
+    events: &mut TileEvents,
+    mut on_count: Option<&mut dyn FnMut(u32)>,
+) {
+    let nc = (tile.o1 - tile.o0) * wbits;
+    let nw = tile.w1 - tile.w0;
+    let volume = ibits * nc * nw;
+    let lut = &prog.lut;
+    scratch.counts_pos.clear();
+    scratch.counts_pos.resize(volume, 0);
+    scratch.counts_neg.clear();
+    scratch.counts_neg.resize(volume, 0);
+    for (s, (pos, neg)) in prog.subarrays.iter().enumerate() {
+        let cols = tile.o0 * wbits..tile.o1 * wbits;
+        pos.mvm_planes_tile_into(
+            &planes[s],
+            cols.clone(),
+            tile.w0..tile.w1,
+            &mut scratch.counts_pos,
+        );
+        neg.mvm_planes_tile_into(&planes[s], cols, tile.w0..tile.w1, &mut scratch.counts_neg);
+        for c in 0..ibits {
+            for oc in 0..nc {
+                let (o_local, alpha) = (oc / wbits, oc % wbits);
+                let shift = (alpha + c) as u32;
+                let base = (c * nc + oc) * nw;
+                let cps = &scratch.counts_pos[base..base + nw];
+                let cns = &scratch.counts_neg[base..base + nw];
+                let arow = &mut acc[o_local * nw..(o_local + 1) * nw];
+                for ((a, &cp), &cn) in arow.iter_mut().zip(cps).zip(cns) {
+                    events.max_count = events.max_count.max(cp).max(cn);
+                    let lp = lut.lsb[cp as usize] as i64;
+                    let ln = lut.lsb[cn as usize] as i64;
+                    events.ops += lut.ops[cp as usize] as u64 + lut.ops[cn as usize] as u64;
+                    *a += (lp - ln) << shift;
+                }
+            }
+        }
+        events.conversions += 2 * volume as u64;
+        if let Some(sink) = on_count.as_deref_mut() {
+            // per-tile counts pass: the collector consumes the raw BL
+            // counts outside the arithmetic loop, pos/neg interleaved
+            for (&cp, &cn) in scratch.counts_pos.iter().zip(scratch.counts_neg.iter()) {
+                sink(cp);
+                sink(cn);
+            }
+        }
+    }
+    for &v in acc.iter() {
+        events.max_abs_acc = events.max_abs_acc.max(v.abs());
+    }
 }
 
 /// The PIM execution engine: runs quantized MVMs through bit-sliced
 /// differential crossbars and per-layer ADC schemes, counting every
-/// architectural event. See the crate docs for an end-to-end example.
+/// architectural event. Execution is tiled and (optionally) multi-threaded
+/// per [`crate::arch::ExecConfig`]; results and event counts are
+/// bit-identical for every thread count. See the crate docs for an
+/// end-to-end example.
 pub struct PimMvm<'a> {
     arch: &'a ArchConfig,
     plan: Vec<AdcScheme>,
     programmed: HashMap<usize, Programmed>,
-    luts: HashMap<usize, Lut>,
     stats: PimStats,
     collector: Option<CollectorConfig>,
     samples: HashMap<usize, LayerSamples>,
+    /// Scratch bit-plane matrices per subarray, reused across calls.
+    planes: Vec<Vec<BitMatrix>>,
 }
 
 impl<'a> PimMvm<'a> {
@@ -63,16 +199,17 @@ impl<'a> PimMvm<'a> {
             arch,
             plan,
             programmed: HashMap::new(),
-            luts: HashMap::new(),
             stats: PimStats::default(),
             collector: None,
             samples: HashMap::new(),
+            planes: Vec::new(),
         }
     }
 
     /// Creates an engine that additionally collects BL samples per layer
     /// (calibration mode). The scheme is forced to [`AdcScheme::Ideal`] so
-    /// the collected distribution is the true one.
+    /// the collected distribution is the true one, and tiles run serially
+    /// in deterministic order so the retained reservoir is reproducible.
     pub fn collector(arch: &'a ArchConfig, layers: usize, config: CollectorConfig) -> Self {
         let mut engine = PimMvm::new(arch, vec![AdcScheme::Ideal; layers]);
         engine.collector = Some(config);
@@ -80,6 +217,7 @@ impl<'a> PimMvm<'a> {
     }
 
     /// The accumulated statistics.
+    #[must_use]
     pub fn stats(&self) -> &PimStats {
         &self.stats
     }
@@ -95,6 +233,7 @@ impl<'a> PimMvm<'a> {
     }
 
     /// Takes the collected calibration samples, ordered by layer index.
+    #[must_use]
     pub fn take_samples(&mut self) -> Vec<LayerSamples> {
         let mut out: Vec<LayerSamples> = self.samples.drain().map(|(_, v)| v).collect();
         out.sort_by_key(|s| s.mvm_index);
@@ -105,6 +244,8 @@ impl<'a> PimMvm<'a> {
         self.plan.get(mvm_index).copied().unwrap_or(AdcScheme::Ideal)
     }
 
+    /// Program stage: bit-slice the weights onto differential subarray
+    /// pairs and build the layer's conversion LUT, once per layer.
     fn program(&mut self, info: &MvmLayerInfo, weights_q: &[i32]) {
         if self.programmed.contains_key(&info.mvm_index) {
             return;
@@ -136,7 +277,10 @@ impl<'a> PimMvm<'a> {
             }
             subarrays.push((pos, neg));
         }
-        self.programmed.insert(info.mvm_index, Programmed { subarrays });
+        let lut = self
+            .scheme_for(info.mvm_index)
+            .build_lut(self.arch.xbar.rows as u32, self.arch.adc_bits);
+        self.programmed.insert(info.mvm_index, Programmed { subarrays, lut });
     }
 
     fn record_sample(
@@ -159,103 +303,191 @@ impl<'a> PimMvm<'a> {
         if entry.values.len() < cfg.reservoir_cap {
             entry.values.push(count as f64);
         } else {
-            // deterministic pseudo-random replacement keeps the reservoir
-            // representative without an RNG dependency in the hot loop
-            let slot =
-                (entry.seen.wrapping_mul(0x9E3779B97F4A7C15) >> 16) as usize % cfg.reservoir_cap;
-            entry.values[slot] = count as f64;
+            // Algorithm R: the incoming sample replaces a uniformly random
+            // reservoir slot with probability cap/seen — drawn as a
+            // uniform slot in [0, seen) from a splitmix64 stream keyed by
+            // the sample ordinal, so collection stays deterministic
+            // without an RNG dependency in the hot path
+            let mut z = entry.seen.wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let slot = (z % entry.seen) as usize;
+            if slot < cfg.reservoir_cap {
+                entry.values[slot] = count as f64;
+            }
+        }
+    }
+
+    /// Folds a tile-local accumulator into the layer accumulator.
+    fn fold_tile(acc: &mut [i64], n: usize, tile: Tile, tile_acc: &[i64]) {
+        let nw = tile.w1 - tile.w0;
+        for o in tile.o0..tile.o1 {
+            let src = &tile_acc[(o - tile.o0) * nw..(o - tile.o0 + 1) * nw];
+            let dst = &mut acc[o * n + tile.w0..o * n + tile.w1];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
         }
     }
 }
 
 impl MvmEngine for PimMvm<'_> {
-    fn mvm(&mut self, info: &MvmLayerInfo, weights_q: &[i32], cols: &[u8], n: usize) -> Vec<f64> {
+    fn mvm_into(
+        &mut self,
+        info: &MvmLayerInfo,
+        weights_q: &[i32],
+        cols: &[u8],
+        n: usize,
+        out: &mut [f64],
+    ) {
         assert_eq!(weights_q.len(), info.depth * info.outputs, "weight shape mismatch");
         assert_eq!(cols.len(), info.depth * n, "cols shape mismatch");
+        assert_eq!(out.len(), info.outputs * n, "output buffer shape mismatch");
+
+        // ── program ───────────────────────────────────────────────────
         self.program(info, weights_q);
 
         let rows = self.arch.xbar.rows;
         let wbits = self.arch.weight_bits as usize;
-        let ibits = self.arch.input_bits;
+        let ibits = self.arch.input_bits as usize;
         let max_count = self.arch.xbar.rows as u32;
-        let scheme = self.scheme_for(info.mvm_index);
-        let lut = self
-            .luts
-            .entry(info.mvm_index)
-            .or_insert_with(|| scheme.build_lut(max_count, self.arch.adc_bits))
-            .clone();
+        let exec = self.arch.exec;
 
-        let programmed = &self.programmed[&info.mvm_index];
-        let mut acc = vec![0i64; info.outputs * n];
-        let mut ops: u64 = 0;
-        let mut conversions: u64 = 0;
-        let mut layer_max_count: u32 = 0;
-
-        for (s, (pos, neg)) in programmed.subarrays.iter().enumerate() {
+        // batched bit-plane packing: all `input_bits` planes of every
+        // subarray in one pass over `cols` each, into reused scratch
+        let n_sub = self.arch.subarrays_for_depth(info.depth);
+        while self.planes.len() < n_sub {
+            self.planes.push(Vec::new());
+        }
+        for (s, planes) in self.planes.iter_mut().enumerate().take(n_sub) {
             let d0 = s * rows;
             let d1 = ((s + 1) * rows).min(info.depth);
-            for c in 0..ibits {
-                // input bit-plane for this subarray and cycle, one column
-                // per window
-                let mut plane = BitMatrix::zeros(rows, n);
-                for d in d0..d1 {
-                    let crow = &cols[d * n..(d + 1) * n];
-                    for (i, &code) in crow.iter().enumerate() {
-                        if (code >> c) & 1 == 1 {
-                            plane.set(d - d0, i, true);
-                        }
-                    }
-                }
-                let counts_pos = pos.mvm_matrix(&plane);
-                let counts_neg = neg.mvm_matrix(&plane);
-                for o in 0..info.outputs {
-                    for alpha in 0..wbits {
-                        let col = o * wbits + alpha;
-                        let base = col * n;
-                        let arow = &mut acc[o * n..(o + 1) * n];
-                        for i in 0..n {
-                            let cp = counts_pos[base + i];
-                            let cn = counts_neg[base + i];
-                            layer_max_count = layer_max_count.max(cp).max(cn);
-                            let lp = lut.lsb[cp as usize] as i64;
-                            let ln = lut.lsb[cn as usize] as i64;
-                            ops += lut.ops[cp as usize] as u64 + lut.ops[cn as usize] as u64;
-                            conversions += 2;
-                            arow[i] += (lp - ln) << (alpha as u32 + c);
-                            if let Some(cfg) = self.collector {
-                                Self::record_sample(&mut self.samples, &cfg, info, max_count, cp);
-                                Self::record_sample(&mut self.samples, &cfg, info, max_count, cn);
+            pack_window_planes(cols, n, d0, d1, rows, ibits as u32, planes);
+        }
+
+        // ── execute ───────────────────────────────────────────────────
+        let to = exec.tile_outputs_for(info.outputs);
+        let tw = exec.tile_windows_for(n);
+        let mut tiles = Vec::new();
+        let mut o0 = 0;
+        while o0 < info.outputs {
+            let o1 = (o0 + to).min(info.outputs);
+            let mut w0 = 0;
+            while w0 < n {
+                let w1 = (w0 + tw).min(n);
+                tiles.push(Tile { o0, o1, w0, w1 });
+                w0 = w1;
+            }
+            o0 = o1;
+        }
+
+        let prog = &self.programmed[&info.mvm_index];
+        let planes = &self.planes[..n_sub];
+        let threads = if self.collector.is_some() {
+            1 // calibration keeps a deterministic sample order
+        } else {
+            exec.effective_threads().clamp(1, tiles.len().max(1))
+        };
+
+        let mut acc = vec![0i64; info.outputs * n];
+        let mut events = TileEvents::default();
+        if threads <= 1 {
+            let mut scratch = TileScratch::default();
+            let mut tile_acc: Vec<i64> = Vec::new();
+            let samples = &mut self.samples;
+            let mut sink = self.collector.map(|cfg| {
+                move |count: u32| Self::record_sample(samples, &cfg, info, max_count, count)
+            });
+            for &tile in &tiles {
+                tile_acc.clear();
+                tile_acc.resize(tile.len(), 0);
+                execute_tile(
+                    prog,
+                    planes,
+                    tile,
+                    wbits,
+                    ibits,
+                    &mut scratch,
+                    &mut tile_acc,
+                    &mut events,
+                    sink.as_mut().map(|f| f as &mut dyn FnMut(u32)),
+                );
+                Self::fold_tile(&mut acc, n, tile, &tile_acc);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let tiles = &tiles;
+            let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            // per-worker scratch and event tally; tiles
+                            // are claimed work-stealing style
+                            let mut scratch = TileScratch::default();
+                            let mut done = Vec::new();
+                            let mut ev = TileEvents::default();
+                            loop {
+                                let t = next.fetch_add(1, Ordering::Relaxed);
+                                if t >= tiles.len() {
+                                    break;
+                                }
+                                let tile = tiles[t];
+                                let mut tile_acc = vec![0i64; tile.len()];
+                                execute_tile(
+                                    prog,
+                                    planes,
+                                    tile,
+                                    wbits,
+                                    ibits,
+                                    &mut scratch,
+                                    &mut tile_acc,
+                                    &mut ev,
+                                    None,
+                                );
+                                done.push((t, tile_acc));
                             }
-                        }
-                    }
+                            (done, ev)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("tile worker panicked")).collect()
+            });
+            for (done, ev) in &results {
+                events.merge(ev);
+                for (t, tile_acc) in done {
+                    Self::fold_tile(&mut acc, n, tiles[*t], tile_acc);
                 }
             }
         }
 
-        // architectural event accounting
-        let n_sub = programmed.subarrays.len() as u64;
+        // ── account ───────────────────────────────────────────────────
+        let n_sub = prog.subarrays.len() as u64;
+        let delta = prog.lut.delta;
         let phys = self.arch.physical_xbars_for_outputs(info.outputs) as u64;
-        let max_abs_acc = acc.iter().map(|v| v.abs()).max().unwrap_or(0);
         let layer = self.stats.layer_mut(info.mvm_index, &info.label);
-        layer.conversions += conversions;
-        layer.ops += ops;
+        layer.conversions += events.conversions;
+        layer.ops += events.ops;
         layer.windows += n as u64;
         layer.xbar_activations += n as u64 * ibits as u64 * n_sub * 2 * phys;
         layer.dac_activations += n as u64 * ibits as u64 * n_sub * 2 * phys;
         layer.buffer_bytes += (info.depth * n) as u64 + (info.outputs * n * 2) as u64;
-        layer.sa_ops += conversions;
+        layer.sa_ops += events.conversions;
         layer.bus_bytes += (info.outputs * n) as u64;
-        layer.max_count = layer.max_count.max(layer_max_count);
-        layer.max_abs_acc = layer.max_abs_acc.max(max_abs_acc);
-        self.stats.baseline_ops += conversions * self.arch.adc_bits as u64;
+        layer.max_count = layer.max_count.max(events.max_count);
+        layer.max_abs_acc = layer.max_abs_acc.max(events.max_abs_acc);
+        self.stats.baseline_ops += events.conversions * self.arch.adc_bits as u64;
 
-        acc.into_iter().map(|v| v as f64 * lut.delta).collect()
+        for (o, &v) in out.iter_mut().zip(acc.iter()) {
+            *o = v as f64 * delta;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arch::ExecConfig;
     use trq_nn::ExactMvm;
 
     fn info(depth: usize, outputs: usize) -> MvmLayerInfo {
@@ -281,6 +513,29 @@ mod tests {
         let got = pim.mvm(&info, &weights, &cols, 4);
         let want = ExactMvm.mvm(&info, &weights, &cols, 4);
         assert_eq!(got, want, "ideal crossbar datapath must be exact");
+    }
+
+    #[test]
+    fn threaded_tiles_are_bit_identical_to_serial() {
+        let serial_arch = arch();
+        let mut threaded_arch = arch();
+        threaded_arch.exec =
+            ExecConfig::serial().with_threads(4).with_tile_outputs(2).with_tile_windows(3);
+        let info = info(200, 5); // two subarrays, ragged tiles
+        let mut state = 0xFEEDu64;
+        let mut next = |m: i64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64 % m) as i32
+        };
+        let weights: Vec<i32> = (0..200 * 5).map(|_| next(255) - 127).collect();
+        let cols: Vec<u8> = (0..200 * 7).map(|_| next(256) as u8).collect();
+        let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+        let mut serial = PimMvm::new(&serial_arch, vec![AdcScheme::Trq(params)]);
+        let mut threaded = PimMvm::new(&threaded_arch, vec![AdcScheme::Trq(params)]);
+        let a = serial.mvm(&info, &weights, &cols, 7);
+        let b = threaded.mvm(&info, &weights, &cols, 7);
+        assert_eq!(a, b, "thread count must never change results");
+        assert_eq!(serial.stats(), threaded.stats(), "event ledgers must agree exactly");
     }
 
     #[test]
@@ -355,6 +610,47 @@ mod tests {
         assert_eq!(s.hist.count(), s.seen);
         // BL counts are bounded by the array rows
         assert!(s.hist.sample_max() <= 128.0);
+    }
+
+    #[test]
+    fn collector_is_deterministic_even_with_threads_requested() {
+        let mut arch = arch();
+        arch.exec = ExecConfig::serial().with_threads(4);
+        let info = info(96, 3);
+        let weights: Vec<i32> = (0..96 * 3).map(|i: i32| (i % 9) - 4).collect();
+        let cols: Vec<u8> = (0..96 * 5).map(|i| (i % 11) as u8 * 20).collect();
+        let run = |arch: &ArchConfig| {
+            let mut pim = PimMvm::collector(arch, 1, CollectorConfig { reservoir_cap: 64 });
+            let _ = pim.mvm(&info, &weights, &cols, 5);
+            pim.take_samples()
+        };
+        let a = run(&arch);
+        let b = run(&arch);
+        assert_eq!(a[0].values, b[0].values, "reservoir must be reproducible");
+        assert_eq!(a[0].seen, b[0].seen);
+    }
+
+    #[test]
+    fn reservoir_replacement_covers_all_slots_uniformly() {
+        // Algorithm R with cap ≪ seen: every slot must remain reachable
+        // and the retained values must span the late part of the stream
+        let arch = arch();
+        let info = info(128, 4);
+        let weights: Vec<i32> = (0..128 * 4).map(|i: i32| ((i * 7) % 255) - 127).collect();
+        let cols: Vec<u8> = (0..128 * 8).map(|i| ((i * 13) % 256) as u8).collect();
+        let mut pim = PimMvm::collector(&arch, 1, CollectorConfig { reservoir_cap: 32 });
+        let _ = pim.mvm(&info, &weights, &cols, 8);
+        let samples = pim.take_samples();
+        let s = &samples[0];
+        assert_eq!(s.values.len(), 32);
+        assert!(s.seen > 1000, "stream must be far longer than the reservoir: {}", s.seen);
+        // acceptance rate after the fill phase must be ≈ cap/seen, which
+        // for a long stream means *some* but not most slots got replaced —
+        // a constant-slot bug would either freeze the reservoir at the
+        // first 32 samples or churn a single slot only
+        let distinct: std::collections::HashSet<u64> =
+            s.values.iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() > 2, "reservoir collapsed: {:?}", s.values);
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //! from the *same* conversion functions that the traced SAR state machines
 //! in `trq-adc` implement (equivalence is property-tested there); this is
 //! what makes whole-network bit-accurate simulation affordable.
+//!
+//! Execution is a tiled program/execute/account pipeline: layers are
+//! programmed (weights sliced + LUT built) once, window batches run as
+//! (output-block × window-block) tiles over the fused popcount kernel in
+//! `trq-xbar`, and tiles are distributed over worker threads per
+//! [`crate::arch::ExecConfig`]. Tiles own disjoint accumulator regions and
+//! all arithmetic is integer, so results and event counts are
+//! bit-identical for every thread count and batch split.
 
 mod engine;
 mod scheme;

@@ -38,13 +38,33 @@ pub struct MvmLayerInfo {
 /// An engine that computes integer MVMs for quantized layers.
 ///
 /// `weights_q` is `[outputs × depth]` row-major signed codes; `cols` is
-/// `[depth × n]` row-major unsigned activation codes. The result must be
-/// `[outputs × n]` row-major accumulator values in code·code units
-/// (fractional values are allowed: ADC-quantized reconstructions land on
-/// `Vgrid` multiples).
+/// `[depth × n]` row-major unsigned activation codes — `n` counts *every*
+/// window handed over, so callers batching several images concatenate
+/// their windows along the `n` axis and engines see one large batch. The
+/// result is `[outputs × n]` row-major accumulator values in code·code
+/// units (fractional values are allowed: ADC-quantized reconstructions
+/// land on `Vgrid` multiples). Each window's result depends only on its
+/// own column, so batching never changes values.
 pub trait MvmEngine {
-    /// Computes `weights_q · cols`.
-    fn mvm(&mut self, info: &MvmLayerInfo, weights_q: &[i32], cols: &[u8], n: usize) -> Vec<f64>;
+    /// Computes `weights_q · cols` into `out` (`[outputs × n]` row-major),
+    /// overwriting every element — the allocation-free entry point the
+    /// batched forward pass uses.
+    fn mvm_into(
+        &mut self,
+        info: &MvmLayerInfo,
+        weights_q: &[i32],
+        cols: &[u8],
+        n: usize,
+        out: &mut [f64],
+    );
+
+    /// Convenience wrapper around [`MvmEngine::mvm_into`] that allocates
+    /// the output.
+    fn mvm(&mut self, info: &MvmLayerInfo, weights_q: &[i32], cols: &[u8], n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; info.outputs * n];
+        self.mvm_into(info, weights_q, cols, n, &mut out);
+        out
+    }
 }
 
 /// The exact integer engine — lossless reference.
@@ -52,11 +72,21 @@ pub trait MvmEngine {
 pub struct ExactMvm;
 
 impl MvmEngine for ExactMvm {
-    fn mvm(&mut self, info: &MvmLayerInfo, weights_q: &[i32], cols: &[u8], n: usize) -> Vec<f64> {
+    fn mvm_into(
+        &mut self,
+        info: &MvmLayerInfo,
+        weights_q: &[i32],
+        cols: &[u8],
+        n: usize,
+        out: &mut [f64],
+    ) {
         let (depth, outputs) = (info.depth, info.outputs);
         debug_assert_eq!(weights_q.len(), depth * outputs);
         debug_assert_eq!(cols.len(), depth * n);
-        let mut out = vec![0i64; outputs * n];
+        assert_eq!(out.len(), outputs * n, "output buffer shape mismatch");
+        // partial sums are integers below 2^53, so f64 accumulation is
+        // exact and needs no scratch allocation
+        out.fill(0.0);
         for o in 0..outputs {
             let wrow = &weights_q[o * depth..(o + 1) * depth];
             for (d, &w) in wrow.iter().enumerate() {
@@ -66,11 +96,10 @@ impl MvmEngine for ExactMvm {
                 let crow = &cols[d * n..(d + 1) * n];
                 let orow = &mut out[o * n..(o + 1) * n];
                 for (acc, &c) in orow.iter_mut().zip(crow.iter()) {
-                    *acc += w as i64 * c as i64;
+                    *acc += (w as i64 * c as i64) as f64;
                 }
             }
         }
-        out.into_iter().map(|v| v as f64).collect()
     }
 }
 
@@ -176,32 +205,71 @@ impl QuantizedNetwork {
     ///
     /// Propagates tensor/shape failures.
     pub fn forward(&self, input: &Tensor, engine: &mut dyn MvmEngine) -> Result<Tensor, NnError> {
+        let mut outs = self.forward_batch(std::slice::from_ref(input), engine)?;
+        Ok(outs.pop().expect("one image in, one result out"))
+    }
+
+    /// Runs quantized inference for a whole batch of same-shaped inputs,
+    /// handing each MVM layer *all* of the batch's windows in one engine
+    /// call (windows concatenated along the `n` axis). Results are
+    /// bit-identical to per-image [`QuantizedNetwork::forward`] calls —
+    /// each window's product only depends on its own column — but the
+    /// engine sees tiles large enough to parallelise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/shape failures; returns [`NnError::BadGraph`]
+    /// when the batch mixes input shapes.
+    pub fn forward_batch(
+        &self,
+        inputs: &[Tensor],
+        engine: &mut dyn MvmEngine,
+    ) -> Result<Vec<Tensor>, NnError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if inputs.iter().any(|x| x.shape().dims() != inputs[0].shape().dims()) {
+            return Err(NnError::BadGraph { reason: "batch mixes input shapes".into() });
+        }
         let nodes = self.net.nodes();
-        let mut outs: Vec<Tensor> = Vec::with_capacity(nodes.len());
+        let mut outs: Vec<Vec<Tensor>> = Vec::with_capacity(nodes.len());
         for (i, node) in nodes.iter().enumerate() {
-            let value = match &node.op {
-                Op::Input => input.clone(),
+            let value: Vec<Tensor> = match &node.op {
+                Op::Input => inputs.to_vec(),
                 Op::Conv2d { .. } | Op::Linear { .. } => {
                     let layer = &self.layers[self.node_to_layer[i].expect("mvm node mapped")];
-                    let x = &outs[node.inputs[0]];
-                    self.run_mvm(layer, x, engine)?
+                    self.run_mvm_batch(layer, &outs[node.inputs[0]], engine)?
                 }
-                Op::Relu => ops::relu(&outs[node.inputs[0]]),
-                Op::MaxPool(geom) => ops::max_pool2d(&outs[node.inputs[0]], geom)?,
-                Op::AvgPool(geom) => ops::avg_pool2d(&outs[node.inputs[0]], geom)?,
-                Op::GlobalAvgPool => ops::global_avg_pool(&outs[node.inputs[0]])?,
+                Op::Relu => outs[node.inputs[0]].iter().map(ops::relu).collect(),
+                Op::MaxPool(geom) => {
+                    Self::per_image(&outs[node.inputs[0]], |x| ops::max_pool2d(x, geom))?
+                }
+                Op::AvgPool(geom) => {
+                    Self::per_image(&outs[node.inputs[0]], |x| ops::avg_pool2d(x, geom))?
+                }
+                Op::GlobalAvgPool => Self::per_image(&outs[node.inputs[0]], ops::global_avg_pool)?,
                 Op::Flatten => {
-                    let x = &outs[node.inputs[0]];
-                    x.reshape(vec![x.len()])?
+                    Self::per_image(&outs[node.inputs[0]], |x| x.reshape(vec![x.len()]))?
                 }
-                Op::Add => outs[node.inputs[0]].add(&outs[node.inputs[1]])?,
-                Op::ConcatChannels => {
+                Op::Add => {
                     let (a, b) = (&outs[node.inputs[0]], &outs[node.inputs[1]]);
-                    let (da, db) = (a.shape().dims().to_vec(), b.shape().dims().to_vec());
-                    let mut data = Vec::with_capacity(a.len() + b.len());
-                    data.extend_from_slice(a.data());
-                    data.extend_from_slice(b.data());
-                    Tensor::from_vec(vec![da[0] + db[0], da[1], da[2]], data)?
+                    let mut v = Vec::with_capacity(a.len());
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        v.push(x.add(y)?);
+                    }
+                    v
+                }
+                Op::ConcatChannels => {
+                    let (aa, bb) = (&outs[node.inputs[0]], &outs[node.inputs[1]]);
+                    let mut v = Vec::with_capacity(aa.len());
+                    for (a, b) in aa.iter().zip(bb.iter()) {
+                        let (da, db) = (a.shape().dims().to_vec(), b.shape().dims().to_vec());
+                        let mut data = Vec::with_capacity(a.len() + b.len());
+                        data.extend_from_slice(a.data());
+                        data.extend_from_slice(b.data());
+                        v.push(Tensor::from_vec(vec![da[0] + db[0], da[1], da[2]], data)?);
+                    }
+                    v
                 }
             };
             outs.push(value);
@@ -209,42 +277,82 @@ impl QuantizedNetwork {
         Ok(outs.pop().expect("non-empty graph"))
     }
 
-    fn run_mvm(
+    fn per_image<F>(xs: &[Tensor], mut f: F) -> Result<Vec<Tensor>, NnError>
+    where
+        F: FnMut(&Tensor) -> Result<Tensor, trq_tensor::TensorError>,
+    {
+        let mut v = Vec::with_capacity(xs.len());
+        for x in xs {
+            v.push(f(x)?);
+        }
+        Ok(v)
+    }
+
+    fn run_mvm_batch(
         &self,
         layer: &QLayer,
-        x: &Tensor,
+        xs: &[Tensor],
         engine: &mut dyn MvmEngine,
-    ) -> Result<Tensor, NnError> {
-        // quantize activations to unsigned codes (values are non-negative
-        // in the ReLU networks under study; stray negatives clamp to 0)
+    ) -> Result<Vec<Tensor>, NnError> {
         let qmax = self.act_qmax as f32;
-        let codes = x.map(|v| (v / layer.scale_x).round().clamp(0.0, qmax));
-        let (cols_u8, n, out_dims) = match layer.geom {
+        let b = xs.len();
+        let (depth, outputs) = (layer.info.depth, layer.info.outputs);
+        // per-image window count and output geometry (the batch is
+        // shape-uniform, checked at the graph entry)
+        let (n, out_dims) = match layer.geom {
             Some(geom) => {
-                let cols = ops::im2col(&codes, &geom)?;
-                let d = x.shape().dims();
+                let d = xs[0].shape().dims();
                 let (oh, ow) = geom.out_hw(d[1], d[2])?;
-                let n = oh * ow;
-                let cols_u8: Vec<u8> = cols.data().iter().map(|&v| v as u8).collect();
-                (cols_u8, n, vec![layer.info.outputs, oh, ow])
+                (oh * ow, vec![outputs, oh, ow])
             }
-            None => {
-                let cols_u8: Vec<u8> = codes.data().iter().map(|&v| v as u8).collect();
-                (cols_u8, 1, vec![layer.info.outputs])
-            }
+            None => (1, vec![outputs]),
         };
-        let acc = engine.mvm(&layer.info, &layer.weights_q, &cols_u8, n);
-        debug_assert_eq!(acc.len(), layer.info.outputs * n);
-        let scale = layer.scale_w * layer.scale_x;
-        let mut data: Vec<f32> = acc.iter().map(|&v| v as f32 * scale).collect();
-        if let Some(bias) = &layer.bias {
-            for (o, &b) in bias.iter().enumerate() {
-                for v in &mut data[o * n..(o + 1) * n] {
-                    *v += b;
+        let nt = b * n; // windows across the whole batch
+        let mut cols_all = vec![0u8; depth * nt];
+        for (img, x) in xs.iter().enumerate() {
+            // quantize activations to unsigned codes (values are
+            // non-negative in the ReLU networks under study; stray
+            // negatives clamp to 0)
+            let codes = x.map(|v| (v / layer.scale_x).round().clamp(0.0, qmax));
+            match layer.geom {
+                Some(geom) => {
+                    let cols = ops::im2col(&codes, &geom)?;
+                    let data = cols.data();
+                    for d in 0..depth {
+                        let dst = &mut cols_all[d * nt + img * n..d * nt + img * n + n];
+                        for (dv, &sv) in dst.iter_mut().zip(&data[d * n..(d + 1) * n]) {
+                            *dv = sv as u8;
+                        }
+                    }
+                }
+                None => {
+                    for (d, &v) in codes.data().iter().enumerate() {
+                        cols_all[d * nt + img] = v as u8;
+                    }
                 }
             }
         }
-        Ok(Tensor::from_vec(out_dims, data)?)
+        let mut acc = vec![0.0f64; outputs * nt];
+        engine.mvm_into(&layer.info, &layer.weights_q, &cols_all, nt, &mut acc);
+        let scale = layer.scale_w * layer.scale_x;
+        let mut results = Vec::with_capacity(b);
+        for img in 0..b {
+            let mut data = vec![0.0f32; outputs * n];
+            for o in 0..outputs {
+                let src = &acc[o * nt + img * n..o * nt + img * n + n];
+                let dst = &mut data[o * n..(o + 1) * n];
+                for (dv, &sv) in dst.iter_mut().zip(src) {
+                    *dv = sv as f32 * scale;
+                }
+                if let Some(bias) = &layer.bias {
+                    for dv in dst {
+                        *dv += bias[o];
+                    }
+                }
+            }
+            results.push(Tensor::from_vec(out_dims.clone(), data)?);
+        }
+        Ok(results)
     }
 }
 
@@ -296,6 +404,32 @@ mod tests {
         assert_eq!(qnet.layers().len(), 5);
         let y = qnet.forward(&ds[0].image, &mut ExactMvm).unwrap();
         assert_eq!(y.shape().dims(), &[10]);
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_per_image_forward() {
+        let net = models::lenet5(3).unwrap();
+        let ds = data::synthetic_digits(6, 9);
+        let cal: Vec<Tensor> = ds.iter().take(4).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
+        let images: Vec<Tensor> = ds.iter().map(|s| s.image.clone()).collect();
+        let batched = qnet.forward_batch(&images, &mut ExactMvm).unwrap();
+        assert_eq!(batched.len(), images.len());
+        for (image, y_batch) in images.iter().zip(&batched) {
+            let y_single = qnet.forward(image, &mut ExactMvm).unwrap();
+            assert_eq!(y_single.data(), y_batch.data(), "batching must not change results");
+        }
+    }
+
+    #[test]
+    fn forward_batch_rejects_mixed_shapes_and_accepts_empty() {
+        let net = models::mlp(16, 4, 2, 1).unwrap();
+        let cal = vec![Tensor::from_vec(vec![16], vec![0.5; 16]).unwrap()];
+        let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
+        assert!(qnet.forward_batch(&[], &mut ExactMvm).unwrap().is_empty());
+        let a = Tensor::from_vec(vec![16], vec![0.1; 16]).unwrap();
+        let b = Tensor::from_vec(vec![8], vec![0.1; 8]).unwrap();
+        assert!(qnet.forward_batch(&[a, b], &mut ExactMvm).is_err());
     }
 
     #[test]

@@ -165,6 +165,17 @@ impl BitMatrix {
         self.words[base..base + self.words_per_col].iter().map(|w| w.count_ones()).sum()
     }
 
+    /// Resets to an all-zero `rows × cols` shape, reusing the existing
+    /// word allocation — the scratch-buffer primitive of the tiled
+    /// execution pipeline (no per-cycle allocation in hot loops).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.words_per_col = rows.div_ceil(64).max(1);
+        self.words.clear();
+        self.words.resize(self.words_per_col * cols, 0);
+    }
+
     /// Batched binary MVM: treats `inputs`' columns as a batch of input
     /// vectors and returns the `self.cols × inputs.cols` count matrix
     /// (row-major): `out[c][i] = popcount(self.col(c) & inputs.col(i))`.
@@ -178,21 +189,102 @@ impl BitMatrix {
     pub fn mvm_matrix(&self, inputs: &BitMatrix) -> Vec<u32> {
         assert_eq!(self.rows, inputs.rows, "row count mismatch");
         let n = inputs.cols;
-        let wpc = self.words_per_col;
         let mut out = vec![0u32; self.cols * n];
-        for c in 0..self.cols {
-            let a = &self.words[c * wpc..(c + 1) * wpc];
-            let orow = &mut out[c * n..(c + 1) * n];
-            for (i, o) in orow.iter_mut().enumerate() {
-                let b = &inputs.words[i * wpc..(i + 1) * wpc];
-                let mut acc = 0u32;
-                for (x, y) in a.iter().zip(b.iter()) {
-                    acc += (x & y).count_ones();
+        self.mvm_planes_tile_into(std::slice::from_ref(inputs), 0..self.cols, 0..n, &mut out);
+        out
+    }
+
+    /// Fused tile kernel: for every input bit-plane in `planes`, computes
+    /// `popcount(self.col(c) & plane.col(w))` for the weight columns
+    /// `cols` and window columns `windows` of one tile, writing into `out`
+    /// with layout `[plane][c - cols.start][w - windows.start]` (row-major,
+    /// windows fastest). Allocation-free: `out` is caller-provided scratch.
+    ///
+    /// One call covers all `input_bits` cycles of one (subarray ×
+    /// output-block × window-block) tile — this is the innermost kernel of
+    /// the tiled MVM pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a plane's row count differs from `self`, a range is out
+    /// of bounds, or `out` is shorter than the tile's count volume.
+    pub fn mvm_planes_tile_into(
+        &self,
+        planes: &[BitMatrix],
+        cols: std::ops::Range<usize>,
+        windows: std::ops::Range<usize>,
+        out: &mut [u32],
+    ) {
+        assert!(cols.start <= cols.end && cols.end <= self.cols, "column tile out of range");
+        let (nc, nw) = (cols.end - cols.start, windows.end - windows.start);
+        assert!(out.len() >= planes.len() * nc * nw, "tile output buffer too short");
+        let wpc = self.words_per_col;
+        for (p, plane) in planes.iter().enumerate() {
+            assert_eq!(self.rows, plane.rows, "plane row count mismatch");
+            assert!(windows.end <= plane.cols, "window tile out of range");
+            for (ci, c) in cols.clone().enumerate() {
+                let a = &self.words[c * wpc..(c + 1) * wpc];
+                let orow = &mut out[(p * nc + ci) * nw..(p * nc + ci + 1) * nw];
+                for (o, w) in orow.iter_mut().zip(windows.clone()) {
+                    let b = &plane.words[w * wpc..(w + 1) * wpc];
+                    let mut acc = 0u32;
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        acc += (x & y).count_ones();
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
         }
-        out
+    }
+}
+
+/// Packs every input bit-plane of a window batch in one pass over the
+/// activation codes — the batched front half of the tiled MVM pipeline.
+///
+/// `cols` is the engine's `[depth × n]` row-major activation-code matrix;
+/// rows `d0..d1` (one crossbar subarray, at most `rows` of them) are packed
+/// into `bits` matrices of shape `rows × n` such that
+/// `planes[b].get(d - d0, w)` is bit `b` of `cols[d * n + w]`. Matrices
+/// already in `planes` are reused (reset in place), so steady-state packing
+/// performs no allocation.
+///
+/// # Panics
+///
+/// Panics when the row window exceeds `rows`, `cols` is too short, or
+/// `bits` exceeds the 8-bit activation-code width.
+pub fn pack_window_planes(
+    cols: &[u8],
+    n: usize,
+    d0: usize,
+    d1: usize,
+    rows: usize,
+    bits: u32,
+    planes: &mut Vec<BitMatrix>,
+) {
+    assert!(d0 <= d1 && d1 - d0 <= rows, "subarray row window exceeds array rows");
+    assert!(cols.len() >= d1 * n, "activation matrix too short for row window");
+    assert!(bits <= 8, "activation codes are at most 8 bits");
+    planes.truncate(bits as usize);
+    for plane in planes.iter_mut() {
+        plane.reset(rows, n);
+    }
+    while planes.len() < bits as usize {
+        planes.push(BitMatrix::zeros(rows, n));
+    }
+    let wpc = rows.div_ceil(64).max(1);
+    for d in d0..d1 {
+        let r = d - d0;
+        let word_in_col = r / 64;
+        let mask = 1u64 << (r % 64);
+        let crow = &cols[d * n..(d + 1) * n];
+        for (w, &code) in crow.iter().enumerate() {
+            let mut remaining = code;
+            while remaining != 0 {
+                let b = remaining.trailing_zeros() as usize;
+                planes[b].words[w * wpc + word_in_col] |= mask;
+                remaining &= remaining - 1;
+            }
+        }
     }
 }
 
@@ -304,6 +396,88 @@ mod tests {
                 for c in 0..cols {
                     prop_assert_eq!(batched[c * n + i], single[c]);
                 }
+            }
+        }
+
+        #[test]
+        fn packed_planes_match_code_bits(depth in 1usize..200, n in 1usize..6, seed in 0u64..60) {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 40) as u8
+            };
+            let cols: Vec<u8> = (0..depth * n).map(|_| next()).collect();
+            let rows = 128usize;
+            let mut planes = Vec::new();
+            let d1 = depth.min(rows);
+            pack_window_planes(&cols, n, 0, d1, rows, 8, &mut planes);
+            prop_assert_eq!(planes.len(), 8);
+            for (b, plane) in planes.iter().enumerate() {
+                prop_assert_eq!((plane.rows(), plane.cols()), (rows, n));
+                for d in 0..d1 {
+                    for w in 0..n {
+                        prop_assert_eq!(plane.get(d, w), (cols[d * n + w] >> b) & 1 == 1);
+                    }
+                }
+                // rows beyond the packed window stay zero
+                for d in d1..rows {
+                    for w in 0..n {
+                        prop_assert!(!plane.get(d, w));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn tile_kernel_matches_whole_matrix_kernel(
+            rows in 1usize..150,
+            cols in 2usize..8,
+            n in 2usize..7,
+            seed in 0u64..40,
+        ) {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 61) & 1 == 1
+            };
+            let mut m = BitMatrix::zeros(rows, cols);
+            let mut planes = vec![BitMatrix::zeros(rows, n), BitMatrix::zeros(rows, n)];
+            for r in 0..rows {
+                for c in 0..cols {
+                    m.set(r, c, next());
+                }
+                for plane in planes.iter_mut() {
+                    for w in 0..n {
+                        plane.set(r, w, next());
+                    }
+                }
+            }
+            let full: Vec<Vec<u32>> = planes.iter().map(|p| m.mvm_matrix(p)).collect();
+            // an interior tile: columns [1, cols), windows [1, n)
+            let (nc, nw) = (cols - 1, n - 1);
+            let mut out = vec![0u32; planes.len() * nc * nw];
+            m.mvm_planes_tile_into(&planes, 1..cols, 1..n, &mut out);
+            for p in 0..planes.len() {
+                for ci in 0..nc {
+                    for wi in 0..nw {
+                        prop_assert_eq!(
+                            out[(p * nc + ci) * nw + wi],
+                            full[p][(ci + 1) * n + wi + 1],
+                            "plane {} col {} win {}", p, ci + 1, wi + 1
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn reset_reuses_allocation_and_zeroes(rows in 1usize..200, cols in 1usize..6) {
+            let mut m = BitMatrix::zeros(130, 4);
+            m.set(129, 3, true);
+            m.reset(rows, cols);
+            prop_assert_eq!((m.rows(), m.cols()), (rows, cols));
+            for c in 0..cols {
+                prop_assert_eq!(m.column_count_ones(c), 0);
             }
         }
 

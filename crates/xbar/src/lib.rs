@@ -14,7 +14,10 @@
 //!
 //! Modules:
 //! - [`BitMatrix`] / [`BitVec`] — packed binary cell arrays with
-//!   popcount-based MVM (the performance-critical kernel);
+//!   popcount-based MVM (the performance-critical kernel), the fused
+//!   per-tile kernel [`BitMatrix::mvm_planes_tile_into`], and the batched
+//!   bit-plane packer [`pack_window_planes`] behind the tiled execution
+//!   pipeline in `trq-core`;
 //! - [`WeightSlicer`] / input bit-plane helpers — the spatial (weight) and
 //!   temporal (input) bit slicing of Fig. 1;
 //! - [`Crossbar`] and [`DiffPair`] — programmed arrays with optional device
@@ -49,7 +52,7 @@ mod noise;
 mod pair;
 mod slicing;
 
-pub use bits::{BitMatrix, BitVec};
+pub use bits::{pack_window_planes, BitMatrix, BitVec};
 pub use config::CrossbarConfig;
 pub use crossbar::Crossbar;
 pub use error::XbarError;

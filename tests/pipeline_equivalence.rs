@@ -1,0 +1,153 @@
+//! Property tests for the tiled multi-threaded MVM pipeline: for random
+//! shapes, weights, inputs, tilings, and thread counts, the engine must be
+//! bit-identical to [`ExactMvm`] under [`AdcScheme::Ideal`] and to an
+//! independent scalar re-implementation of the pre-refactor serial
+//! datapath (subarray → input-bit cycle → bit line → window, one count at
+//! a time) under [`AdcScheme::Trq`] — values *and* the A/D-operation
+//! ledger.
+
+use proptest::prelude::*;
+use trq::core::arch::{ArchConfig, ExecConfig};
+use trq::core::pim::{AdcScheme, PimMvm};
+use trq::nn::{ExactMvm, MvmEngine, MvmLayerInfo};
+use trq::quant::{TrqParams, TwinRangeQuantizer};
+
+fn lcg(seed: u64) -> impl FnMut(i64) -> i32 {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    move |m: i64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as i64 % m) as i32
+    }
+}
+
+fn layer(depth: usize, outputs: usize) -> MvmLayerInfo {
+    MvmLayerInfo { node: 0, mvm_index: 0, label: "prop".into(), depth, outputs }
+}
+
+/// The pre-refactor serial path, reduced to its semantics: walk every
+/// (subarray, cycle, bit line, window) conversion one scalar count at a
+/// time and fold LUT-decoded magnitudes into the accumulator.
+fn reference_serial(
+    arch: &ArchConfig,
+    params: Option<TrqParams>,
+    info: &MvmLayerInfo,
+    weights: &[i32],
+    cols: &[u8],
+    n: usize,
+) -> (Vec<f64>, u64) {
+    let rows = arch.xbar.rows;
+    let wbits = arch.weight_bits as usize;
+    let ibits = arch.input_bits as usize;
+    let q = params.map(TwinRangeQuantizer::new);
+    let delta = params.map(|p| p.delta_r1()).unwrap_or(1.0);
+    let decode = |count: u32| -> i64 {
+        match (&q, params) {
+            (Some(q), Some(p)) => q.quantize(count as f64).code.decode_lsb(&p) as i64,
+            _ => count as i64,
+        }
+    };
+    let ops_of = |count: u32| -> u64 {
+        match &q {
+            Some(q) => q.ops_for(count as f64) as u64,
+            None => arch.adc_bits as u64,
+        }
+    };
+    let mut acc = vec![0i64; info.outputs * n];
+    let mut ops = 0u64;
+    let n_sub = info.depth.div_ceil(rows);
+    for s in 0..n_sub {
+        let d0 = s * rows;
+        let d1 = ((s + 1) * rows).min(info.depth);
+        for c in 0..ibits {
+            for o in 0..info.outputs {
+                for alpha in 0..wbits {
+                    for i in 0..n {
+                        let mut cp = 0u32;
+                        let mut cn = 0u32;
+                        for d in d0..d1 {
+                            let w = weights[o * info.depth + d];
+                            if w == 0 || (w.unsigned_abs() >> alpha) & 1 == 0 {
+                                continue;
+                            }
+                            if (cols[d * n + i] >> c) & 1 == 1 {
+                                if w > 0 {
+                                    cp += 1;
+                                } else {
+                                    cn += 1;
+                                }
+                            }
+                        }
+                        ops += ops_of(cp) + ops_of(cn);
+                        acc[o * n + i] += (decode(cp) - decode(cn)) << (alpha + c);
+                    }
+                }
+            }
+        }
+    }
+    (acc.into_iter().map(|v| v as f64 * delta).collect(), ops)
+}
+
+proptest! {
+    #[test]
+    fn tiled_engine_is_bit_identical_to_exact_under_ideal(
+        depth in 1usize..160,
+        outputs in 1usize..5,
+        n in 1usize..4,
+        tile_outputs in 1usize..4,
+        tile_windows in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut next = lcg(seed);
+        let weights: Vec<i32> = (0..depth * outputs).map(|_| next(255) - 127).collect();
+        let cols: Vec<u8> = (0..depth * n).map(|_| next(256) as u8).collect();
+        let info = layer(depth, outputs);
+        let want = ExactMvm.mvm(&info, &weights, &cols, n);
+        for threads in [1usize, 4] {
+            let exec = ExecConfig::serial()
+                .with_threads(threads)
+                .with_tile_outputs(tile_outputs)
+                .with_tile_windows(tile_windows);
+            let arch = ArchConfig { exec, ..ArchConfig::default() };
+            let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+            let got = pim.mvm(&info, &weights, &cols, n);
+            prop_assert_eq!(
+                &got, &want,
+                "ideal pipeline must be exact: threads {} shape ({}, {}, {})",
+                threads, depth, outputs, n
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_engine_matches_serial_reference_under_trq(
+        depth in 1usize..160,
+        outputs in 1usize..5,
+        n in 1usize..4,
+        tile_outputs in 1usize..4,
+        tile_windows in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut next = lcg(seed ^ 0xABCD);
+        let weights: Vec<i32> = (0..depth * outputs).map(|_| next(255) - 127).collect();
+        let cols: Vec<u8> = (0..depth * n).map(|_| next(256) as u8).collect();
+        let info = layer(depth, outputs);
+        let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+        let base = ArchConfig::default();
+        let (want, want_ops) = reference_serial(&base, Some(params), &info, &weights, &cols, n);
+        for threads in [1usize, 4] {
+            let exec = ExecConfig::serial()
+                .with_threads(threads)
+                .with_tile_outputs(tile_outputs)
+                .with_tile_windows(tile_windows);
+            let arch = ArchConfig { exec, ..ArchConfig::default() };
+            let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+            let got = pim.mvm(&info, &weights, &cols, n);
+            prop_assert_eq!(
+                &got, &want,
+                "TRQ pipeline must match the serial reference: threads {} shape ({}, {}, {})",
+                threads, depth, outputs, n
+            );
+            prop_assert_eq!(pim.stats().ops(), want_ops, "op ledgers must agree exactly");
+        }
+    }
+}
