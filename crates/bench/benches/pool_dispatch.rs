@@ -1,0 +1,71 @@
+//! Dispatch-overhead microbenchmarks: the persistent pool's fork-join
+//! round vs a fresh `std::thread::scope` per call, both bare (empty job)
+//! and under a real small-layer MVM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trq_core::arch::{ArchConfig, Dispatch, ExecConfig};
+use trq_core::exec::Pool;
+use trq_core::pim::{AdcScheme, PimMvm};
+use trq_nn::{MvmEngine, MvmLayerInfo};
+use trq_quant::TrqParams;
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch");
+    group.sample_size(10);
+
+    // bare fork-join round: pure dispatch cost, no work
+    let pool = Pool::new();
+    pool.warm(4);
+    group.bench_function("bare_round_pool_threads4", |b| {
+        b.iter(|| pool.run(black_box(4), &|w| _ = black_box(w)))
+    });
+    group.bench_function("bare_round_scope_threads4", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 1..4 {
+                    s.spawn(|| _ = black_box(0usize));
+                }
+                _ = black_box(0usize);
+            })
+        })
+    });
+
+    // small-layer MVM under each dispatch mode
+    let (depth, outputs, windows) = (120usize, 84usize, 4usize);
+    let mut state = 0xD15Cu64;
+    let mut next = |m: i64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as i64 % m) as i32
+    };
+    let weights: Vec<i32> = (0..depth * outputs).map(|_| next(255) - 127).collect();
+    let cols: Vec<u8> = (0..depth * windows).map(|_| next(256) as u8).collect();
+    let info = MvmLayerInfo { node: 0, mvm_index: 0, label: "fc".into(), depth, outputs };
+    let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let tiled = ExecConfig::serial().with_tile_outputs(16).with_tile_windows(1).with_threads(2);
+    for (name, dispatch) in
+        [("small_mvm_pool_threads2", Dispatch::Pool), ("small_mvm_scope_threads2", Dispatch::Scope)]
+    {
+        let arch = ArchConfig { exec: tiled.with_dispatch(dispatch), ..ArchConfig::default() };
+        group.bench_function(name, |b| {
+            let mut engine = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+            let mut out = vec![0.0f64; outputs * windows];
+            engine.begin_session();
+            engine.mvm_into(&info, &weights, &cols, windows, &mut out);
+            b.iter(|| {
+                engine.mvm_into(
+                    black_box(&info),
+                    black_box(&weights),
+                    black_box(&cols),
+                    windows,
+                    &mut out,
+                );
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_dispatch);
+criterion_main!(benches);

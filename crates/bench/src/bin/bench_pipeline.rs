@@ -11,8 +11,8 @@
 //! Usage: `TRQ_SUITE=quick cargo run --release -p trq-bench --bin bench_pipeline`
 
 use std::time::Instant;
-use trq_bench::{suite_from_env, write_json, PipelineBenchRecord};
-use trq_core::arch::{ArchConfig, ExecConfig};
+use trq_bench::{suite_from_env, write_json, HostMeta, PipelineBenchRecord};
+use trq_core::arch::{ArchConfig, Dispatch, ExecConfig};
 use trq_core::experiments::Workload;
 use trq_core::pim::{AdcScheme, PimMvm};
 use trq_quant::TrqParams;
@@ -43,11 +43,25 @@ fn main() {
     let cfg = suite_from_env();
     let threads = env_usize("TRQ_THREADS", 4);
     let iters = env_usize("TRQ_BENCH_ITERS", 2);
+    // TRQ_DISPATCH=scope falls back to the per-call thread::scope baseline
+    let dispatch = match std::env::var("TRQ_DISPATCH").as_deref() {
+        Ok("scope") => Dispatch::Scope,
+        _ => Dispatch::Pool,
+    };
     let workload = Workload::resnet20(&cfg);
 
     let serial_arch = ArchConfig::default();
-    let threaded_arch =
-        ArchConfig { exec: ExecConfig::serial().with_threads(threads), ..ArchConfig::default() };
+    let threaded_arch = ArchConfig {
+        exec: ExecConfig::serial().with_threads(threads).with_dispatch(dispatch),
+        ..ArchConfig::default()
+    };
+    let host = HostMeta::capture(
+        threads,
+        match dispatch {
+            Dispatch::Pool => "pool",
+            Dispatch::Scope => "scope",
+        },
+    );
 
     println!(
         "pipeline throughput: {} ({} images, {} timed passes)",
@@ -58,17 +72,15 @@ fn main() {
     let (serial, windows_per_pass) = measure(&workload, &serial_arch, iters);
     println!("  serial (threads=1)    {serial:>12.0} MVM windows/sec");
     let (threaded, _) = measure(&workload, &threaded_arch, iters);
-    println!("  threaded (threads={threads})  {threaded:>12.0} MVM windows/sec");
+    println!("  threaded (threads={threads}, {})  {threaded:>12.0} MVM windows/sec", host.dispatch);
     let speedup = threaded / serial.max(1e-9);
-    let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    println!("  speedup {speedup:.2}x on a {host}-core host");
+    println!("  speedup {speedup:.2}x on a {}-core host", host.nproc);
 
     let record = PipelineBenchRecord {
         workload: workload.name.clone(),
         images: workload.eval_inputs.len(),
         iters,
-        host_cores: host,
-        threads,
+        host,
         windows_per_pass,
         serial_mvms_per_sec: serial,
         threaded_mvms_per_sec: threaded,

@@ -1,0 +1,115 @@
+//! Measures the dispatch overhead the persistent executor removes:
+//! repeated `mvm_into` calls on a *small* layer (a LeNet-style fully
+//! connected layer — the call-count-dominant shape in real networks),
+//! timed under three execution modes:
+//!
+//! - **serial** — threads = 1, no dispatch at all (the floor);
+//! - **pool** — threads = T on the persistent [`trq_core::exec::Pool`]
+//!   (parked workers, mutex hand-off per call);
+//! - **scope** — threads = T with a fresh `std::thread::scope`
+//!   spawn/join cycle per call (the PR 2 executor).
+//!
+//! Results land in `results/BENCH_pool.json` with host metadata, so a
+//! record from the single-core CI container is distinguishable from one
+//! measured on a multicore workstation.
+//!
+//! Environment knobs:
+//! - `TRQ_THREADS` — worker count for pool/scope modes (default 4);
+//! - `TRQ_BENCH_CALLS` — timed calls per mode (default 512).
+//!
+//! Usage: `cargo run --release -p trq-bench --bin bench_pool`
+
+use std::time::Instant;
+use trq_bench::{write_json, DispatchTiming, HostMeta, PoolBenchRecord};
+use trq_core::arch::{ArchConfig, Dispatch, ExecConfig};
+use trq_core::pim::{AdcScheme, PimMvm};
+use trq_nn::{MvmEngine, MvmLayerInfo};
+use trq_quant::TrqParams;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// LeNet-5 fc2-like geometry: small enough that per-call fixed costs
+/// dominate the arithmetic.
+const DEPTH: usize = 120;
+const OUTPUTS: usize = 84;
+const WINDOWS: usize = 4;
+
+fn test_vectors() -> (Vec<i32>, Vec<u8>) {
+    let mut state = 0xD15Cu64;
+    let mut next = |m: i64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as i64 % m) as i32
+    };
+    let weights: Vec<i32> = (0..DEPTH * OUTPUTS).map(|_| next(255) - 127).collect();
+    let cols: Vec<u8> = (0..DEPTH * WINDOWS).map(|_| next(256) as u8).collect();
+    (weights, cols)
+}
+
+/// Times `calls` warm `mvm_into` invocations under `exec` and returns
+/// mean ns/call.
+fn measure(exec: ExecConfig, calls: usize, weights: &[i32], cols: &[u8]) -> f64 {
+    let arch = ArchConfig { exec, ..ArchConfig::default() };
+    let params = TrqParams::new(3, 7, 1, 1.0, 0).expect("static params");
+    let mut engine = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let info = MvmLayerInfo {
+        node: 0,
+        mvm_index: 0,
+        label: format!("fc{DEPTH}x{OUTPUTS}"),
+        depth: DEPTH,
+        outputs: OUTPUTS,
+    };
+    let mut out = vec![0.0f64; OUTPUTS * WINDOWS];
+    engine.begin_session();
+    // warm-up: program the layer, size the arenas, spawn pool workers
+    for _ in 0..8 {
+        engine.mvm_into(&info, weights, cols, WINDOWS, &mut out);
+    }
+    let t0 = Instant::now();
+    for _ in 0..calls {
+        engine.mvm_into(&info, weights, cols, WINDOWS, &mut out);
+    }
+    engine.end_session();
+    t0.elapsed().as_nanos() as f64 / calls.max(1) as f64
+}
+
+fn main() {
+    let threads = env_usize("TRQ_THREADS", 4).max(2);
+    let calls = env_usize("TRQ_BENCH_CALLS", 512);
+    let (weights, cols) = test_vectors();
+    // this record times both threaded dispatch modes side by side
+    let host = HostMeta::capture(threads, "pool+scope");
+
+    println!(
+        "dispatch overhead: {DEPTH}x{OUTPUTS} fc layer, {WINDOWS} windows, \
+         {calls} calls/mode, {} cores",
+        host.nproc
+    );
+    // tiles small enough that `threads` workers all get work
+    let tiled = ExecConfig::serial().with_tile_outputs(16).with_tile_windows(1);
+    let serial = measure(tiled, calls, &weights, &cols);
+    println!("  serial (threads=1)            {serial:>12.0} ns/call");
+    let pool =
+        measure(tiled.with_threads(threads).with_dispatch(Dispatch::Pool), calls, &weights, &cols);
+    println!("  pool   (threads={threads}, parked)    {pool:>12.0} ns/call");
+    let scope =
+        measure(tiled.with_threads(threads).with_dispatch(Dispatch::Scope), calls, &weights, &cols);
+    println!("  scope  (threads={threads}, spawned)   {scope:>12.0} ns/call");
+    let speedup = scope / pool.max(1e-9);
+    println!("  pool is {speedup:.2}x cheaper per call than per-call thread::scope");
+
+    let record = PoolBenchRecord {
+        layer: format!("fc{DEPTH}x{OUTPUTS}"),
+        depth: DEPTH,
+        outputs: OUTPUTS,
+        windows: WINDOWS,
+        calls,
+        host,
+        serial: DispatchTiming { threads: 1, ns_per_call: serial },
+        pool: DispatchTiming { threads, ns_per_call: pool },
+        scope: DispatchTiming { threads, ns_per_call: scope },
+        pool_speedup_vs_scope: speedup,
+    };
+    write_json("BENCH_pool", &record);
+}

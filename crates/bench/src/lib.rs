@@ -14,10 +14,43 @@ use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use trq_core::experiments::SuiteConfig;
 
+/// Host metadata stamped into benchmark records so numbers measured on
+/// different machines (e.g. the single-core CI container vs a developer
+/// workstation) are self-describing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostMeta {
+    /// Physical parallelism of the measuring host (`nproc`).
+    pub nproc: usize,
+    /// Worker threads requested for the threaded runs.
+    pub threads_requested: usize,
+    /// Worker threads actually used after auto-detection/clamping.
+    pub threads_effective: usize,
+    /// Dispatch mode(s) the record's threaded runs cover, e.g. `"pool"`,
+    /// `"scope"`, or `"pool+scope"` for side-by-side records.
+    pub dispatch: String,
+}
+
+impl HostMeta {
+    /// Captures the current host for `threads`-worker runs in `dispatch`
+    /// mode(s). The effective thread count comes from the engine's own
+    /// auto-detection (`ExecConfig::effective_threads`), so the stamped
+    /// metadata always matches what the runs actually used.
+    pub fn capture(threads: usize, dispatch: &str) -> Self {
+        HostMeta {
+            nproc: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            threads_requested: threads,
+            threads_effective: trq_core::arch::ExecConfig::serial()
+                .with_threads(threads)
+                .effective_threads(),
+            dispatch: dispatch.to_string(),
+        }
+    }
+}
+
 /// The record `bench_pipeline` writes to `results/BENCH_pipeline.json`:
 /// MVM-window throughput of the tiled engine, serial vs threaded, on one
-/// workload. Throughput is a host-machine property; `host_cores` records
-/// how much parallelism was physically available for the `speedup` field.
+/// workload. Throughput is a host-machine property; `host` records what
+/// parallelism was physically available for the `speedup` field.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineBenchRecord {
     /// Workload name (Fig. 6 naming).
@@ -26,10 +59,8 @@ pub struct PipelineBenchRecord {
     pub images: usize,
     /// Timed passes.
     pub iters: usize,
-    /// Physical parallelism of the measuring host.
-    pub host_cores: usize,
-    /// Worker threads of the threaded run.
-    pub threads: usize,
+    /// Measuring-host metadata (nproc, threads used, dispatch mode).
+    pub host: HostMeta,
     /// MVM windows executed per pass (all layers).
     pub windows_per_pass: u64,
     /// Serial (threads = 1) throughput in MVM windows/sec.
@@ -38,6 +69,45 @@ pub struct PipelineBenchRecord {
     pub threaded_mvms_per_sec: f64,
     /// `threaded / serial`.
     pub speedup: f64,
+}
+
+/// One dispatch mode's measurement inside [`PoolBenchRecord`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DispatchTiming {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Mean wall-clock nanoseconds per `mvm_into` call.
+    pub ns_per_call: f64,
+}
+
+/// The record `bench_pool` writes to `results/BENCH_pool.json`: dispatch
+/// overhead of repeated small-layer `mvm_into` calls — the persistent
+/// worker pool vs a fresh `std::thread::scope` per call vs the serial
+/// baseline. Small layers make fixed dispatch cost dominate, which is
+/// exactly what the pool amortises.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolBenchRecord {
+    /// Benchmarked layer label (shape in the name).
+    pub layer: String,
+    /// MVM depth of the layer.
+    pub depth: usize,
+    /// Output channels of the layer.
+    pub outputs: usize,
+    /// Windows per call.
+    pub windows: usize,
+    /// Timed calls per mode.
+    pub calls: usize,
+    /// Measuring-host metadata.
+    pub host: HostMeta,
+    /// Serial baseline (threads = 1, no dispatch at all).
+    pub serial: DispatchTiming,
+    /// Persistent-pool dispatch (parked workers).
+    pub pool: DispatchTiming,
+    /// Per-call `std::thread::scope` dispatch (the PR 2 executor).
+    pub scope: DispatchTiming,
+    /// `scope.ns_per_call / pool.ns_per_call` — how much cheaper the
+    /// pool makes a threaded small-layer call.
+    pub pool_speedup_vs_scope: f64,
 }
 
 /// Reads the suite configuration from `TRQ_SUITE` (`paper` by default).

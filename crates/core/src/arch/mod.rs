@@ -8,6 +8,25 @@ pub use mapping::{map_network, LayerMapping, NetworkMapping};
 use serde::{Deserialize, Serialize};
 use trq_xbar::CrossbarConfig;
 
+/// How tile rounds reach their worker threads.
+///
+/// Both modes produce bit-identical results and event counts; the choice
+/// only moves host-side dispatch cost. [`Dispatch::Pool`] is the default:
+/// parked persistent workers ([`crate::exec::Pool`]) make repeated calls
+/// on small layers pay only a mutex hand-off instead of a full thread
+/// spawn/join cycle. [`Dispatch::Scope`] keeps the PR 2 behaviour — a
+/// fresh `std::thread::scope` per engine call — and exists as the
+/// reference/benchmark baseline for the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dispatch {
+    /// Persistent parked workers, spawned once per process and reused
+    /// across every engine call (steady-state dispatch is allocation-free).
+    Pool,
+    /// A `std::thread::scope` spawn/join cycle on every call (the PR 2
+    /// executor; kept as the dispatch-overhead baseline).
+    Scope,
+}
+
 /// Host-side execution strategy for the simulated MVM datapath: how the
 /// engine tiles a layer's work and how many worker threads run the tiles.
 ///
@@ -15,6 +34,13 @@ use trq_xbar::CrossbarConfig;
 /// input bit-planes are looped inside each tile, so every tile owns a
 /// disjoint region of the accumulator and tiles compose in any order —
 /// results are bit-identical for every `threads` value.
+///
+/// Sizing guidance: `threads = 0` (auto) is right for throughput runs;
+/// pin `threads = 1` for single-core hosts or deterministic profiling.
+/// The tile defaults (16 outputs × 64 windows) keep a tile's bit-line
+/// count at one physical crossbar and its scratch in cache; shrink
+/// `tile_windows` if layers are small enough that fewer tiles than
+/// threads exist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecConfig {
     /// Worker threads for tile execution. `0` auto-detects from the host
@@ -25,11 +51,14 @@ pub struct ExecConfig {
     pub tile_outputs: usize,
     /// MVM windows per tile. `0` picks the default of 64 windows.
     pub tile_windows: usize,
+    /// How tile rounds are handed to worker threads (persistent pool by
+    /// default; per-call scoped threads as the benchmark baseline).
+    pub dispatch: Dispatch,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { threads: 1, tile_outputs: 0, tile_windows: 0 }
+        ExecConfig { threads: 1, tile_outputs: 0, tile_windows: 0, dispatch: Dispatch::Pool }
     }
 }
 
@@ -57,6 +86,14 @@ impl ExecConfig {
     #[must_use]
     pub fn with_tile_windows(mut self, tile_windows: usize) -> Self {
         self.tile_windows = tile_windows;
+        self
+    }
+
+    /// Builder: sets the dispatch mode (persistent pool vs per-call
+    /// scoped threads).
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -198,11 +235,23 @@ mod tests {
 
     #[test]
     fn exec_builders_compose() {
-        let e = ExecConfig::serial().with_threads(4).with_tile_outputs(8).with_tile_windows(32);
-        assert_eq!(e, ExecConfig { threads: 4, tile_outputs: 8, tile_windows: 32 });
+        let e = ExecConfig::serial()
+            .with_threads(4)
+            .with_tile_outputs(8)
+            .with_tile_windows(32)
+            .with_dispatch(Dispatch::Scope);
+        assert_eq!(
+            e,
+            ExecConfig { threads: 4, tile_outputs: 8, tile_windows: 32, dispatch: Dispatch::Scope }
+        );
         assert_eq!(e.effective_threads(), 4);
         assert_eq!(e.tile_outputs_for(100), 8);
         assert_eq!(e.tile_windows_for(5), 5);
+    }
+
+    #[test]
+    fn exec_default_dispatch_is_the_persistent_pool() {
+        assert_eq!(ExecConfig::default().dispatch, Dispatch::Pool);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Plan evaluation: BL sample collection and end-to-end metric runs,
-//! parallelised across images.
+//! parallelised across images on the persistent worker pool.
 
 use crate::arch::ArchConfig;
+use crate::exec::Pool;
 use crate::pim::{AdcScheme, CollectorConfig, LayerSamples, PimMvm, PimStats};
+use std::sync::Mutex;
 use trq_nn::QuantizedNetwork;
 use trq_tensor::Tensor;
 
@@ -53,12 +55,20 @@ pub fn collect_bl_samples(
     let mut engine = PimMvm::collector(arch, qnet.layers().len(), config);
     // the whole calibration batch goes through each layer in one engine
     // call; the collector's per-tile counts pass sees every BL sample in
-    // deterministic tile order
+    // deterministic tile order (the collector pins tile rounds to one
+    // thread for exactly this reason, so no pool sharding here)
     let _ = qnet.forward_batch(images, &mut engine).expect("calibration forward failed");
     engine.take_samples()
 }
 
 /// Evaluates a per-layer plan end to end, in parallel across images.
+///
+/// Image shards run as one fork-join round on [`Pool::global`] — the same
+/// parked workers the MVM engines dispatch tiles to — so calibration
+/// sweeps spawn no threads of their own. Each shard's engine runs its
+/// tile rounds inline (the pool's job slot is held by the shard round),
+/// which is the right granularity anyway: images are embarrassingly
+/// parallel, tiles are not free.
 pub fn evaluate_plan(
     qnet: &QuantizedNetwork,
     arch: &ArchConfig,
@@ -71,52 +81,53 @@ pub fn evaluate_plan(
     }
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8).min(n);
     let chunk = n.div_ceil(threads);
-    let indices: Vec<usize> = (0..n).collect();
-    let results: Vec<(usize, PimStats)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for piece in indices.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                let mut engine = PimMvm::new(arch, plan.to_vec());
-                // the worker's whole slice runs as one window batch, so
-                // the engine tiles across images as well as windows
-                let images: Vec<Tensor> = piece
-                    .iter()
-                    .map(|&i| match metric {
-                        EvalMetric::Labeled(samples) => samples[i].0.clone(),
-                        EvalMetric::Fidelity(inputs) => inputs[i].clone(),
-                    })
-                    .collect();
-                let ys = qnet.forward_batch(&images, &mut engine).expect("eval forward failed");
-                let mut correct = 0usize;
-                for (&i, y) in piece.iter().zip(ys.iter()) {
-                    match metric {
-                        EvalMetric::Labeled(samples) => {
-                            if y.argmax() == samples[i].1 {
-                                correct += 1;
-                            }
-                        }
-                        EvalMetric::Fidelity(inputs) => {
-                            let reference = qnet
-                                .network()
-                                .forward(&inputs[i])
-                                .expect("reference forward failed");
-                            if y.argmax() == reference.argmax() {
-                                correct += 1;
-                            }
-                        }
+    // one result slot per shard; shards are merged in slot order below,
+    // so the outcome is deterministic for every thread count
+    let slots: Vec<Mutex<Option<(usize, PimStats)>>> =
+        (0..threads).map(|_| Mutex::new(None)).collect();
+    Pool::global().run(threads, &|shard| {
+        let lo = shard * chunk;
+        let hi = ((shard + 1) * chunk).min(n);
+        if lo >= hi {
+            return;
+        }
+        let mut engine = PimMvm::new(arch, plan.to_vec());
+        // the shard's whole slice runs as one window batch, so the
+        // engine tiles across images as well as windows
+        let images: Vec<Tensor> = (lo..hi)
+            .map(|i| match metric {
+                EvalMetric::Labeled(samples) => samples[i].0.clone(),
+                EvalMetric::Fidelity(inputs) => inputs[i].clone(),
+            })
+            .collect();
+        let ys = qnet.forward_batch(&images, &mut engine).expect("eval forward failed");
+        let mut correct = 0usize;
+        for (i, y) in (lo..hi).zip(ys.iter()) {
+            match metric {
+                EvalMetric::Labeled(samples) => {
+                    if y.argmax() == samples[i].1 {
+                        correct += 1;
                     }
                 }
-                (correct, engine.stats().clone())
-            }));
+                EvalMetric::Fidelity(inputs) => {
+                    let reference =
+                        qnet.network().forward(&inputs[i]).expect("reference forward failed");
+                    if y.argmax() == reference.argmax() {
+                        correct += 1;
+                    }
+                }
+            }
         }
-        handles.into_iter().map(|h| h.join().expect("eval worker panicked")).collect()
+        *slots[shard].lock().expect("slot poisoned") = Some((correct, engine.stats().clone()));
     });
 
     let mut stats = PimStats::default();
     let mut correct = 0usize;
-    for (c, s) in &results {
-        correct += c;
-        stats.merge(s);
+    for slot in &slots {
+        if let Some((c, s)) = slot.lock().expect("slot poisoned").as_ref() {
+            correct += c;
+            stats.merge(s);
+        }
     }
     PlanEval { score: correct as f64 / n as f64, stats }
 }

@@ -229,29 +229,43 @@ pub fn plan_layer(
     }
 }
 
-/// Searches every layer, in parallel across available cores.
+/// Searches every layer, in parallel on the persistent worker pool.
+///
+/// Layers shard across one fork-join round of [`crate::exec::Pool`]
+/// (strided by participant index, written to per-layer slots), so the
+/// result order — and every plan in it — is identical to the sequential
+/// path for any worker count, and repeated searches reuse the same
+/// parked threads the MVM engines dispatch tiles to.
 pub fn plan_network(
     samples: &[LayerSamples],
     arch: &ArchConfig,
     nmax: u32,
     settings: &CalibSettings,
 ) -> Vec<LayerPlan> {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+        .min(samples.len().max(1));
     if samples.len() <= 1 || threads == 1 {
         return samples.iter().map(|smp| plan_layer(smp, arch, nmax, settings)).collect();
     }
-    let mut out: Vec<Option<LayerPlan>> = vec![None; samples.len()];
-    let chunk = samples.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (slot_chunk, sample_chunk) in out.chunks_mut(chunk).zip(samples.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, smp) in slot_chunk.iter_mut().zip(sample_chunk.iter()) {
-                    *slot = Some(plan_layer(smp, arch, nmax, settings));
-                }
-            });
+    let slots: Vec<std::sync::Mutex<Option<LayerPlan>>> =
+        samples.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    crate::exec::Pool::global().run(threads, &|w| {
+        let mut i = w;
+        while i < samples.len() {
+            let plan = plan_layer(&samples[i], arch, nmax, settings);
+            *slots[i].lock().expect("plan slot poisoned") = Some(plan);
+            i += threads;
         }
     });
-    out.into_iter().map(|p| p.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("plan slot poisoned").expect("every layer slot filled")
+        })
+        .collect()
 }
 
 #[cfg(test)]

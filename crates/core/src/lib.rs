@@ -36,5 +36,6 @@
 pub mod arch;
 pub mod calib;
 pub mod energy;
+pub mod exec;
 pub mod experiments;
 pub mod pim;

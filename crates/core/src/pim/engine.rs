@@ -15,12 +15,23 @@
 //!    bit-identical results;
 //! 3. **account** — merge per-worker event tallies into the layer's
 //!    [`PimStats`] and scale the integer accumulator into code units.
+//!
+//! Tile rounds run on the persistent [`crate::exec::Pool`] by default
+//! (dispatch onto parked workers, no per-call thread spawn) with
+//! per-worker scratch **arenas** — tile accumulators, count buffers, and
+//! event tallies allocated once and reused — so the steady-state forward
+//! path performs zero heap allocations (asserted in
+//! `crates/core/tests/alloc_free.rs`). [`crate::arch::Dispatch::Scope`]
+//! keeps the PR 2 per-call `std::thread::scope` behaviour as the
+//! dispatch-overhead baseline; both modes are bit-identical.
 
-use crate::arch::ArchConfig;
+use crate::arch::{ArchConfig, Dispatch};
+use crate::exec::Pool;
 use crate::pim::scheme::{AdcScheme, Lut};
 use crate::pim::stats::PimStats;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use trq_nn::{MvmEngine, MvmLayerInfo};
 use trq_quant::Histogram;
 use trq_xbar::{pack_window_planes, BitMatrix};
@@ -104,9 +115,39 @@ struct TileScratch {
     counts_neg: Vec<u32>,
 }
 
-/// What one worker returns: completed `(tile index, tile accumulator)`
-/// pairs plus its event tally.
-type WorkerResult = (Vec<(usize, Vec<i64>)>, TileEvents);
+/// Everything one worker touches during a tile round, allocated once per
+/// worker slot and reused for the engine's whole lifetime. `reset_round`
+/// only rewinds logical lengths; capacities are monotone, which is what
+/// makes the steady-state forward path allocation-free.
+#[derive(Default)]
+struct WorkerArena {
+    /// Count buffers for the fused popcount kernel.
+    scratch: TileScratch,
+    /// Tile accumulators of the round, concatenated back to back.
+    acc_pool: Vec<i64>,
+    /// `(tile index, acc_pool offset)` of every completed tile.
+    done: Vec<(usize, usize)>,
+    /// Event tally, merged into the layer ledger in the account stage.
+    events: TileEvents,
+}
+
+impl WorkerArena {
+    /// Rewinds the arena for a new round without touching capacity.
+    fn reset_round(&mut self) {
+        self.acc_pool.clear();
+        self.done.clear();
+    }
+
+    /// Bytes of backing capacity currently held — the arena-reuse
+    /// invariant checked by `tests/alloc_free.rs` (must not grow after
+    /// warm-up).
+    fn footprint(&self) -> usize {
+        self.scratch.counts_pos.capacity() * size_of::<u32>()
+            + self.scratch.counts_neg.capacity() * size_of::<u32>()
+            + self.acc_pool.capacity() * size_of::<i64>()
+            + self.done.capacity() * size_of::<(usize, usize)>()
+    }
+}
 
 /// Executes one tile: fused popcount over every (subarray × bit-plane),
 /// then LUT decode and shift-add into the tile-local accumulator `acc`
@@ -125,6 +166,7 @@ fn execute_tile(
     events: &mut TileEvents,
     mut on_count: Option<&mut dyn FnMut(u32)>,
 ) {
+    debug_assert_eq!(acc.len(), tile.len(), "tile accumulator must match the tile volume");
     let nc = (tile.o1 - tile.o0) * wbits;
     let nw = tile.w1 - tile.w0;
     let volume = ibits * nc * nw;
@@ -189,11 +231,22 @@ pub struct PimMvm<'a> {
     samples: HashMap<usize, LayerSamples>,
     /// Scratch bit-plane matrices per subarray, reused across calls.
     planes: Vec<Vec<BitMatrix>>,
+    /// The executor tile rounds dispatch to (process-global by default).
+    pool: &'a Pool,
+    /// Tile list of the current call, capacity reused across calls.
+    tiles: Vec<Tile>,
+    /// Layer accumulator, capacity reused across calls.
+    acc: Vec<i64>,
+    /// One scratch arena per worker slot; workers lock only their own
+    /// (uncontended — each participant index is claimed exactly once).
+    arenas: Vec<Mutex<WorkerArena>>,
 }
 
 impl<'a> PimMvm<'a> {
     /// Creates an engine with a per-layer ADC plan (`plan[mvm_index]`).
     /// Layers beyond the plan's length run with [`AdcScheme::Ideal`].
+    /// Tile rounds dispatch to the process-wide [`Pool::global`]; use
+    /// [`PimMvm::with_pool`] to share a dedicated pool instead.
     pub fn new(arch: &'a ArchConfig, plan: Vec<AdcScheme>) -> Self {
         PimMvm {
             arch,
@@ -203,7 +256,39 @@ impl<'a> PimMvm<'a> {
             collector: None,
             samples: HashMap::new(),
             planes: Vec::new(),
+            pool: Pool::global(),
+            tiles: Vec::new(),
+            acc: Vec::new(),
+            arenas: Vec::new(),
         }
+    }
+
+    /// Builder: dispatches this engine's tile rounds to `pool` instead of
+    /// the process-wide pool.
+    #[must_use]
+    pub fn with_pool(mut self, pool: &'a Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Total bytes of backing capacity held by the reusable execution
+    /// state (tiles, accumulator, bit-plane scratch, worker arenas).
+    /// Exposed so tests can assert the arena-reuse invariant: after a
+    /// warm-up call per layer shape, repeated calls must not grow this.
+    #[doc(hidden)]
+    pub fn scratch_footprint(&self) -> usize {
+        let arenas: usize =
+            self.arenas.iter().map(|a| a.lock().map(|arena| arena.footprint()).unwrap_or(0)).sum();
+        let planes: usize = self
+            .planes
+            .iter()
+            .flat_map(|per_sub| per_sub.iter())
+            .map(|m| m.word_capacity() * size_of::<u64>())
+            .sum();
+        arenas
+            + planes
+            + self.tiles.capacity() * size_of::<Tile>()
+            + self.acc.capacity() * size_of::<i64>()
     }
 
     /// Creates an engine that additionally collects BL samples per layer
@@ -321,6 +406,8 @@ impl<'a> PimMvm<'a> {
 
     /// Folds a tile-local accumulator into the layer accumulator.
     fn fold_tile(acc: &mut [i64], n: usize, tile: Tile, tile_acc: &[i64]) {
+        debug_assert_eq!(tile_acc.len(), tile.len(), "arena slice must match the tile");
+        debug_assert!(tile.o1 * n <= acc.len(), "tile exceeds the layer accumulator");
         let nw = tile.w1 - tile.w0;
         for o in tile.o0..tile.o1 {
             let src = &tile_acc[(o - tile.o0) * nw..(o - tile.o0 + 1) * nw];
@@ -369,94 +456,121 @@ impl MvmEngine for PimMvm<'_> {
         // ── execute ───────────────────────────────────────────────────
         let to = exec.tile_outputs_for(info.outputs);
         let tw = exec.tile_windows_for(n);
-        let mut tiles = Vec::new();
+        self.tiles.clear();
         let mut o0 = 0;
         while o0 < info.outputs {
             let o1 = (o0 + to).min(info.outputs);
             let mut w0 = 0;
             while w0 < n {
                 let w1 = (w0 + tw).min(n);
-                tiles.push(Tile { o0, o1, w0, w1 });
+                self.tiles.push(Tile { o0, o1, w0, w1 });
                 w0 = w1;
             }
             o0 = o1;
         }
 
-        let prog = &self.programmed[&info.mvm_index];
-        let planes = &self.planes[..n_sub];
         let threads = if self.collector.is_some() {
             1 // calibration keeps a deterministic sample order
         } else {
-            exec.effective_threads().clamp(1, tiles.len().max(1))
+            exec.effective_threads().clamp(1, self.tiles.len().max(1))
         };
+        while self.arenas.len() < threads {
+            self.arenas.push(Mutex::new(WorkerArena::default()));
+        }
+        self.acc.clear();
+        self.acc.resize(info.outputs * n, 0);
 
-        let mut acc = vec![0i64; info.outputs * n];
+        let prog = &self.programmed[&info.mvm_index];
+        let planes = &self.planes[..n_sub];
+        let tiles = &self.tiles;
         let mut events = TileEvents::default();
         if threads <= 1 {
-            let mut scratch = TileScratch::default();
-            let mut tile_acc: Vec<i64> = Vec::new();
+            // serial round on the calling thread, arena slot 0 (the only
+            // path that may carry the calibration counts sink)
             let samples = &mut self.samples;
             let mut sink = self.collector.map(|cfg| {
                 move |count: u32| Self::record_sample(samples, &cfg, info, max_count, count)
             });
-            for &tile in &tiles {
-                tile_acc.clear();
-                tile_acc.resize(tile.len(), 0);
+            let arena = self.arenas[0].get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for &tile in tiles {
+                arena.acc_pool.clear();
+                arena.acc_pool.resize(tile.len(), 0);
                 execute_tile(
                     prog,
                     planes,
                     tile,
                     wbits,
                     ibits,
-                    &mut scratch,
-                    &mut tile_acc,
+                    &mut arena.scratch,
+                    &mut arena.acc_pool,
                     &mut events,
                     sink.as_mut().map(|f| f as &mut dyn FnMut(u32)),
                 );
-                Self::fold_tile(&mut acc, n, tile, &tile_acc);
+                Self::fold_tile(&mut self.acc, n, tile, &arena.acc_pool);
             }
         } else {
+            // a fork-join tile round: participants claim tiles from the
+            // shared counter and execute them into their own arena; the
+            // account stage below folds arena results in slot order, so
+            // the outcome is independent of which worker ran which tile
+            for slot in &self.arenas[..threads] {
+                let mut arena = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                arena.reset_round();
+                // reserve worst-case round capacity up front (one worker
+                // could claim every tile) so capacities stay monotone and
+                // rounds never allocate after the first call per shape
+                arena.acc_pool.reserve(info.outputs * n);
+                arena.done.reserve(tiles.len());
+            }
             let next = AtomicUsize::new(0);
-            let tiles = &tiles;
-            let results: Vec<WorkerResult> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            // per-worker scratch and event tally; tiles
-                            // are claimed work-stealing style
-                            let mut scratch = TileScratch::default();
-                            let mut done = Vec::new();
-                            let mut ev = TileEvents::default();
-                            loop {
-                                let t = next.fetch_add(1, Ordering::Relaxed);
-                                if t >= tiles.len() {
-                                    break;
-                                }
-                                let tile = tiles[t];
-                                let mut tile_acc = vec![0i64; tile.len()];
-                                execute_tile(
-                                    prog,
-                                    planes,
-                                    tile,
-                                    wbits,
-                                    ibits,
-                                    &mut scratch,
-                                    &mut tile_acc,
-                                    &mut ev,
-                                    None,
-                                );
-                                done.push((t, tile_acc));
-                            }
-                            (done, ev)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("tile worker panicked")).collect()
-            });
-            for (done, ev) in &results {
-                events.merge(ev);
-                for (t, tile_acc) in done {
-                    Self::fold_tile(&mut acc, n, tiles[*t], tile_acc);
+            let arenas = &self.arenas;
+            let worker = |w: usize| {
+                let mut arena = arenas[w].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let arena = &mut *arena;
+                loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tiles.len() {
+                        break;
+                    }
+                    let tile = tiles[t];
+                    let offset = arena.acc_pool.len();
+                    arena.acc_pool.resize(offset + tile.len(), 0);
+                    execute_tile(
+                        prog,
+                        planes,
+                        tile,
+                        wbits,
+                        ibits,
+                        &mut arena.scratch,
+                        &mut arena.acc_pool[offset..],
+                        &mut arena.events,
+                        None,
+                    );
+                    arena.done.push((t, offset));
+                }
+            };
+            match exec.dispatch {
+                Dispatch::Pool => self.pool.run(threads, &worker),
+                Dispatch::Scope => std::thread::scope(|scope| {
+                    let worker = &worker;
+                    for w in 1..threads {
+                        scope.spawn(move || worker(w));
+                    }
+                    worker(0);
+                }),
+            }
+            for slot in &mut self.arenas[..threads] {
+                let arena = slot.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
+                events.merge(&arena.events);
+                arena.events = TileEvents::default();
+                for &(t, offset) in &arena.done {
+                    let tile = self.tiles[t];
+                    Self::fold_tile(
+                        &mut self.acc,
+                        n,
+                        tile,
+                        &arena.acc_pool[offset..offset + tile.len()],
+                    );
                 }
             }
         }
@@ -478,8 +592,24 @@ impl MvmEngine for PimMvm<'_> {
         layer.max_abs_acc = layer.max_abs_acc.max(events.max_abs_acc);
         self.stats.baseline_ops += events.conversions * self.arch.adc_bits as u64;
 
-        for (o, &v) in out.iter_mut().zip(acc.iter()) {
+        for (o, &v) in out.iter_mut().zip(self.acc.iter()) {
             *o = v as f64 * delta;
+        }
+    }
+
+    fn begin_session(&mut self) {
+        // warm the executor once per batch: spawn any missing pool
+        // workers and size the arena slots, so every layer call of the
+        // session dispatches onto already-parked threads
+        if self.collector.is_some() {
+            return;
+        }
+        let threads = self.arch.exec.effective_threads().max(1);
+        while self.arenas.len() < threads {
+            self.arenas.push(Mutex::new(WorkerArena::default()));
+        }
+        if threads > 1 && self.arch.exec.dispatch == Dispatch::Pool {
+            self.pool.warm(threads);
         }
     }
 }

@@ -1,0 +1,167 @@
+//! Asserts the tentpole invariant of the persistent executor: after a
+//! warm-up call per layer shape, the steady-state `mvm_into` path
+//! performs **zero heap allocations** on the calling thread, and the
+//! worker arenas' backing capacity stops growing (so pool workers do not
+//! allocate either — every buffer they touch lives in the arenas).
+//!
+//! The counting allocator tallies per thread, so the pool's parked worker
+//! threads and the libtest harness cannot pollute the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use trq_core::arch::{ArchConfig, Dispatch, ExecConfig};
+use trq_core::pim::{AdcScheme, PimMvm};
+use trq_nn::{MvmEngine, MvmLayerInfo};
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System` unchanged; the only addition
+// is a thread-local counter bump, and `Cell<u64>` has no destructor so
+// first TLS access never allocates.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+fn layer(depth: usize, outputs: usize) -> MvmLayerInfo {
+    MvmLayerInfo { node: 0, mvm_index: 0, label: "alloc-probe".into(), depth, outputs }
+}
+
+fn inputs(depth: usize, outputs: usize, n: usize) -> (Vec<i32>, Vec<u8>) {
+    let mut state = 0x5EEDu64;
+    let mut next = |m: i64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as i64 % m) as i32
+    };
+    let weights: Vec<i32> = (0..depth * outputs).map(|_| next(255) - 127).collect();
+    let cols: Vec<u8> = (0..depth * n).map(|_| next(256) as u8).collect();
+    (weights, cols)
+}
+
+/// The serial steady state (threads = 1): after one warm-up call, ten
+/// more identical-shape calls must allocate nothing at all.
+#[test]
+fn steady_state_serial_mvm_into_is_allocation_free() {
+    let arch = ArchConfig::default();
+    let (depth, outputs, n) = (150, 8, 6);
+    let info = layer(depth, outputs);
+    let (weights, cols) = inputs(depth, outputs, n);
+    let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let mut out = vec![0.0f64; outputs * n];
+    // warm-up: programs the layer, builds the LUT, sizes every scratch
+    pim.mvm_into(&info, &weights, &cols, n, &mut out);
+    pim.mvm_into(&info, &weights, &cols, n, &mut out);
+
+    let before = thread_allocs();
+    for _ in 0..10 {
+        pim.mvm_into(&info, &weights, &cols, n, &mut out);
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state serial mvm_into allocated {} times",
+        after - before
+    );
+}
+
+/// The pooled steady state (threads = 2, many tiles): the calling thread
+/// must stay allocation-free and the arena footprint must stop growing
+/// after warm-up — the capacity invariant that covers the worker threads.
+#[test]
+fn steady_state_pooled_mvm_into_is_allocation_free_with_stable_arenas() {
+    let arch = ArchConfig {
+        exec: ExecConfig::serial()
+            .with_threads(2)
+            .with_tile_outputs(2)
+            .with_tile_windows(2)
+            .with_dispatch(Dispatch::Pool),
+        ..ArchConfig::default()
+    };
+    let (depth, outputs, n) = (150, 8, 6);
+    let info = layer(depth, outputs);
+    let (weights, cols) = inputs(depth, outputs, n);
+    let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let mut out = vec![0.0f64; outputs * n];
+    pim.begin_session(); // spawns/warms the pool workers once
+    pim.mvm_into(&info, &weights, &cols, n, &mut out);
+    pim.mvm_into(&info, &weights, &cols, n, &mut out);
+
+    let footprint = pim.scratch_footprint();
+    assert!(footprint > 0, "warm engine must hold reusable scratch");
+    let before = thread_allocs();
+    for _ in 0..10 {
+        pim.mvm_into(&info, &weights, &cols, n, &mut out);
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pooled dispatch allocated {} times on the caller",
+        after - before
+    );
+    assert_eq!(pim.scratch_footprint(), footprint, "arena capacity must not grow after warm-up");
+}
+
+/// Shape changes may grow capacity once, but revisiting a previously-seen
+/// shape is warm: the footprint is monotone, not per-shape.
+#[test]
+fn revisiting_a_seen_shape_is_warm() {
+    let arch = ArchConfig {
+        exec: ExecConfig::serial().with_threads(2).with_tile_outputs(4).with_tile_windows(4),
+        ..ArchConfig::default()
+    };
+    let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params), AdcScheme::Ideal]);
+
+    let (d0, o0, n0) = (150, 8, 6);
+    let info0 = layer(d0, o0);
+    let (w0, c0) = inputs(d0, o0, n0);
+    let mut out0 = vec![0.0f64; o0 * n0];
+
+    let (d1, o1, n1) = (64, 12, 9);
+    let mut info1 = layer(d1, o1);
+    info1.mvm_index = 1;
+    let (w1, c1) = inputs(d1, o1, n1);
+    let mut out1 = vec![0.0f64; o1 * n1];
+
+    // warm both shapes, then interleave: no further capacity growth
+    pim.mvm_into(&info0, &w0, &c0, n0, &mut out0);
+    pim.mvm_into(&info1, &w1, &c1, n1, &mut out1);
+    pim.mvm_into(&info0, &w0, &c0, n0, &mut out0);
+    pim.mvm_into(&info1, &w1, &c1, n1, &mut out1);
+    let footprint = pim.scratch_footprint();
+    let before = thread_allocs();
+    for _ in 0..4 {
+        pim.mvm_into(&info0, &w0, &c0, n0, &mut out0);
+        pim.mvm_into(&info1, &w1, &c1, n1, &mut out1);
+    }
+    let after = thread_allocs();
+    assert_eq!(after - before, 0, "interleaved warm shapes must not allocate");
+    assert_eq!(pim.scratch_footprint(), footprint);
+}

@@ -58,6 +58,17 @@ pub trait MvmEngine {
         out: &mut [f64],
     );
 
+    /// Opens an execution session: [`QuantizedNetwork::forward_batch`]
+    /// calls this once per batch, before the first layer invocation, so
+    /// engines can warm persistent resources (worker threads, scratch
+    /// arenas) and pay setup cost once per batch instead of once per
+    /// layer call. Default: no-op.
+    fn begin_session(&mut self) {}
+
+    /// Closes the session opened by [`MvmEngine::begin_session`], once
+    /// per batch after the last layer invocation. Default: no-op.
+    fn end_session(&mut self) {}
+
     /// Convenience wrapper around [`MvmEngine::mvm_into`] that allocates
     /// the output.
     fn mvm(&mut self, info: &MvmLayerInfo, weights_q: &[i32], cols: &[u8], n: usize) -> Vec<f64> {
@@ -231,6 +242,20 @@ impl QuantizedNetwork {
         if inputs.iter().any(|x| x.shape().dims() != inputs[0].shape().dims()) {
             return Err(NnError::BadGraph { reason: "batch mixes input shapes".into() });
         }
+        // one engine session per batch: persistent executors warm their
+        // worker pool and arenas here, so every layer call below is a
+        // dispatch onto already-parked threads
+        engine.begin_session();
+        let result = self.forward_batch_in_session(inputs, engine);
+        engine.end_session();
+        result
+    }
+
+    fn forward_batch_in_session(
+        &self,
+        inputs: &[Tensor],
+        engine: &mut dyn MvmEngine,
+    ) -> Result<Vec<Tensor>, NnError> {
         let nodes = self.net.nodes();
         let mut outs: Vec<Vec<Tensor>> = Vec::with_capacity(nodes.len());
         for (i, node) in nodes.iter().enumerate() {

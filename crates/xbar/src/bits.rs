@@ -168,12 +168,28 @@ impl BitMatrix {
     /// Resets to an all-zero `rows × cols` shape, reusing the existing
     /// word allocation — the scratch-buffer primitive of the tiled
     /// execution pipeline (no per-cycle allocation in hot loops).
+    ///
+    /// Steady state (same shape call after call, as in the engine's
+    /// per-batch plane packing) is a straight `memset` of the live words;
+    /// shape changes rewind the length and only grow capacity when the
+    /// new word footprint exceeds anything seen before.
     pub fn reset(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
         self.words_per_col = rows.div_ceil(64).max(1);
-        self.words.clear();
-        self.words.resize(self.words_per_col * cols, 0);
+        let words = self.words_per_col * cols;
+        if self.words.len() == words {
+            self.words.fill(0);
+        } else {
+            self.words.clear();
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Words of backing capacity currently held (allocation accounting
+    /// for arena-reuse tests; capacity is monotone across `reset`).
+    pub fn word_capacity(&self) -> usize {
+        self.words.capacity()
     }
 
     /// Batched binary MVM: treats `inputs`' columns as a batch of input
@@ -478,6 +494,24 @@ mod tests {
             prop_assert_eq!((m.rows(), m.cols()), (rows, cols));
             for c in 0..cols {
                 prop_assert_eq!(m.column_count_ones(c), 0);
+            }
+        }
+
+        #[test]
+        fn steady_state_reset_never_reallocates(rows in 1usize..200, cols in 1usize..6, seed in 0u64..20) {
+            // warm to the largest shape once; every later reset — same
+            // shape or smaller — must keep the existing backing words
+            let mut m = BitMatrix::zeros(rows, cols);
+            let cap = m.word_capacity();
+            let ptr = m.words.as_ptr();
+            for i in 0..8u64 {
+                let r = 1 + ((seed + i * 7) as usize % rows);
+                let c = 1 + ((seed + i * 13) as usize % cols);
+                m.reset(r, c);
+                m.set(r - 1, c - 1, true);
+                prop_assert_eq!(m.word_capacity(), cap, "reset grew capacity");
+                prop_assert_eq!(m.words.as_ptr(), ptr, "reset moved the backing words");
+                m.reset(rows, cols);
             }
         }
 

@@ -7,7 +7,7 @@
 //! ledger.
 
 use proptest::prelude::*;
-use trq::core::arch::{ArchConfig, ExecConfig};
+use trq::core::arch::{ArchConfig, Dispatch, ExecConfig};
 use trq::core::pim::{AdcScheme, PimMvm};
 use trq::nn::{ExactMvm, MvmEngine, MvmLayerInfo};
 use trq::quant::{TrqParams, TwinRangeQuantizer};
@@ -150,4 +150,135 @@ proptest! {
             prop_assert_eq!(pim.stats().ops(), want_ops, "op ledgers must agree exactly");
         }
     }
+
+    /// The pool-reuse property of the persistent executor: ONE engine on
+    /// the shared pool, driven through many mixed-shape `mvm_into` calls
+    /// (different layers, window counts, and inputs), must stay
+    /// bit-identical — values and the op/conversion ledger — to a fresh
+    /// per-call engine using the PR 2 scoped-thread dispatch, and to
+    /// [`ExactMvm`] on ideal layers, for threads ∈ {1, 4}.
+    #[test]
+    fn persistent_pool_engine_stays_bit_identical_across_mixed_calls(
+        shapes in proptest::collection::vec((1usize..180, 1usize..6), 3..4),
+        calls in proptest::collection::vec((0usize..3, 1usize..5, 0u64..1_000_000), 2..7),
+        tile_outputs in 1usize..4,
+        tile_windows in 1usize..4,
+    ) {
+        let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+        // layer 1 runs TRQ, the others ideal — a mixed per-layer plan
+        let plan = vec![AdcScheme::Ideal, AdcScheme::Trq(params), AdcScheme::Ideal];
+        // weights are a per-layer constant (the engine programs each
+        // layer once); only the activations vary call to call
+        let layer_weights: Vec<Vec<i32>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(depth, outputs))| {
+                let mut next = lcg(0xBEEF ^ i as u64);
+                (0..depth * outputs).map(|_| next(255) - 127).collect()
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let pool_arch = ArchConfig {
+                exec: ExecConfig::serial()
+                    .with_threads(threads)
+                    .with_tile_outputs(tile_outputs)
+                    .with_tile_windows(tile_windows)
+                    .with_dispatch(Dispatch::Pool),
+                ..ArchConfig::default()
+            };
+            let scope_arch = ArchConfig {
+                exec: pool_arch.exec.with_dispatch(Dispatch::Scope),
+                ..ArchConfig::default()
+            };
+            let mut persistent = PimMvm::new(&pool_arch, plan.clone());
+            let (mut want_ops, mut want_conversions) = (0u64, 0u64);
+            for &(which, n, seed) in &calls {
+                let (depth, outputs) = shapes[which];
+                let weights = &layer_weights[which];
+                let mut next = lcg(seed ^ 0x9E37);
+                let cols: Vec<u8> = (0..depth * n).map(|_| next(256) as u8).collect();
+                let mut info = layer(depth, outputs);
+                info.mvm_index = which;
+                let got = persistent.mvm(&info, weights, &cols, n);
+
+                // reference: a fresh engine per call, scoped dispatch
+                let mut fresh = PimMvm::new(&scope_arch, plan.clone());
+                let want = fresh.mvm(&info, weights, &cols, n);
+                prop_assert_eq!(
+                    &got, &want,
+                    "pool reuse changed values: threads {} layer {} shape ({}, {}, {})",
+                    threads, which, depth, outputs, n
+                );
+                if matches!(plan[which], AdcScheme::Ideal) {
+                    let exact = ExactMvm.mvm(&info, weights, &cols, n);
+                    prop_assert_eq!(&got, &exact, "ideal layer drifted from ExactMvm");
+                }
+                want_ops += fresh.stats().ops();
+                want_conversions += fresh.stats().conversions();
+            }
+            prop_assert_eq!(
+                persistent.stats().ops(), want_ops,
+                "accumulated op ledger diverged at threads {}", threads
+            );
+            prop_assert_eq!(persistent.stats().conversions(), want_conversions);
+        }
+    }
+}
+
+/// One persistent-pool engine driven through repeated `forward_batch`
+/// sessions must match per-batch fresh scoped-dispatch engines bitwise
+/// (outputs and ledgers), and pool-sharded calibration (sample
+/// collection + `evaluate_plan` + `plan_network`) must stay
+/// deterministic while the pool is in play.
+#[test]
+fn pool_session_forward_batch_and_calibration_are_bit_stable() {
+    use trq::core::calib::{collect_bl_samples, evaluate_plan, plan_network};
+    use trq::core::calib::{CalibSettings, EvalMetric};
+    use trq::core::pim::CollectorConfig;
+    use trq::nn::{data, models, QuantizedNetwork};
+
+    let net = models::mlp(28 * 28, 10, 4, 3).unwrap();
+    let ds = data::synthetic_digits(8, 2);
+    let images: Vec<trq::tensor::Tensor> = ds.iter().map(|s| s.image.clone()).collect();
+    let qnet = QuantizedNetwork::quantize(&net, &images[..4]).unwrap();
+    let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let plan = vec![AdcScheme::Trq(params); qnet.layers().len()];
+
+    let pool_arch = ArchConfig {
+        exec: ExecConfig::serial().with_threads(4).with_tile_outputs(2).with_tile_windows(2),
+        ..ArchConfig::default()
+    };
+    let scope_arch =
+        ArchConfig { exec: pool_arch.exec.with_dispatch(Dispatch::Scope), ..ArchConfig::default() };
+
+    // one engine, many batch sessions
+    let mut persistent = PimMvm::new(&pool_arch, plan.clone());
+    for batch in [&images[..3], &images[3..8], &images[..8]] {
+        let got = qnet.forward_batch(batch, &mut persistent).unwrap();
+        let mut fresh = PimMvm::new(&scope_arch, plan.clone());
+        let want = qnet.forward_batch(batch, &mut fresh).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.data(), w.data(), "pool session changed batch results");
+        }
+    }
+
+    // calibration on the same process-wide pool: everything deterministic
+    let samples_a = collect_bl_samples(&qnet, &pool_arch, &images[..4], CollectorConfig::default());
+    let samples_b = collect_bl_samples(&qnet, &pool_arch, &images[..4], CollectorConfig::default());
+    assert_eq!(samples_a.len(), samples_b.len());
+    for (a, b) in samples_a.iter().zip(samples_b.iter()) {
+        assert_eq!(a.values, b.values, "collector must stay deterministic");
+        assert_eq!(a.seen, b.seen);
+    }
+    let plans_a = plan_network(&samples_a, &pool_arch, 6, &CalibSettings::default());
+    let plans_b = plan_network(&samples_b, &pool_arch, 6, &CalibSettings::default());
+    assert_eq!(plans_a, plans_b, "pool-sharded search must stay deterministic");
+
+    let metric = EvalMetric::Fidelity(&images);
+    let eval_a = evaluate_plan(&qnet, &pool_arch, &plan, &metric);
+    let eval_b = evaluate_plan(&qnet, &scope_arch, &plan, &metric);
+    assert_eq!(eval_a.score, eval_b.score, "pool-sharded eval changed the score");
+    assert_eq!(eval_a.stats.ops(), eval_b.stats.ops());
+    assert_eq!(eval_a.stats.conversions(), eval_b.stats.conversions());
 }
