@@ -1,0 +1,113 @@
+//! The specialised popcount kernel paths at the `trq-xbar` level: scalar
+//! reference (two `mvm_planes_tile_into` passes) vs the fused
+//! differential kernel, across the monomorphised column word counts
+//! (wpc 1/2/4 and the Harley–Seal generic path), plus the skip-enabled
+//! sparse case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trq_xbar::{mvm_diff_tile_into, BitMatrix, ColMask};
+
+fn matrix(rows: usize, cols: usize, seed: u64, density_pct: u64) -> BitMatrix {
+    let mut m = BitMatrix::zeros(rows, cols);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
+    for r in 0..rows {
+        for c in 0..cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (state >> 33) % 100 < density_pct {
+                m.set(r, c, true);
+            }
+        }
+    }
+    m
+}
+
+fn bench_kernel_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_paths");
+    group.sample_size(20);
+
+    let (cols, windows, n_planes) = (64usize, 32usize, 8usize);
+    // wpc 1 / 2 (the paper's 128-row arrays) / 4 / generic
+    for (label, rows) in
+        [("wpc1_r64", 64), ("wpc2_r128", 128), ("wpc4_r256", 256), ("gen_r320", 320)]
+    {
+        let pos = matrix(rows, cols, 1, 50);
+        let neg = matrix(rows, cols, 2, 50);
+        let planes: Vec<BitMatrix> =
+            (0..n_planes).map(|p| matrix(rows, windows, 3 + p as u64, 50)).collect();
+        let volume = n_planes * cols * windows;
+        let mut out_pos = vec![0u32; volume];
+        let mut out_neg = vec![0u32; volume];
+        group.bench_function(&format!("scalar_{label}"), |b| {
+            b.iter(|| {
+                pos.mvm_planes_tile_into(black_box(&planes), 0..cols, 0..windows, &mut out_pos);
+                neg.mvm_planes_tile_into(black_box(&planes), 0..cols, 0..windows, &mut out_neg);
+                black_box((&out_pos, &out_neg));
+            })
+        });
+        let all = ColMask::all_live(cols);
+        group.bench_function(&format!("fused_{label}"), |b| {
+            b.iter(|| {
+                mvm_diff_tile_into(
+                    black_box(&pos),
+                    black_box(&neg),
+                    black_box(&planes),
+                    u32::MAX,
+                    &all,
+                    &all,
+                    0..cols,
+                    0..windows,
+                    &mut out_pos,
+                    &mut out_neg,
+                );
+                black_box((&out_pos, &out_neg));
+            })
+        });
+    }
+
+    // the skip showcase: ReLU-coded planes (high-order planes empty) on
+    // sparse weights (many dead slice columns), honest occupancy masks
+    let rows = 128;
+    let pos = matrix(rows, cols, 7, 10);
+    let neg = matrix(rows, cols, 8, 10);
+    let planes: Vec<BitMatrix> = (0..n_planes)
+        .map(|p| {
+            if p < 4 {
+                matrix(rows, windows, 9 + p as u64, 15)
+            } else {
+                BitMatrix::zeros(rows, windows)
+            }
+        })
+        .collect();
+    let live: u32 = planes
+        .iter()
+        .enumerate()
+        .filter(|(_, pl)| (0..windows).any(|w| pl.column_count_ones(w) != 0))
+        .map(|(p, _)| 1u32 << p)
+        .sum();
+    let (pos_live, neg_live) = (ColMask::of(&pos), ColMask::of(&neg));
+    let volume = n_planes * cols * windows;
+    let mut out_pos = vec![0u32; volume];
+    let mut out_neg = vec![0u32; volume];
+    group.bench_function("fused_skip_relu_r128", |b| {
+        b.iter(|| {
+            mvm_diff_tile_into(
+                black_box(&pos),
+                black_box(&neg),
+                black_box(&planes),
+                live,
+                &pos_live,
+                &neg_live,
+                0..cols,
+                0..windows,
+                &mut out_pos,
+                &mut out_neg,
+            );
+            black_box((&out_pos, &out_neg));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_paths);
+criterion_main!(benches);

@@ -9,6 +9,12 @@
 //! - **scope** — threads = T with a fresh `std::thread::scope`
 //!   spawn/join cycle per call (the PR 2 executor).
 //!
+//! Since the specialised kernel layer landed, the dispatch mode also
+//! selects the datapath: serial/pool run the fused/skip-enabled kernels
+//! while scope pins the scalar reference — so `pool_speedup_vs_scope`
+//! includes the kernel win on top of the dispatch saving (see
+//! `bench_kernel` for the kernel axis isolated at threads = 1).
+//!
 //! Results land in `results/BENCH_pool.json` with host metadata, so a
 //! record from the single-core CI container is distinguishable from one
 //! measured on a multicore workstation.

@@ -106,8 +106,52 @@ pub struct PoolBenchRecord {
     /// Per-call `std::thread::scope` dispatch (the PR 2 executor).
     pub scope: DispatchTiming,
     /// `scope.ns_per_call / pool.ns_per_call` — how much cheaper the
-    /// pool makes a threaded small-layer call.
+    /// pool makes a threaded small-layer call. Since the specialised
+    /// kernel layer landed this includes the kernel win (scope pins the
+    /// scalar reference datapath); `BENCH_kernel.json` isolates the
+    /// kernel axis at one thread.
     pub pool_speedup_vs_scope: f64,
+}
+
+/// One workload's scalar-vs-specialised timing inside
+/// [`KernelBenchRecord`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelWorkloadTiming {
+    /// Workload label (shape + activation coding in the name).
+    pub workload: String,
+    /// MVM depth of the layer.
+    pub depth: usize,
+    /// Output channels of the layer.
+    pub outputs: usize,
+    /// Windows per call.
+    pub windows: usize,
+    /// Fraction of activation codes that are exactly zero (sparsity the
+    /// skip-enabled kernel can exploit; ~0 for dense workloads).
+    pub zero_activation_frac: f64,
+    /// Scalar reference path (`Dispatch::Scope`, threads = 1), ns per MVM
+    /// window.
+    pub scalar_ns_per_window: f64,
+    /// Specialised kernel path (`Dispatch::Pool`, threads = 1), ns per
+    /// MVM window.
+    pub kernel_ns_per_window: f64,
+    /// `scalar / kernel` — single-thread speedup of the specialised path.
+    pub speedup: f64,
+}
+
+/// The record `bench_kernel` writes to `results/BENCH_kernel.json`:
+/// single-thread ns-per-window of the scalar reference datapath vs the
+/// specialised kernel layer (fused differential popcount + packed LUT
+/// decode + sparsity-aware skipping) on fc/conv-shaped layers. Unlike the
+/// dispatch benches this axis is honestly measurable on a single-core
+/// host — both paths run serially on the calling thread.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelBenchRecord {
+    /// Timed calls per (workload, path).
+    pub calls: usize,
+    /// Measuring-host metadata.
+    pub host: HostMeta,
+    /// Per-workload timings.
+    pub workloads: Vec<KernelWorkloadTiming>,
 }
 
 /// Reads the suite configuration from `TRQ_SUITE` (`paper` by default).

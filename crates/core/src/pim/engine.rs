@@ -8,11 +8,19 @@
 //!    never rebuilt or cloned per call);
 //! 2. **execute** — pack all `input_bits` bit-planes of the window batch
 //!    in one pass over the activation codes (scratch `BitMatrix` buffers
-//!    reused across calls), then run (output-block × window-block) tiles
-//!    through the fused popcount kernel. Subarrays and bit-planes are
-//!    looped *inside* each tile, so every tile owns a disjoint region of
-//!    the accumulator and tiles run on any number of worker threads with
-//!    bit-identical results;
+//!    reused across calls, live-plane occupancy recorded as a side
+//!    effect), then run (output-block × window-block) tiles through the
+//!    **specialised kernel layer** (`trq_xbar::mvm_diff_tile_into`): a
+//!    fused differential popcount — each plane word loaded once for both
+//!    subarray sides, monomorphised per column word count with 4-wide
+//!    window unrolling — plus sparsity-aware skipping of all-zero input
+//!    bit-planes and all-zero weight slice columns, whose count-0
+//!    conversions fold into the event ledger in closed form. The decode
+//!    reads one packed LUT entry per conversion. Subarrays and bit-planes
+//!    are looped *inside* each tile, so every tile owns a disjoint region
+//!    of the accumulator and tiles run on any number of worker threads
+//!    with bit-identical results. [`crate::arch::Dispatch::Scope`] keeps
+//!    the pre-kernel scalar datapath end to end as the pinned reference;
 //! 3. **account** — merge per-worker event tallies into the layer's
 //!    [`PimStats`] and scale the integer accumulator into code units.
 //!
@@ -34,7 +42,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use trq_nn::{MvmEngine, MvmLayerInfo};
 use trq_quant::Histogram;
-use trq_xbar::{pack_window_planes, BitMatrix};
+use trq_xbar::{mvm_diff_tile_into, pack_window_planes, BitMatrix, ColMask};
 
 /// Configuration for bit-line sample collection during calibration runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,11 +73,23 @@ pub struct LayerSamples {
 }
 
 struct Programmed {
-    /// One `(pos, neg)` slice-plane pair per 128-row subarray; columns are
+    /// One differential subarray pair per 128-row row block; columns are
     /// `outputs × weight_bits` wide.
-    subarrays: Vec<(BitMatrix, BitMatrix)>,
-    /// Per-count conversion table, built once at programming time.
+    subarrays: Vec<DiffSubarray>,
+    /// Per-count conversion table (packed entries), built once at
+    /// programming time.
     lut: Lut,
+}
+
+/// One crossbar row block: the differential (pos, neg) slice planes plus
+/// the static column-occupancy masks the skip-enabled kernel consults —
+/// all-zero weight slice columns (e.g. the negative side of an
+/// all-positive channel) never popcount or decode element-wise.
+struct DiffSubarray {
+    pos: BitMatrix,
+    neg: BitMatrix,
+    pos_live: ColMask,
+    neg_live: ColMask,
 }
 
 /// One (output-block × window-block) unit of work. Subarrays and input
@@ -149,13 +169,151 @@ impl WorkerArena {
     }
 }
 
-/// Executes one tile: fused popcount over every (subarray × bit-plane),
-/// then LUT decode and shift-add into the tile-local accumulator `acc`
-/// (length `tile.len()`, zeroed by the caller). When `on_count` is given
-/// (calibration), every pos/neg BL count of the tile is fed to it in a
-/// deterministic per-tile counts pass.
+/// Debug-build poison for count buffers: no bit line can count this high,
+/// so an unwritten slot is unmistakable. Release builds never write or
+/// check it — the buffers simply keep stale contents in skipped regions.
+const COUNT_POISON: u32 = u32::MAX;
+
+/// Sets both count buffers' logical length to `volume` **without zeroing**
+/// — the kernels overwrite every live slot, so the old per-tile memset
+/// was pure overhead (only growth beyond any previously seen volume pays
+/// a fill, once). Debug builds poison the buffers instead so the decode
+/// loops can assert the kernel really wrote every slot they read.
+fn prepare_counts(scratch: &mut TileScratch, volume: usize) {
+    for counts in [&mut scratch.counts_pos, &mut scratch.counts_neg] {
+        if counts.len() >= volume {
+            counts.truncate(volume);
+        } else {
+            counts.resize(volume, 0);
+        }
+        if cfg!(debug_assertions) {
+            counts.fill(COUNT_POISON);
+        }
+    }
+}
+
+/// Executes one tile on the **specialised kernel path**: one fused
+/// differential popcount pass per (subarray × live bit-plane) — each input
+/// plane word loaded once for both subarray sides — then a packed-LUT
+/// decode and shift-add into the tile-local accumulator `acc` (length
+/// `tile.len()`, zeroed by the caller).
+///
+/// Sparsity-aware skipping: all-zero input bit-planes (`plane_live`) and
+/// all-zero weight slice columns (the subarray's [`ColMask`]s) are skipped
+/// arithmetically. Their counts are 0 by construction, so the accumulator
+/// contribution cancels exactly and the count-0 conversions fold into the
+/// event ledger in closed form — `PimStats` stays bit-identical to the
+/// dense path.
 #[allow(clippy::too_many_arguments)]
 fn execute_tile(
+    prog: &Programmed,
+    planes: &[Vec<BitMatrix>],
+    plane_live: &[u32],
+    tile: Tile,
+    wbits: usize,
+    ibits: usize,
+    scratch: &mut TileScratch,
+    acc: &mut [i64],
+    events: &mut TileEvents,
+) {
+    debug_assert_eq!(acc.len(), tile.len(), "tile accumulator must match the tile volume");
+    let nc = (tile.o1 - tile.o0) * wbits;
+    let nw = tile.w1 - tile.w0;
+    let volume = ibits * nc * nw;
+    let entries = prog.lut.entries();
+    let e0 = entries[0];
+    let ops0 = (e0 >> Lut::OPS_SHIFT) as u64;
+    let lsb0 = (e0 & Lut::LSB_MASK) as i64;
+    prepare_counts(scratch, volume);
+    for (s, sub) in prog.subarrays.iter().enumerate() {
+        let live = plane_live[s];
+        mvm_diff_tile_into(
+            &sub.pos,
+            &sub.neg,
+            &planes[s],
+            live,
+            &sub.pos_live,
+            &sub.neg_live,
+            tile.o0 * wbits..tile.o1 * wbits,
+            tile.w0..tile.w1,
+            &mut scratch.counts_pos,
+            &mut scratch.counts_neg,
+        );
+        for c in 0..ibits {
+            let plane_dead = live & (1 << c) == 0;
+            for oc in 0..nc {
+                let col = tile.o0 * wbits + oc;
+                let (o_local, alpha) = (oc / wbits, oc % wbits);
+                let shift = (alpha + c) as u32;
+                let (pl, nl) = (sub.pos_live.is_live(col), sub.neg_live.is_live(col));
+                if plane_dead || (!pl && !nl) {
+                    // skipped row: every count is 0 by construction —
+                    // max_count is unaffected, the decoded difference is
+                    // exactly 0, and the conversions cost `ops0` each
+                    events.ops += 2 * ops0 * nw as u64;
+                    continue;
+                }
+                let base = (c * nc + oc) * nw;
+                let arow = &mut acc[o_local * nw..(o_local + 1) * nw];
+                match (pl, nl) {
+                    (true, true) => {
+                        let cps = &scratch.counts_pos[base..base + nw];
+                        let cns = &scratch.counts_neg[base..base + nw];
+                        for ((a, &cp), &cn) in arow.iter_mut().zip(cps).zip(cns) {
+                            debug_assert!(
+                                cp != COUNT_POISON && cn != COUNT_POISON,
+                                "kernel must write every live slot"
+                            );
+                            events.max_count = events.max_count.max(cp).max(cn);
+                            let (ep, en) = (entries[cp as usize], entries[cn as usize]);
+                            events.ops += ((ep >> Lut::OPS_SHIFT) + (en >> Lut::OPS_SHIFT)) as u64;
+                            *a += ((ep & Lut::LSB_MASK) as i64 - (en & Lut::LSB_MASK) as i64)
+                                << shift;
+                        }
+                    }
+                    (true, false) => {
+                        let cps = &scratch.counts_pos[base..base + nw];
+                        events.ops += ops0 * nw as u64;
+                        for (a, &cp) in arow.iter_mut().zip(cps) {
+                            debug_assert!(cp != COUNT_POISON, "kernel must write every live slot");
+                            events.max_count = events.max_count.max(cp);
+                            let ep = entries[cp as usize];
+                            events.ops += (ep >> Lut::OPS_SHIFT) as u64;
+                            *a += ((ep & Lut::LSB_MASK) as i64 - lsb0) << shift;
+                        }
+                    }
+                    (false, true) => {
+                        let cns = &scratch.counts_neg[base..base + nw];
+                        events.ops += ops0 * nw as u64;
+                        for (a, &cn) in arow.iter_mut().zip(cns) {
+                            debug_assert!(cn != COUNT_POISON, "kernel must write every live slot");
+                            events.max_count = events.max_count.max(cn);
+                            let en = entries[cn as usize];
+                            events.ops += (en >> Lut::OPS_SHIFT) as u64;
+                            *a += (lsb0 - (en & Lut::LSB_MASK) as i64) << shift;
+                        }
+                    }
+                    (false, false) => unreachable!(),
+                }
+            }
+        }
+        events.conversions += 2 * volume as u64;
+    }
+    for &v in acc.iter() {
+        events.max_abs_acc = events.max_abs_acc.max(v.abs());
+    }
+}
+
+/// Executes one tile on the **scalar reference path** (the pre-kernel
+/// serial datapath, kept live on [`Dispatch::Scope`] and for calibration):
+/// two back-to-back scalar popcount passes per subarray, then an
+/// element-wise decode of every count — no fusion, no specialisation, no
+/// skipping. Property tests pin the specialised path bit-identical to
+/// this one, values and ledgers. When `on_count` is given (calibration),
+/// every pos/neg BL count of the tile is fed to it in a deterministic
+/// per-tile counts pass.
+#[allow(clippy::too_many_arguments)]
+fn execute_tile_scalar(
     prog: &Programmed,
     planes: &[Vec<BitMatrix>],
     tile: Tile,
@@ -171,19 +329,20 @@ fn execute_tile(
     let nw = tile.w1 - tile.w0;
     let volume = ibits * nc * nw;
     let lut = &prog.lut;
-    scratch.counts_pos.clear();
-    scratch.counts_pos.resize(volume, 0);
-    scratch.counts_neg.clear();
-    scratch.counts_neg.resize(volume, 0);
-    for (s, (pos, neg)) in prog.subarrays.iter().enumerate() {
+    prepare_counts(scratch, volume);
+    for (s, sub) in prog.subarrays.iter().enumerate() {
         let cols = tile.o0 * wbits..tile.o1 * wbits;
-        pos.mvm_planes_tile_into(
+        sub.pos.mvm_planes_tile_into(
             &planes[s],
             cols.clone(),
             tile.w0..tile.w1,
             &mut scratch.counts_pos,
         );
-        neg.mvm_planes_tile_into(&planes[s], cols, tile.w0..tile.w1, &mut scratch.counts_neg);
+        sub.neg.mvm_planes_tile_into(&planes[s], cols, tile.w0..tile.w1, &mut scratch.counts_neg);
+        debug_assert!(
+            scratch.counts_pos.iter().chain(scratch.counts_neg.iter()).all(|&c| c != COUNT_POISON),
+            "scalar kernel must overwrite the whole tile volume"
+        );
         for c in 0..ibits {
             for oc in 0..nc {
                 let (o_local, alpha) = (oc / wbits, oc % wbits);
@@ -194,9 +353,9 @@ fn execute_tile(
                 let arow = &mut acc[o_local * nw..(o_local + 1) * nw];
                 for ((a, &cp), &cn) in arow.iter_mut().zip(cps).zip(cns) {
                     events.max_count = events.max_count.max(cp).max(cn);
-                    let lp = lut.lsb[cp as usize] as i64;
-                    let ln = lut.lsb[cn as usize] as i64;
-                    events.ops += lut.ops[cp as usize] as u64 + lut.ops[cn as usize] as u64;
+                    let lp = lut.lsb(cp) as i64;
+                    let ln = lut.lsb(cn) as i64;
+                    events.ops += lut.ops(cp) as u64 + lut.ops(cn) as u64;
                     *a += (lp - ln) << shift;
                 }
             }
@@ -231,6 +390,9 @@ pub struct PimMvm<'a> {
     samples: HashMap<usize, LayerSamples>,
     /// Scratch bit-plane matrices per subarray, reused across calls.
     planes: Vec<Vec<BitMatrix>>,
+    /// Live-plane masks of the current call, one per subarray (bit `b`
+    /// set ⇔ input bit-plane `b` is non-zero); capacity reused.
+    plane_live: Vec<u32>,
     /// The executor tile rounds dispatch to (process-global by default).
     pool: &'a Pool,
     /// Tile list of the current call, capacity reused across calls.
@@ -256,6 +418,7 @@ impl<'a> PimMvm<'a> {
             collector: None,
             samples: HashMap::new(),
             planes: Vec::new(),
+            plane_live: Vec::new(),
             pool: Pool::global(),
             tiles: Vec::new(),
             acc: Vec::new(),
@@ -287,6 +450,7 @@ impl<'a> PimMvm<'a> {
             .sum();
         arenas
             + planes
+            + self.plane_live.capacity() * size_of::<u32>()
             + self.tiles.capacity() * size_of::<Tile>()
             + self.acc.capacity() * size_of::<i64>()
     }
@@ -330,7 +494,8 @@ impl<'a> PimMvm<'a> {
     }
 
     /// Program stage: bit-slice the weights onto differential subarray
-    /// pairs and build the layer's conversion LUT, once per layer.
+    /// pairs, record each side's column occupancy (the static skip masks),
+    /// and build the layer's conversion LUT, once per layer.
     fn program(&mut self, info: &MvmLayerInfo, weights_q: &[i32]) {
         if self.programmed.contains_key(&info.mvm_index) {
             return;
@@ -360,7 +525,8 @@ impl<'a> PimMvm<'a> {
                     }
                 }
             }
-            subarrays.push((pos, neg));
+            let (pos_live, neg_live) = (ColMask::of(&pos), ColMask::of(&neg));
+            subarrays.push(DiffSubarray { pos, neg, pos_live, neg_live });
         }
         let lut = self
             .scheme_for(info.mvm_index)
@@ -442,15 +608,17 @@ impl MvmEngine for PimMvm<'_> {
         let exec = self.arch.exec;
 
         // batched bit-plane packing: all `input_bits` planes of every
-        // subarray in one pass over `cols` each, into reused scratch
+        // subarray in one pass over `cols` each, into reused scratch;
+        // the returned live-plane masks drive sparsity-aware skipping
         let n_sub = self.arch.subarrays_for_depth(info.depth);
         while self.planes.len() < n_sub {
             self.planes.push(Vec::new());
         }
+        self.plane_live.clear();
         for (s, planes) in self.planes.iter_mut().enumerate().take(n_sub) {
             let d0 = s * rows;
             let d1 = ((s + 1) * rows).min(info.depth);
-            pack_window_planes(cols, n, d0, d1, rows, ibits as u32, planes);
+            self.plane_live.push(pack_window_planes(cols, n, d0, d1, rows, ibits as u32, planes));
         }
 
         // ── execute ───────────────────────────────────────────────────
@@ -482,7 +650,13 @@ impl MvmEngine for PimMvm<'_> {
 
         let prog = &self.programmed[&info.mvm_index];
         let planes = &self.planes[..n_sub];
+        let plane_live = &self.plane_live[..n_sub];
         let tiles = &self.tiles;
+        // Dispatch::Scope keeps the scalar reference datapath end to end
+        // (the baseline the specialised kernels are benchmarked and
+        // property-tested against); calibration also stays scalar so the
+        // counts pass sees every slot of every tile
+        let scalar = exec.dispatch == Dispatch::Scope || self.collector.is_some();
         let mut events = TileEvents::default();
         if threads <= 1 {
             // serial round on the calling thread, arena slot 0 (the only
@@ -495,17 +669,31 @@ impl MvmEngine for PimMvm<'_> {
             for &tile in tiles {
                 arena.acc_pool.clear();
                 arena.acc_pool.resize(tile.len(), 0);
-                execute_tile(
-                    prog,
-                    planes,
-                    tile,
-                    wbits,
-                    ibits,
-                    &mut arena.scratch,
-                    &mut arena.acc_pool,
-                    &mut events,
-                    sink.as_mut().map(|f| f as &mut dyn FnMut(u32)),
-                );
+                if scalar {
+                    execute_tile_scalar(
+                        prog,
+                        planes,
+                        tile,
+                        wbits,
+                        ibits,
+                        &mut arena.scratch,
+                        &mut arena.acc_pool,
+                        &mut events,
+                        sink.as_mut().map(|f| f as &mut dyn FnMut(u32)),
+                    );
+                } else {
+                    execute_tile(
+                        prog,
+                        planes,
+                        plane_live,
+                        tile,
+                        wbits,
+                        ibits,
+                        &mut arena.scratch,
+                        &mut arena.acc_pool,
+                        &mut events,
+                    );
+                }
                 Self::fold_tile(&mut self.acc, n, tile, &arena.acc_pool);
             }
         } else {
@@ -535,17 +723,31 @@ impl MvmEngine for PimMvm<'_> {
                     let tile = tiles[t];
                     let offset = arena.acc_pool.len();
                     arena.acc_pool.resize(offset + tile.len(), 0);
-                    execute_tile(
-                        prog,
-                        planes,
-                        tile,
-                        wbits,
-                        ibits,
-                        &mut arena.scratch,
-                        &mut arena.acc_pool[offset..],
-                        &mut arena.events,
-                        None,
-                    );
+                    if scalar {
+                        execute_tile_scalar(
+                            prog,
+                            planes,
+                            tile,
+                            wbits,
+                            ibits,
+                            &mut arena.scratch,
+                            &mut arena.acc_pool[offset..],
+                            &mut arena.events,
+                            None,
+                        );
+                    } else {
+                        execute_tile(
+                            prog,
+                            planes,
+                            plane_live,
+                            tile,
+                            wbits,
+                            ibits,
+                            &mut arena.scratch,
+                            &mut arena.acc_pool[offset..],
+                            &mut arena.events,
+                        );
+                    }
                     arena.done.push((t, offset));
                 }
             };

@@ -30,33 +30,24 @@ impl AdcScheme {
 
     /// Builds the per-count lookup table for integer BL samples
     /// `0..=max_count`: reconstructed magnitude in LSB units, the scale of
-    /// one LSB, and A/D operations per conversion.
+    /// one LSB, and A/D operations per conversion, packed one entry per
+    /// count.
     pub(crate) fn build_lut(&self, max_count: u32, baseline_bits: u32) -> Lut {
-        let n = (max_count + 1) as usize;
         match self {
-            AdcScheme::Ideal => Lut {
-                lsb: (0..=max_count).collect(),
-                ops: vec![baseline_bits as u8; n],
-                delta: 1.0,
-            },
+            AdcScheme::Ideal => Lut::new((0..=max_count).map(|c| (c, baseline_bits as u8)), 1.0),
             AdcScheme::Uniform { bits, vgrid } => {
                 let q = UniformQuantizer::new(*bits, *vgrid).expect("validated scheme");
-                Lut {
-                    lsb: (0..=max_count).map(|c| q.code(c as f64)).collect(),
-                    ops: vec![*bits as u8; n],
-                    delta: *vgrid,
-                }
+                Lut::new((0..=max_count).map(|c| (q.code(c as f64), *bits as u8)), *vgrid)
             }
             AdcScheme::Trq(params) => {
                 let q = TwinRangeQuantizer::new(*params);
-                let mut lsb = Vec::with_capacity(n);
-                let mut ops = Vec::with_capacity(n);
-                for c in 0..=max_count {
-                    let v = q.quantize(c as f64);
-                    lsb.push(v.code.decode_lsb(params));
-                    ops.push(v.ops as u8);
-                }
-                Lut { lsb, ops, delta: params.delta_r1() }
+                Lut::new(
+                    (0..=max_count).map(|c| {
+                        let v = q.quantize(c as f64);
+                        (v.code.decode_lsb(params), v.ops as u8)
+                    }),
+                    params.delta_r1(),
+                )
             }
         }
     }
@@ -71,15 +62,58 @@ impl AdcScheme {
     }
 }
 
-/// Precomputed conversion table for one layer.
+/// Precomputed conversion table for one layer, packed so each conversion
+/// decode touches a single entry (one cache line per LUT neighbourhood):
+/// A/D operations in the top byte, reconstructed magnitude (LSB units) in
+/// the low 24 bits.
 #[derive(Debug, Clone)]
 pub(crate) struct Lut {
-    /// Reconstructed magnitude in LSB units, indexed by BL count.
-    pub lsb: Vec<u32>,
-    /// A/D operations per conversion, indexed by BL count.
-    pub ops: Vec<u8>,
+    /// `ops << OPS_SHIFT | lsb`, indexed by BL count.
+    entries: Vec<u32>,
     /// Physical value of one LSB in count units.
     pub delta: f64,
+}
+
+impl Lut {
+    /// Bit position of the ops byte inside a packed entry.
+    pub const OPS_SHIFT: u32 = 24;
+    /// Mask of the magnitude bits inside a packed entry.
+    pub const LSB_MASK: u32 = (1 << Self::OPS_SHIFT) - 1;
+
+    /// Packs `(lsb, ops)` pairs indexed by BL count into one entry array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a magnitude overflows the 24-bit entry field (no
+    /// physical array height comes close).
+    fn new(parts: impl Iterator<Item = (u32, u8)>, delta: f64) -> Self {
+        let entries = parts
+            .map(|(lsb, ops)| {
+                assert!(lsb <= Self::LSB_MASK, "magnitude overflows the packed LUT entry");
+                lsb | ((ops as u32) << Self::OPS_SHIFT)
+            })
+            .collect();
+        Lut { entries, delta }
+    }
+
+    /// The packed entries, indexed by BL count — the hot decode loop reads
+    /// these directly so ops and magnitude come from one load.
+    #[inline]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// Reconstructed magnitude (LSB units) for `count`.
+    #[inline]
+    pub fn lsb(&self, count: u32) -> u32 {
+        self.entries[count as usize] & Self::LSB_MASK
+    }
+
+    /// A/D operations for `count`.
+    #[inline]
+    pub fn ops(&self, count: u32) -> u32 {
+        self.entries[count as usize] >> Self::OPS_SHIFT
+    }
 }
 
 #[cfg(test)]
@@ -91,8 +125,8 @@ mod tests {
     fn ideal_lut_is_identity() {
         let lut = AdcScheme::Ideal.build_lut(128, 8);
         for c in 0..=128u32 {
-            assert_eq!(lut.lsb[c as usize], c);
-            assert_eq!(lut.ops[c as usize], 8);
+            assert_eq!(lut.lsb(c), c);
+            assert_eq!(lut.ops(c), 8);
         }
         assert_eq!(lut.delta, 1.0);
     }
@@ -104,9 +138,9 @@ mod tests {
         let adc = UniformSarAdc::new(5, 3.7).unwrap();
         for c in 0..=128u32 {
             let conv = adc.convert(c as f64);
-            assert_eq!(lut.lsb[c as usize], conv.code_bits);
-            assert_eq!(lut.ops[c as usize] as u32, conv.ops);
-            assert_eq!(lut.lsb[c as usize] as f64 * lut.delta, conv.value);
+            assert_eq!(lut.lsb(c), conv.code_bits);
+            assert_eq!(lut.ops(c), conv.ops);
+            assert_eq!(lut.lsb(c) as f64 * lut.delta, conv.value);
         }
     }
 
@@ -117,8 +151,8 @@ mod tests {
         let adc = TrqSarAdc::new(params);
         for c in 0..=128u32 {
             let conv = adc.convert(c as f64);
-            assert_eq!(lut.lsb[c as usize] as f64 * lut.delta, conv.value, "count {c}");
-            assert_eq!(lut.ops[c as usize] as u32, conv.ops, "count {c}");
+            assert_eq!(lut.lsb(c) as f64 * lut.delta, conv.value, "count {c}");
+            assert_eq!(lut.ops(c), conv.ops, "count {c}");
         }
     }
 

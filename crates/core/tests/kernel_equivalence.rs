@@ -1,0 +1,243 @@
+//! Kernel-path equivalence: the specialised execute stage — fused
+//! differential popcount kernels monomorphised per column word count
+//! (`words_per_col ∈ {1, 2, 4}` plus the Harley–Seal generic path),
+//! packed-LUT decode, and sparsity-aware plane/column skipping — must be
+//! **bit-identical** to the scalar reference datapath kept live on
+//! [`Dispatch::Scope`]: output values *and* the full `PimStats` event
+//! ledger (ops, conversions, max count, max accumulator), across thread
+//! counts.
+//!
+//! The thread count for the multi-threaded runs follows `TRQ_THREADS`
+//! (default 4), so CI can pin e.g. `TRQ_THREADS=2` to exercise skip-path
+//! + pool interactions under overflow checks.
+
+use proptest::prelude::*;
+use trq_core::arch::{ArchConfig, Dispatch, ExecConfig};
+use trq_core::pim::{AdcScheme, PimMvm};
+use trq_nn::{ExactMvm, MvmEngine, MvmLayerInfo};
+use trq_quant::TrqParams;
+use trq_xbar::CrossbarConfig;
+
+fn env_threads() -> usize {
+    std::env::var("TRQ_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4).max(2)
+}
+
+fn lcg(seed: u64) -> impl FnMut(i64) -> i32 {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    move |m: i64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as i64 % m) as i32
+    }
+}
+
+fn layer(depth: usize, outputs: usize) -> MvmLayerInfo {
+    MvmLayerInfo { node: 0, mvm_index: 0, label: "kernel-prop".into(), depth, outputs }
+}
+
+/// An architecture with `rows`-high crossbars and the given execution
+/// strategy; the ADC baseline tracks the geometry like the default does.
+fn arch_with_rows(rows: usize, exec: ExecConfig) -> ArchConfig {
+    let xbar = CrossbarConfig { rows, ..CrossbarConfig::default() };
+    ArchConfig { xbar, adc_bits: xbar.ideal_adc_bits(), exec, ..ArchConfig::default() }
+}
+
+/// Weight generators that force different static-sparsity shapes:
+/// 0 = dense full-range, 1 = non-negative only (negative subarray side
+/// fully dead), 2 = low-magnitude (`|w| < 8`, bit slices α ≥ 3 dead),
+/// 3 = mostly-zero (dead columns scattered on both sides).
+fn weights_for(mode: usize, depth: usize, outputs: usize, seed: u64) -> Vec<i32> {
+    let mut next = lcg(seed);
+    (0..depth * outputs)
+        .map(|_| match mode {
+            0 => next(255) - 127,
+            1 => next(128),
+            2 => next(15) - 7,
+            _ => {
+                if next(10) < 8 {
+                    0
+                } else {
+                    next(255) - 127
+                }
+            }
+        })
+        .collect()
+}
+
+/// Activation generators: 0 = dense full-range codes, 1 = ReLU-coded
+/// sparse (mostly zero, survivors < 16 so the four high-order bit-planes
+/// are dead), 2 = all-zero (every plane dead — the degenerate skip case).
+fn cols_for(mode: usize, len: usize, seed: u64) -> Vec<u8> {
+    let mut next = lcg(seed ^ 0xC01);
+    (0..len)
+        .map(|_| match mode {
+            0 => next(256) as u8,
+            1 => {
+                if next(10) < 7 {
+                    0
+                } else {
+                    next(16) as u8
+                }
+            }
+            _ => 0,
+        })
+        .collect()
+}
+
+proptest! {
+    /// For every column word count (wpc 1, 2, 4, generic) and every
+    /// weight/activation sparsity shape, the specialised path (Pool
+    /// dispatch) must match the scalar reference path (Scope dispatch)
+    /// exactly — outputs and ledgers — serially and multi-threaded, and
+    /// match [`ExactMvm`] under the ideal scheme.
+    #[test]
+    fn specialized_path_is_bit_identical_to_scalar_reference(
+        rows_sel in 0usize..4,
+        depth in 1usize..350,
+        outputs in 1usize..5,
+        n in 1usize..6,
+        tile_outputs in 1usize..4,
+        tile_windows in 1usize..4,
+        weight_mode in 0usize..4,
+        act_mode in 0usize..3,
+        ideal in proptest::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        // wpc 1 (ragged 40 rows), 2 (the paper's 128), 4 (256), 5 (generic)
+        let rows = [40, 128, 256, 300][rows_sel];
+        let weights = weights_for(weight_mode, depth, outputs, seed);
+        let cols = cols_for(act_mode, depth * n, seed);
+        let info = layer(depth, outputs);
+        let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+        let scheme = if ideal { AdcScheme::Ideal } else { AdcScheme::Trq(params) };
+
+        let exec = ExecConfig::serial()
+            .with_tile_outputs(tile_outputs)
+            .with_tile_windows(tile_windows);
+        // the pinned reference: scalar datapath, serial
+        let ref_arch = arch_with_rows(rows, exec.with_dispatch(Dispatch::Scope));
+        let mut reference = PimMvm::new(&ref_arch, vec![scheme]);
+        let want = reference.mvm(&info, &weights, &cols, n);
+
+        for threads in [1usize, env_threads()] {
+            let arch = arch_with_rows(
+                rows,
+                exec.with_threads(threads).with_dispatch(Dispatch::Pool),
+            );
+            let mut pim = PimMvm::new(&arch, vec![scheme]);
+            let got = pim.mvm(&info, &weights, &cols, n);
+            prop_assert_eq!(
+                &got, &want,
+                "kernel path diverged: rows {} threads {} wmode {} amode {} shape ({}, {}, {})",
+                rows, threads, weight_mode, act_mode, depth, outputs, n
+            );
+            prop_assert_eq!(
+                pim.stats(), reference.stats(),
+                "event ledgers diverged: rows {} threads {} wmode {} amode {}",
+                rows, threads, weight_mode, act_mode
+            );
+        }
+        if ideal {
+            let exact = ExactMvm.mvm(&info, &weights, &cols, n);
+            prop_assert_eq!(&want, &exact, "scalar reference drifted from ExactMvm");
+        }
+    }
+}
+
+/// Deterministic corner sweep of the skip machinery: all-zero inputs
+/// (every plane dead), single-sided weights (one differential side fully
+/// dead), zero weight columns, and a ragged two-subarray split — each
+/// compared against the scalar reference, values and ledgers, at 1 and
+/// `TRQ_THREADS` workers.
+#[test]
+fn skip_corners_match_scalar_reference() {
+    /// `(name, depth, outputs, windows, weights, activation codes)`.
+    type Case = (&'static str, usize, usize, usize, Vec<i32>, Vec<u8>);
+    let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let cases: &[Case] = &[
+        {
+            // every activation zero → every plane skipped, results all zero
+            let (depth, outputs, n) = (130, 3, 5);
+            (
+                "all-zero input",
+                depth,
+                outputs,
+                n,
+                weights_for(0, depth, outputs, 11),
+                vec![0u8; depth * n],
+            )
+        },
+        {
+            // all-positive weights → the negative side never popcounts
+            let (depth, outputs, n) = (128, 4, 6);
+            (
+                "one-sided weights",
+                depth,
+                outputs,
+                n,
+                weights_for(1, depth, outputs, 23),
+                cols_for(1, depth * n, 23),
+            )
+        },
+        {
+            // zero weights → both sides dead on every column
+            let (depth, outputs, n) = (150, 2, 4);
+            (
+                "all-zero weights",
+                depth,
+                outputs,
+                n,
+                vec![0i32; depth * outputs],
+                cols_for(0, depth * n, 37),
+            )
+        },
+        {
+            // ReLU-coded sparse batch over a ragged subarray split
+            let (depth, outputs, n) = (200, 5, 7);
+            (
+                "relu sparse ragged",
+                depth,
+                outputs,
+                n,
+                weights_for(3, depth, outputs, 41),
+                cols_for(1, depth * n, 41),
+            )
+        },
+    ];
+    for (name, depth, outputs, n, weights, cols) in cases {
+        let info = layer(*depth, *outputs);
+        let exec = ExecConfig::serial().with_tile_outputs(2).with_tile_windows(3);
+        let ref_arch = arch_with_rows(128, exec.with_dispatch(Dispatch::Scope));
+        let mut reference = PimMvm::new(&ref_arch, vec![AdcScheme::Trq(params)]);
+        let want = reference.mvm(&info, weights, cols, *n);
+        for threads in [1usize, env_threads()] {
+            let arch = arch_with_rows(128, exec.with_threads(threads));
+            let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+            let got = pim.mvm(&info, weights, cols, *n);
+            assert_eq!(got, want, "{name}: values diverged at {threads} threads");
+            assert_eq!(
+                pim.stats(),
+                reference.stats(),
+                "{name}: ledgers diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The ops ledger must still see baseline-cost conversions for skipped
+/// work: an all-zero input is `conversions × ops(0)`, never 0 ops.
+#[test]
+fn skipped_conversions_still_cost_ops() {
+    let (depth, outputs, n) = (128, 2, 3);
+    let info = layer(depth, outputs);
+    let weights = weights_for(0, depth, outputs, 7);
+    let cols = vec![0u8; depth * n];
+    let arch = arch_with_rows(128, ExecConfig::serial());
+    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+    let out = pim.mvm(&info, &weights, &cols, n);
+    assert!(out.iter().all(|&v| v == 0.0), "zero input must produce zero output");
+    let conversions = pim.stats().conversions();
+    assert_eq!(conversions, arch.conversions_per_window(depth, outputs) * n as u64);
+    // ideal scheme: every conversion costs the full baseline resolution,
+    // skipped or not — the closed-form fold must keep the ledger honest
+    assert_eq!(pim.stats().ops(), conversions * arch.adc_bits as u64);
+}

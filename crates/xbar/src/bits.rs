@@ -3,8 +3,14 @@
 //! With 1-bit cells and 1-bit DACs (the paper's architecture-level choice,
 //! Section II-C), an MVM cycle per bit line is `popcount(cells & inputs)`.
 //! Packing both sides into `u64` words makes a 128-row column two AND+
-//! POPCNT instructions — this is the kernel everything else sits on.
+//! POPCNT instructions — this is the kernel everything else sits on. The
+//! popcount arithmetic itself lives in [`crate::kernel`]; the structural
+//! accessors here delegate to those shared primitives so there is exactly
+//! one popcount implementation to audit. The lone exception is
+//! [`BitMatrix::mvm_planes_tile_into`], kept as an independent scalar
+//! reference the specialised kernels are pinned against.
 
+use crate::kernel::{and_popcount_words, popcount_words};
 use serde::{Deserialize, Serialize};
 
 /// A packed bit vector, LSB of word 0 is element 0.
@@ -75,14 +81,15 @@ impl BitVec {
         &self.words
     }
 
-    /// `popcount(self & other)` — the binary dot product.
+    /// `popcount(self & other)` — the binary dot product, via the shared
+    /// specialised kernel primitive.
     ///
     /// # Panics
     ///
     /// Panics when lengths differ.
     pub fn and_popcount(&self, other: &BitVec) -> u32 {
         assert_eq!(self.len, other.len, "bitvec length mismatch");
-        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones()).sum()
+        and_popcount_words(&self.words, &other.words)
     }
 }
 
@@ -92,8 +99,8 @@ impl BitVec {
 pub struct BitMatrix {
     rows: usize,
     cols: usize,
-    words_per_col: usize,
-    words: Vec<u64>,
+    pub(crate) words_per_col: usize,
+    pub(crate) words: Vec<u64>,
 }
 
 impl BitMatrix {
@@ -139,7 +146,8 @@ impl BitMatrix {
         }
     }
 
-    /// Binary MVM: for every column, `popcount(column & input)`.
+    /// Binary MVM: for every column, `popcount(column & input)`, via the
+    /// shared specialised kernel primitive.
     ///
     /// # Panics
     ///
@@ -150,19 +158,15 @@ impl BitMatrix {
         let mut out = Vec::with_capacity(self.cols);
         for col in 0..self.cols {
             let base = col * self.words_per_col;
-            let mut acc = 0u32;
-            for (k, &w) in iw.iter().enumerate() {
-                acc += (self.words[base + k] & w).count_ones();
-            }
-            out.push(acc);
+            out.push(and_popcount_words(&self.words[base..base + iw.len()], iw));
         }
         out
     }
 
-    /// Set bits in one column.
+    /// Set bits in one column, via the shared kernel primitive.
     pub fn column_count_ones(&self, col: usize) -> u32 {
         let base = col * self.words_per_col;
-        self.words[base..base + self.words_per_col].iter().map(|w| w.count_ones()).sum()
+        popcount_words(&self.words[base..base + self.words_per_col])
     }
 
     /// Resets to an all-zero `rows × cols` shape, reusing the existing
@@ -217,8 +221,11 @@ impl BitMatrix {
     /// windows fastest). Allocation-free: `out` is caller-provided scratch.
     ///
     /// One call covers all `input_bits` cycles of one (subarray ×
-    /// output-block × window-block) tile — this is the innermost kernel of
-    /// the tiled MVM pipeline.
+    /// output-block × window-block) tile. Since the specialised kernel
+    /// layer landed this is the **scalar reference path** (kept live on
+    /// `Dispatch::Scope`): its plain zip loop is deliberately independent
+    /// of the [`crate::kernel`] primitives so property tests can pin the
+    /// fused/skip-enabled kernels against it.
     ///
     /// # Panics
     ///
@@ -264,6 +271,12 @@ impl BitMatrix {
 /// already in `planes` are reused (reset in place), so steady-state packing
 /// performs no allocation.
 ///
+/// Returns the **live-plane mask**: bit `b` is set iff plane `b` holds at
+/// least one set bit. This is the dynamic side of sparsity-aware skipping
+/// — after ReLU the high-order bit-planes of a window batch are
+/// ubiquitously all-zero, and the fused kernel
+/// ([`crate::kernel::mvm_diff_tile_into`]) skips dead planes outright.
+///
 /// # Panics
 ///
 /// Panics when the row window exceeds `rows`, `cols` is too short, or
@@ -276,7 +289,7 @@ pub fn pack_window_planes(
     rows: usize,
     bits: u32,
     planes: &mut Vec<BitMatrix>,
-) {
+) -> u32 {
     assert!(d0 <= d1 && d1 - d0 <= rows, "subarray row window exceeds array rows");
     assert!(cols.len() >= d1 * n, "activation matrix too short for row window");
     assert!(bits <= 8, "activation codes are at most 8 bits");
@@ -288,12 +301,14 @@ pub fn pack_window_planes(
         planes.push(BitMatrix::zeros(rows, n));
     }
     let wpc = rows.div_ceil(64).max(1);
+    let mut live = 0u32;
     for d in d0..d1 {
         let r = d - d0;
         let word_in_col = r / 64;
         let mask = 1u64 << (r % 64);
         let crow = &cols[d * n..(d + 1) * n];
         for (w, &code) in crow.iter().enumerate() {
+            live |= code as u32;
             let mut remaining = code;
             while remaining != 0 {
                 let b = remaining.trailing_zeros() as usize;
@@ -302,6 +317,7 @@ pub fn pack_window_planes(
             }
         }
     }
+    live
 }
 
 #[cfg(test)]
@@ -426,8 +442,11 @@ mod tests {
             let rows = 128usize;
             let mut planes = Vec::new();
             let d1 = depth.min(rows);
-            pack_window_planes(&cols, n, 0, d1, rows, 8, &mut planes);
+            let live = pack_window_planes(&cols, n, 0, d1, rows, 8, &mut planes);
             prop_assert_eq!(planes.len(), 8);
+            let want_live: u32 =
+                cols[..d1 * n].iter().fold(0u32, |acc, &code| acc | code as u32);
+            prop_assert_eq!(live, want_live, "live-plane mask must OR the packed codes");
             for (b, plane) in planes.iter().enumerate() {
                 prop_assert_eq!((plane.rows(), plane.cols()), (rows, n));
                 for d in 0..d1 {

@@ -1,0 +1,591 @@
+//! The vectorised popcount kernel layer — every `AND`+`POPCNT` in the
+//! workspace funnels through the primitives in this module.
+//!
+//! With 1-bit cells and 1-bit DACs an MVM cycle per bit line is
+//! `popcount(cells & inputs)` (paper Section II-C), so this *is* the
+//! accelerator model's inner loop and dominates simulation cost. Three
+//! layers of specialisation live here:
+//!
+//! 1. **Shape-specialised word kernels** — [`and_popcount_words`] /
+//!    [`popcount_words`] dispatch on the word count so the common column
+//!    heights monomorphise to straight-line code: `words_per_col ∈ {1, 2,
+//!    4}` covers rows ≤ 64 / 128 / 256 (128 rows — the paper's default
+//!    array — is exactly 2 words). Longer columns take a
+//!    Harley–Seal/carry-save path that runs one hardware popcount per
+//!    four words.
+//! 2. **The fused differential tile kernel** — [`mvm_diff_tile_into`]
+//!    computes the positive and negative subarray counts of a (plane ×
+//!    window) pair in one pass, loading each input plane word once for
+//!    both sides (half the plane-word traffic of two back-to-back
+//!    [`BitMatrix::mvm_planes_tile_into`] calls) with 4-wide window
+//!    unrolling so count accumulators stay in registers.
+//! 3. **Sparsity-aware skipping** — a live-plane bitmask (all-zero input
+//!    bit-planes are ubiquitous high-order planes after ReLU) and per-side
+//!    [`ColMask`] column occupancy (all-zero weight slice columns) let the
+//!    kernel skip work whose count is 0 by construction. Skipped output
+//!    slots are **left unwritten**; callers consult the same masks and
+//!    fold the count-0 conversions into their ledgers in closed form.
+//!
+//! The scalar kernel [`BitMatrix::mvm_planes_tile_into`] is deliberately
+//! *not* routed through these primitives: it stays an independent
+//! reference implementation the specialised paths are pinned against by
+//! property tests.
+
+use crate::bits::BitMatrix;
+use std::ops::Range;
+
+/// Carry-save adder: compresses three one-bit-per-lane addends into a
+/// (weight-1, weight-2) pair, the building block of Harley–Seal popcount
+/// accumulation.
+#[inline]
+const fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let u = a ^ b;
+    (u ^ c, (a & b) | (u & c))
+}
+
+/// `popcount(a & b)` over equal-length word slices — the binary
+/// dot-product primitive. Lengths 1, 2, and 4 (rows ≤ 64 / 128 / 256)
+/// monomorphise to straight-line code; anything longer takes the
+/// Harley–Seal carry-save path.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn and_popcount_words(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "word slice length mismatch");
+    match a.len() {
+        1 => (a[0] & b[0]).count_ones(),
+        2 => (a[0] & b[0]).count_ones() + (a[1] & b[1]).count_ones(),
+        4 => {
+            (a[0] & b[0]).count_ones()
+                + (a[1] & b[1]).count_ones()
+                + (a[2] & b[2]).count_ones()
+                + (a[3] & b[3]).count_ones()
+        }
+        _ => and_popcount_generic(a, b),
+    }
+}
+
+/// Harley–Seal tail for the generic word count: carry-save-adds four
+/// AND-words at a time so only one hardware popcount runs per four words,
+/// with a scalar epilogue for the remainder.
+fn and_popcount_generic(a: &[u64], b: &[u64]) -> u32 {
+    let n = a.len().min(b.len());
+    let (mut ones, mut twos) = (0u64, 0u64);
+    let mut fours = 0u32;
+    let mut i = 0;
+    while i + 4 <= n {
+        let (s1, c1) = csa(ones, a[i] & b[i], a[i + 1] & b[i + 1]);
+        let (s2, c2) = csa(s1, a[i + 2] & b[i + 2], a[i + 3] & b[i + 3]);
+        let (t, f) = csa(twos, c1, c2);
+        ones = s2;
+        twos = t;
+        fours += f.count_ones();
+        i += 4;
+    }
+    let mut total = 4 * fours + 2 * twos.count_ones() + ones.count_ones();
+    while i < n {
+        total += (a[i] & b[i]).count_ones();
+        i += 1;
+    }
+    total
+}
+
+/// `popcount` over a word slice, with the same length specialisation as
+/// [`and_popcount_words`].
+#[inline]
+pub fn popcount_words(a: &[u64]) -> u32 {
+    match a.len() {
+        1 => a[0].count_ones(),
+        2 => a[0].count_ones() + a[1].count_ones(),
+        4 => a[0].count_ones() + a[1].count_ones() + a[2].count_ones() + a[3].count_ones(),
+        _ => {
+            let (mut ones, mut twos) = (0u64, 0u64);
+            let mut fours = 0u32;
+            let mut chunks = a.chunks_exact(4);
+            for c in &mut chunks {
+                let (s1, c1) = csa(ones, c[0], c[1]);
+                let (s2, c2) = csa(s1, c[2], c[3]);
+                let (t, f) = csa(twos, c1, c2);
+                ones = s2;
+                twos = t;
+                fours += f.count_ones();
+            }
+            4 * fours
+                + 2 * twos.count_ones()
+                + ones.count_ones()
+                + chunks.remainder().iter().map(|w| w.count_ones()).sum::<u32>()
+        }
+    }
+}
+
+/// A bitset over matrix columns marking which ones hold at least one set
+/// cell — the *static* side of sparsity-aware skipping. Weight slice
+/// columns that programmed no cell (e.g. the negative side of an
+/// all-positive output channel, or high-magnitude bit slices of small
+/// weights) popcount to 0 against every input, so the kernel never visits
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColMask {
+    words: Vec<u64>,
+}
+
+impl ColMask {
+    /// Scans `m` once and records which columns are non-empty.
+    pub fn of(m: &BitMatrix) -> Self {
+        let mut words = vec![0u64; m.cols().div_ceil(64).max(1)];
+        for c in 0..m.cols() {
+            if m.column_count_ones(c) != 0 {
+                words[c / 64] |= 1u64 << (c % 64);
+            }
+        }
+        ColMask { words }
+    }
+
+    /// A mask with every one of `cols` columns marked live (disables
+    /// column skipping — useful as a dense baseline). Padding bits beyond
+    /// `cols` stay clear, so [`ColMask::live_count`] reports exactly
+    /// `cols`.
+    pub fn all_live(cols: usize) -> Self {
+        let mut words = vec![u64::MAX; cols.div_ceil(64).max(1)];
+        let tail = cols % 64;
+        if tail != 0 {
+            *words.last_mut().expect("at least one word") = (1u64 << tail) - 1;
+        } else if cols == 0 {
+            words[0] = 0;
+        }
+        ColMask { words }
+    }
+
+    /// True when column `col` holds at least one set cell. Queries in
+    /// the padding range of the last word read clear bits (false).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` is beyond the mask's backing words.
+    #[inline]
+    pub fn is_live(&self, col: usize) -> bool {
+        (self.words[col / 64] >> (col % 64)) & 1 == 1
+    }
+
+    /// Number of live columns recorded in the mask.
+    pub fn live_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Fused differential tile kernel with sparsity-aware skipping — the
+/// specialised replacement for two back-to-back
+/// [`BitMatrix::mvm_planes_tile_into`] calls on a differential subarray
+/// pair.
+///
+/// For every **live** input bit-plane `p` and window `w` of the tile, the
+/// plane's packed words are loaded once and popcounted against both the
+/// positive and the negative weight matrix, writing
+/// `popcount(pos.col(c) & plane.col(w))` into `out_pos` and the matching
+/// negative count into `out_neg` with the scalar kernel's
+/// `[plane][c - cols.start][w - windows.start]` layout (windows fastest).
+///
+/// **Skipping contract:** planes whose bit is clear in `live_planes` and
+/// columns marked dead in `pos_live`/`neg_live` are skipped outright —
+/// their count is 0 by construction and their output slots are **left
+/// unwritten**. Callers must consult the same masks when reading the
+/// buffers, folding the skipped count-0 conversions into any ledger in
+/// closed form. Passing `u32::MAX` and [`ColMask::all_live`] disables
+/// skipping entirely, making every slot written.
+///
+/// The inner loops are monomorphised per `words_per_col ∈ {1, 2, 4}`
+/// (rows ≤ 64 / 128 / 256; the paper's 128-row arrays take the 2-word
+/// path) with 4-wide window unrolling; other word counts take the
+/// Harley–Seal carry-save path.
+///
+/// # Panics
+///
+/// Panics when the pair's shapes disagree, a plane's row count differs, a
+/// range is out of bounds, an output buffer is shorter than the tile's
+/// count volume, or more than 32 planes are passed (the live mask is a
+/// `u32`).
+#[allow(clippy::too_many_arguments)]
+pub fn mvm_diff_tile_into(
+    pos: &BitMatrix,
+    neg: &BitMatrix,
+    planes: &[BitMatrix],
+    live_planes: u32,
+    pos_live: &ColMask,
+    neg_live: &ColMask,
+    cols: Range<usize>,
+    windows: Range<usize>,
+    out_pos: &mut [u32],
+    out_neg: &mut [u32],
+) {
+    assert_eq!(pos.rows(), neg.rows(), "differential pair row mismatch");
+    assert_eq!(pos.cols(), neg.cols(), "differential pair column mismatch");
+    assert!(cols.start <= cols.end && cols.end <= pos.cols(), "column tile out of range");
+    assert!(windows.start <= windows.end, "window tile range reversed");
+    assert!(planes.len() <= 32, "live-plane mask covers at most 32 planes");
+    let (nc, nw) = (cols.end - cols.start, windows.end - windows.start);
+    assert!(out_pos.len() >= planes.len() * nc * nw, "positive tile buffer too short");
+    assert!(out_neg.len() >= planes.len() * nc * nw, "negative tile buffer too short");
+    match pos.words_per_col {
+        1 => tile_loop::<1>(
+            pos,
+            neg,
+            planes,
+            live_planes,
+            pos_live,
+            neg_live,
+            cols,
+            windows,
+            out_pos,
+            out_neg,
+        ),
+        2 => tile_loop::<2>(
+            pos,
+            neg,
+            planes,
+            live_planes,
+            pos_live,
+            neg_live,
+            cols,
+            windows,
+            out_pos,
+            out_neg,
+        ),
+        4 => tile_loop::<4>(
+            pos,
+            neg,
+            planes,
+            live_planes,
+            pos_live,
+            neg_live,
+            cols,
+            windows,
+            out_pos,
+            out_neg,
+        ),
+        _ => tile_loop::<0>(
+            pos,
+            neg,
+            planes,
+            live_planes,
+            pos_live,
+            neg_live,
+            cols,
+            windows,
+            out_pos,
+            out_neg,
+        ),
+    }
+}
+
+/// The tile loop nest, monomorphised per word count. `WPC == 0` is the
+/// dynamic-length escape hatch (Harley–Seal row kernels); otherwise the
+/// const parameter equals `pos.words_per_col` and every row kernel sees
+/// fixed trip counts.
+#[allow(clippy::too_many_arguments)]
+fn tile_loop<const WPC: usize>(
+    pos: &BitMatrix,
+    neg: &BitMatrix,
+    planes: &[BitMatrix],
+    live_planes: u32,
+    pos_live: &ColMask,
+    neg_live: &ColMask,
+    cols: Range<usize>,
+    windows: Range<usize>,
+    out_pos: &mut [u32],
+    out_neg: &mut [u32],
+) {
+    let wpc = pos.words_per_col;
+    debug_assert!(WPC == 0 || WPC == wpc, "const word count must match the matrix");
+    let (nc, nw) = (cols.end - cols.start, windows.end - windows.start);
+    for (p, plane) in planes.iter().enumerate() {
+        if live_planes & (1 << p) == 0 {
+            continue;
+        }
+        assert_eq!(pos.rows(), plane.rows(), "plane row count mismatch");
+        assert!(windows.end <= plane.cols(), "window tile out of range");
+        let pw = &plane.words[windows.start * wpc..windows.end * wpc];
+        for (ci, c) in cols.clone().enumerate() {
+            let (pl, nl) = (pos_live.is_live(c), neg_live.is_live(c));
+            if !pl && !nl {
+                continue;
+            }
+            let base = (p * nc + ci) * nw;
+            let ap = &pos.words[c * wpc..(c + 1) * wpc];
+            let an = &neg.words[c * wpc..(c + 1) * wpc];
+            match (pl, nl) {
+                (true, true) => diff_row::<WPC>(
+                    ap,
+                    an,
+                    pw,
+                    wpc,
+                    &mut out_pos[base..base + nw],
+                    &mut out_neg[base..base + nw],
+                ),
+                (true, false) => single_row::<WPC>(ap, pw, wpc, &mut out_pos[base..base + nw]),
+                (false, true) => single_row::<WPC>(an, pw, wpc, &mut out_neg[base..base + nw]),
+                (false, false) => unreachable!(),
+            }
+        }
+    }
+}
+
+/// One (plane, column-pair) row: differential counts for every window,
+/// loading each window's plane words once for both subarray sides. The
+/// 4-wide unroll keeps eight count accumulators in registers for the
+/// fixed-`WPC` instantiations.
+#[inline]
+fn diff_row<const WPC: usize>(
+    ap: &[u64],
+    an: &[u64],
+    pw: &[u64],
+    wpc: usize,
+    out_p: &mut [u32],
+    out_n: &mut [u32],
+) {
+    let nw = out_p.len();
+    if WPC == 0 {
+        for w in 0..nw {
+            let b = &pw[w * wpc..(w + 1) * wpc];
+            out_p[w] = and_popcount_generic(ap, b);
+            out_n[w] = and_popcount_generic(an, b);
+        }
+        return;
+    }
+    let mut a_pos = [0u64; WPC];
+    a_pos.copy_from_slice(&ap[..WPC]);
+    let mut a_neg = [0u64; WPC];
+    a_neg.copy_from_slice(&an[..WPC]);
+    let mut w = 0;
+    while w + 4 <= nw {
+        let mut cp = [0u32; 4];
+        let mut cn = [0u32; 4];
+        for j in 0..4 {
+            let b = &pw[(w + j) * WPC..(w + j + 1) * WPC];
+            for k in 0..WPC {
+                cp[j] += (a_pos[k] & b[k]).count_ones();
+                cn[j] += (a_neg[k] & b[k]).count_ones();
+            }
+        }
+        out_p[w..w + 4].copy_from_slice(&cp);
+        out_n[w..w + 4].copy_from_slice(&cn);
+        w += 4;
+    }
+    while w < nw {
+        let b = &pw[w * WPC..(w + 1) * WPC];
+        let (mut cp, mut cn) = (0u32, 0u32);
+        for k in 0..WPC {
+            cp += (a_pos[k] & b[k]).count_ones();
+            cn += (a_neg[k] & b[k]).count_ones();
+        }
+        out_p[w] = cp;
+        out_n[w] = cn;
+        w += 1;
+    }
+}
+
+/// One (plane, column) row against a single subarray side — the path for
+/// columns whose differential partner is empty.
+#[inline]
+fn single_row<const WPC: usize>(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
+    let nw = out.len();
+    if WPC == 0 {
+        for w in 0..nw {
+            out[w] = and_popcount_generic(a, &pw[w * wpc..(w + 1) * wpc]);
+        }
+        return;
+    }
+    let mut aw = [0u64; WPC];
+    aw.copy_from_slice(&a[..WPC]);
+    let mut w = 0;
+    while w + 4 <= nw {
+        let mut c = [0u32; 4];
+        for j in 0..4 {
+            let b = &pw[(w + j) * WPC..(w + j + 1) * WPC];
+            for k in 0..WPC {
+                c[j] += (aw[k] & b[k]).count_ones();
+            }
+        }
+        out[w..w + 4].copy_from_slice(&c);
+        w += 4;
+    }
+    while w < nw {
+        let b = &pw[w * WPC..(w + 1) * WPC];
+        let mut acc = 0u32;
+        for k in 0..WPC {
+            acc += (aw[k] & b[k]).count_ones();
+        }
+        out[w] = acc;
+        w += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lcg_bits(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xA5);
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        }
+    }
+
+    /// Dense matrix with deliberately empty columns per `dead` predicate.
+    fn matrix(rows: usize, cols: usize, seed: u64, dead: impl Fn(usize) -> bool) -> BitMatrix {
+        let mut next = lcg_bits(seed);
+        let mut m = BitMatrix::zeros(rows, cols);
+        for c in 0..cols {
+            if dead(c) {
+                continue;
+            }
+            for r in 0..rows {
+                if next() >> 62 == 3 || r == c % rows.max(1) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn harley_seal_matches_naive(len in 0usize..40, seed in 0u64..200) {
+            let mut next = lcg_bits(seed);
+            let a: Vec<u64> = (0..len).map(|_| next()).collect();
+            let b: Vec<u64> = (0..len).map(|_| next()).collect();
+            let naive: u32 = a.iter().zip(&b).map(|(x, y)| (x & y).count_ones()).sum();
+            prop_assert_eq!(and_popcount_generic(&a, &b), naive);
+            prop_assert_eq!(and_popcount_words(&a, &b), naive);
+            let pop_naive: u32 = a.iter().map(|w| w.count_ones()).sum();
+            prop_assert_eq!(popcount_words(&a), pop_naive);
+        }
+
+        /// Every wpc path of the fused kernel (1, 2, 4, generic) must
+        /// match two scalar `mvm_planes_tile_into` passes exactly on the
+        /// slots it writes, and skip exactly the dead-plane/dead-column
+        /// slots — including ragged row counts (`rows % 64 != 0`).
+        #[test]
+        fn fused_kernel_matches_scalar_reference(
+            rows_sel in 0usize..5,
+            cols in 2usize..7,
+            n in 1usize..11,
+            n_planes in 1usize..5,
+            seed in 0u64..200,
+        ) {
+            // wpc 1, 1 (ragged), 2 (paper default), 4, and 5 (generic)
+            let rows = [40, 64, 128, 250, 300][rows_sel];
+            // column 1 is dead on the positive side, column 2 on the
+            // negative side, column 3 on both
+            let pos = matrix(rows, cols, seed, |c| c == 1 || c == 3);
+            let neg = matrix(rows, cols, seed ^ 0xFF, |c| c == 2 || c == 3);
+            // plane 0 is forced all-zero; the rest are dense
+            let planes: Vec<BitMatrix> = (0..n_planes)
+                .map(|p| {
+                    if p == 0 {
+                        BitMatrix::zeros(rows, n)
+                    } else {
+                        matrix(rows, n, seed ^ (p as u64) << 8, |_| false)
+                    }
+                })
+                .collect();
+            let live_planes: u32 = planes
+                .iter()
+                .enumerate()
+                .filter(|(_, pl)| (0..n).any(|c| pl.column_count_ones(c) != 0))
+                .map(|(p, _)| 1u32 << p)
+                .sum();
+            let pos_live = ColMask::of(&pos);
+            let neg_live = ColMask::of(&neg);
+            prop_assert!(!pos_live.is_live(1) && !pos_live.is_live(3));
+            prop_assert!(!neg_live.is_live(2) && !neg_live.is_live(3));
+
+            // an interior tile, ragged against the 4-wide window unroll
+            let (c0, c1) = (1, cols);
+            let (w0, w1) = (0, n);
+            let (nc, nw) = (c1 - c0, w1 - w0);
+            let volume = n_planes * nc * nw;
+            let mut want_pos = vec![0u32; volume];
+            let mut want_neg = vec![0u32; volume];
+            pos.mvm_planes_tile_into(&planes, c0..c1, w0..w1, &mut want_pos);
+            neg.mvm_planes_tile_into(&planes, c0..c1, w0..w1, &mut want_neg);
+
+            const POISON: u32 = u32::MAX;
+            let mut got_pos = vec![POISON; volume];
+            let mut got_neg = vec![POISON; volume];
+            mvm_diff_tile_into(
+                &pos, &neg, &planes, live_planes, &pos_live, &neg_live,
+                c0..c1, w0..w1, &mut got_pos, &mut got_neg,
+            );
+            for p in 0..n_planes {
+                let plane_live = live_planes & (1 << p) != 0;
+                for ci in 0..nc {
+                    let col = c0 + ci;
+                    for wi in 0..nw {
+                        let i = (p * nc + ci) * nw + wi;
+                        if plane_live && pos_live.is_live(col) {
+                            prop_assert_eq!(got_pos[i], want_pos[i], "pos slot {}", i);
+                        } else {
+                            prop_assert_eq!(got_pos[i], POISON, "pos slot {} must skip", i);
+                            prop_assert_eq!(want_pos[i], 0, "skipped pos slot must be 0");
+                        }
+                        if plane_live && neg_live.is_live(col) {
+                            prop_assert_eq!(got_neg[i], want_neg[i], "neg slot {}", i);
+                        } else {
+                            prop_assert_eq!(got_neg[i], POISON, "neg slot {} must skip", i);
+                            prop_assert_eq!(want_neg[i], 0, "skipped neg slot must be 0");
+                        }
+                    }
+                }
+            }
+        }
+
+        /// With skipping disabled the fused kernel writes every slot and
+        /// equals the scalar kernel verbatim.
+        #[test]
+        fn fused_kernel_dense_masks_write_every_slot(
+            rows in 1usize..300,
+            cols in 1usize..6,
+            n in 1usize..9,
+            seed in 0u64..100,
+        ) {
+            let pos = matrix(rows, cols, seed, |_| false);
+            let neg = matrix(rows, cols, seed ^ 0x5A5A, |_| false);
+            let planes = vec![matrix(rows, n, seed ^ 0x77, |_| false)];
+            let volume = cols * n;
+            let mut want_pos = vec![0u32; volume];
+            let mut want_neg = vec![0u32; volume];
+            pos.mvm_planes_tile_into(&planes, 0..cols, 0..n, &mut want_pos);
+            neg.mvm_planes_tile_into(&planes, 0..cols, 0..n, &mut want_neg);
+            let mut got_pos = vec![u32::MAX; volume];
+            let mut got_neg = vec![u32::MAX; volume];
+            mvm_diff_tile_into(
+                &pos, &neg, &planes, u32::MAX,
+                &ColMask::all_live(cols), &ColMask::all_live(cols),
+                0..cols, 0..n, &mut got_pos, &mut got_neg,
+            );
+            prop_assert_eq!(got_pos, want_pos);
+            prop_assert_eq!(got_neg, want_neg);
+        }
+    }
+
+    #[test]
+    fn colmask_records_occupancy() {
+        let mut m = BitMatrix::zeros(130, 70);
+        m.set(129, 0, true);
+        m.set(0, 65, true);
+        let mask = ColMask::of(&m);
+        assert!(mask.is_live(0) && mask.is_live(65));
+        assert!(!mask.is_live(1) && !mask.is_live(64) && !mask.is_live(69));
+        assert_eq!(mask.live_count(), 2);
+        let all = ColMask::all_live(70);
+        assert!(all.is_live(69));
+        assert!(!all.is_live(70), "padding bits stay clear");
+        assert_eq!(all.live_count(), 70);
+        assert_eq!(ColMask::all_live(64).live_count(), 64);
+        assert_eq!(ColMask::all_live(0).live_count(), 0);
+    }
+}

@@ -14,10 +14,15 @@
 //!
 //! Modules:
 //! - [`BitMatrix`] / [`BitVec`] — packed binary cell arrays with
-//!   popcount-based MVM (the performance-critical kernel), the fused
-//!   per-tile kernel [`BitMatrix::mvm_planes_tile_into`], and the batched
-//!   bit-plane packer [`pack_window_planes`] behind the tiled execution
-//!   pipeline in `trq-core`;
+//!   popcount-based MVM, the scalar per-tile reference kernel
+//!   [`BitMatrix::mvm_planes_tile_into`], and the batched bit-plane packer
+//!   [`pack_window_planes`] behind the tiled execution pipeline in
+//!   `trq-core`;
+//! - the `kernel` layer — shape-specialised popcount primitives
+//!   ([`and_popcount_words`]), the fused differential tile kernel
+//!   [`mvm_diff_tile_into`] (one plane-word load serves both subarray
+//!   sides), and sparsity-aware skipping via [`ColMask`] column occupancy
+//!   plus the live-plane mask `pack_window_planes` returns;
 //! - [`WeightSlicer`] / input bit-plane helpers — the spatial (weight) and
 //!   temporal (input) bit slicing of Fig. 1;
 //! - [`Crossbar`] and [`DiffPair`] — programmed arrays with optional device
@@ -48,6 +53,7 @@ mod config;
 mod crossbar;
 mod error;
 mod frontend;
+mod kernel;
 mod noise;
 mod pair;
 mod slicing;
@@ -57,6 +63,7 @@ pub use config::CrossbarConfig;
 pub use crossbar::Crossbar;
 pub use error::XbarError;
 pub use frontend::{SampleHold, Tia};
+pub use kernel::{and_popcount_words, mvm_diff_tile_into, popcount_words, ColMask};
 pub use noise::NoiseModel;
 pub use pair::DiffPair;
 pub use slicing::{bit_plane, unsigned_bit_planes, WeightSlicer};
