@@ -46,13 +46,14 @@ fn main() {
         &arch,
         &workload.cal_images[..cfg.collect_images.min(workload.cal_images.len())],
         CollectorConfig::default(),
-    );
+    )
+    .expect("calibration collection");
 
     // baseline TRQ plan
     let settings = CalibSettings::default();
     let plans = plan_network(&samples, &arch, nmax, &settings);
     let schemes: Vec<AdcScheme> = plans.iter().map(|p| p.scheme).collect();
-    let eval = evaluate_plan(&workload.qnet, &arch, &schemes, &metric);
+    let eval = evaluate_plan(&workload.qnet, &arch, &schemes, &metric).expect("plan evaluation");
 
     // 1. pre-detection overhead: recompute the op bill charging 2ν, on
     //    the same calibration-sample basis as the baseline so the two
@@ -79,7 +80,7 @@ fn main() {
         let s = CalibSettings { mse_guard: guard, ..settings };
         let p: Vec<AdcScheme> =
             plan_network(&samples, &arch, nmax, &s).iter().map(|x| x.scheme).collect();
-        let e = evaluate_plan(&workload.qnet, &arch, &p, &metric);
+        let e = evaluate_plan(&workload.qnet, &arch, &p, &metric).expect("plan evaluation");
         guard_sweep.push((guard, e.score, e.stats.remaining_ops_ratio()));
     }
 

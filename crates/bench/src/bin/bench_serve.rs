@@ -1,0 +1,138 @@
+//! Measures the `trq-serve` micro-batching frontend: a burst of
+//! single-image requests is pushed through [`trq_serve::Server`] at
+//! several `max_batch` policies, recording requests/sec and p50/p99
+//! submit-to-completion latency per policy — the throughput-vs-latency
+//! trade the batcher exists to expose. The timed region covers submit
+//! through ticket resolution only; after each burst completes, every
+//! served output is verified **bit-identical** to per-image `forward`
+//! calls on a serial engine before the record is written (batching must
+//! never change results).
+//!
+//! Results land in `results/BENCH_serve.json` with host metadata, so a
+//! record from the single-core CI container (where batching amortises
+//! dispatch but cannot add parallel speedup) is distinguishable from a
+//! multicore measurement.
+//!
+//! Environment knobs:
+//! - `TRQ_THREADS` — engine worker threads (default 1: honest single-core
+//!   numbers; set ≥ 2 to drive the persistent pool);
+//! - `TRQ_SERVE_REQUESTS` — requests per policy point (default 192).
+//!
+//! Usage: `cargo run --release -p trq-bench --bin bench_serve`
+
+use std::time::{Duration, Instant};
+use trq_bench::{write_json, HostMeta, ServeBenchRecord, ServePointTiming};
+use trq_core::arch::{ArchConfig, ExecConfig};
+use trq_core::pim::{AdcScheme, PimMvm};
+use trq_nn::{data, models, QuantizedNetwork};
+use trq_serve::{BatchPolicy, Server};
+use trq_tensor::Tensor;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+const HIDDEN: usize = 32;
+const MAX_WAIT_US: u64 = 500;
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let threads = env_usize("TRQ_THREADS", 1).max(1);
+    let requests = env_usize("TRQ_SERVE_REQUESTS", 192).max(8);
+    let host = HostMeta::capture(threads, "pool");
+
+    let net = models::mlp(28 * 28, HIDDEN, 10, 7).expect("static topology");
+    let ds = data::synthetic_digits(requests.min(64), 3);
+    let images: Vec<Tensor> = (0..requests).map(|i| ds[i % ds.len()].image.clone()).collect();
+    let qnet = QuantizedNetwork::quantize(&net, &images[..8]).expect("calibration succeeds");
+    let arch =
+        ArchConfig { exec: ExecConfig::serial().with_threads(threads), ..ArchConfig::default() };
+    let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
+
+    // ground truth: per-image forward on one serial engine — the bits
+    // every batching policy below must reproduce exactly
+    let mut reference = PimMvm::new(&arch, plan.clone());
+    let want: Vec<Vec<f32>> = images
+        .iter()
+        .map(|x| qnet.forward(x, &mut reference).expect("reference forward").data().to_vec())
+        .collect();
+
+    println!(
+        "serve micro-batching: mlp 784x{HIDDEN}x10, {requests} requests/point, \
+         {threads} engine thread(s), {} cores",
+        host.nproc
+    );
+    println!(
+        "  {:>9}  {:>10}  {:>12}  {:>10}  {:>10}",
+        "max_batch", "mean_batch", "req/s", "p50 us", "p99 us"
+    );
+
+    let mut points = Vec::new();
+    for max_batch in [1usize, 4, 16] {
+        let policy = BatchPolicy::default()
+            .with_max_batch(max_batch)
+            .with_max_wait(Duration::from_micros(MAX_WAIT_US))
+            .with_queue_cap(requests);
+        let server = Server::start(qnet.clone(), arch, plan.clone(), policy);
+        let t0 = Instant::now();
+        let tickets: Vec<_> = images
+            .iter()
+            .map(|x| server.submit(x.clone()).expect("queue sized for the burst"))
+            .collect();
+        let mut latencies_us: Vec<f64> = Vec::with_capacity(requests);
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(requests);
+        for ticket in tickets {
+            let response = ticket.wait().expect("request served");
+            latencies_us.push(response.latency.as_secs_f64() * 1e6);
+            outputs.push(response.output);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let report = server.shutdown();
+        assert_eq!(report.requests, requests as u64, "shutdown must drain the burst");
+        // verification runs outside the timed region: the recorded
+        // throughput is pure serving, the record is still gated on
+        // bit-identity to the per-image reference
+        for (output, want_out) in outputs.iter().zip(&want) {
+            assert_eq!(
+                output.data(),
+                &want_out[..],
+                "batched serving must be bit-identical to per-image forward"
+            );
+        }
+        latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let point = ServePointTiming {
+            max_batch,
+            requests,
+            batches: report.batches,
+            mean_batch: requests as f64 / report.batches.max(1) as f64,
+            requests_per_sec: requests as f64 / elapsed.max(1e-9),
+            p50_latency_us: percentile(&latencies_us, 0.50),
+            p99_latency_us: percentile(&latencies_us, 0.99),
+        };
+        println!(
+            "  {:>9}  {:>10.2}  {:>12.0}  {:>10.0}  {:>10.0}",
+            point.max_batch,
+            point.mean_batch,
+            point.requests_per_sec,
+            point.p50_latency_us,
+            point.p99_latency_us
+        );
+        points.push(point);
+    }
+
+    let record = ServeBenchRecord {
+        workload: format!("mlp784x{HIDDEN}x10"),
+        host,
+        queue_cap: requests,
+        max_wait_us: MAX_WAIT_US,
+        points,
+    };
+    write_json("BENCH_serve", &record);
+}

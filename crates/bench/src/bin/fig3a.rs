@@ -14,7 +14,7 @@ fn main() {
 
     for workload in Workload::paper_suite(&cfg) {
         println!("== {} ==", workload.name);
-        let report = fig3a(&workload, &arch, cfg.collect_images);
+        let report = fig3a(&workload, &arch, cfg.collect_images).expect("fig3a collection");
         println!(
             "{:<28} {:>10} {:>8} {:>8} {:>8} {:>9}  class",
             "layer", "samples", "mean", "std", "skew", "P(x<R/8)"

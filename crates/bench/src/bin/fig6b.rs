@@ -22,7 +22,7 @@ fn main() {
     println!("{}", row(&header, &widths));
 
     for workload in Workload::paper_suite(&cfg) {
-        let s = fig6_accuracy(&workload, &arch, &settings, true, &bits);
+        let s = fig6_accuracy(&workload, &arch, &settings, true, &bits).expect("fig6 evaluation");
         let mut cells = vec![s.workload.clone()];
         cells.extend(s.points.iter().map(|p| format!("{:.3}", p.score)));
         println!("{}", row(&cells, &widths));

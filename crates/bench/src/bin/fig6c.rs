@@ -32,7 +32,7 @@ fn main() {
     let mut per_bits_sum = vec![0.0f64; bits.len()];
     let mut n_workloads = 0usize;
     for workload in Workload::paper_suite(&cfg) {
-        let s = fig6_accuracy(&workload, &arch, &settings, true, &bits);
+        let s = fig6_accuracy(&workload, &arch, &settings, true, &bits).expect("fig6 evaluation");
         let series: Vec<(u32, f64)> = bits
             .iter()
             .zip(s.points.iter().skip(2)) // skip f/f and 8/f anchors

@@ -18,7 +18,7 @@ fn main() {
     let mut bars: Vec<Fig7Bar> = Vec::new();
 
     for workload in Workload::paper_suite(&cfg) {
-        bars.extend(fig7_power(&workload, &arch, &settings, &energy));
+        bars.extend(fig7_power(&workload, &arch, &settings, &energy).expect("fig7 evaluation"));
     }
     // paper: batch sizes rescaled so totals sit in one range
     batch_rescale(&mut bars, 1000.0);

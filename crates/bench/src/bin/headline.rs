@@ -31,7 +31,7 @@ fn main() {
         let energy = EnergyParams::default();
         let mut bars: Vec<Fig7Bar> = Vec::new();
         for workload in Workload::paper_suite(&cfg) {
-            bars.extend(fig7_power(&workload, &arch, &settings, &energy));
+            bars.extend(fig7_power(&workload, &arch, &settings, &energy).expect("fig7 evaluation"));
         }
         bars
     });

@@ -154,6 +154,44 @@ pub struct KernelBenchRecord {
     pub workloads: Vec<KernelWorkloadTiming>,
 }
 
+/// One batch-size point inside [`ServeBenchRecord`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServePointTiming {
+    /// `BatchPolicy::max_batch` for this point.
+    pub max_batch: usize,
+    /// Requests submitted and served.
+    pub requests: usize,
+    /// Engine calls (batches) the micro-batcher formed.
+    pub batches: u64,
+    /// `requests / batches` — how well coalescing worked.
+    pub mean_batch: f64,
+    /// End-to-end throughput over the whole burst.
+    pub requests_per_sec: f64,
+    /// Median submit-to-completion latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile submit-to-completion latency, microseconds.
+    pub p99_latency_us: f64,
+}
+
+/// The record `bench_serve` writes to `results/BENCH_serve.json`:
+/// request throughput and latency percentiles of the `trq-serve`
+/// micro-batching frontend at several `max_batch` policies, on one
+/// workload. After each timed burst, outputs are verified bit-identical
+/// to per-image `forward` before the record is written.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchRecord {
+    /// Workload label (shape in the name).
+    pub workload: String,
+    /// Measuring-host metadata.
+    pub host: HostMeta,
+    /// Queue bound used for every point.
+    pub queue_cap: usize,
+    /// Straggler wait (`BatchPolicy::max_wait`) in microseconds.
+    pub max_wait_us: u64,
+    /// Per-batch-size measurements.
+    pub points: Vec<ServePointTiming>,
+}
+
 /// Reads the suite configuration from `TRQ_SUITE` (`paper` by default).
 pub fn suite_from_env() -> SuiteConfig {
     match std::env::var("TRQ_SUITE").as_deref() {

@@ -2,6 +2,7 @@
 //! parallelised across images on the persistent worker pool.
 
 use crate::arch::ArchConfig;
+use crate::calib::CalibError;
 use crate::exec::Pool;
 use crate::pim::{AdcScheme, CollectorConfig, LayerSamples, PimMvm, PimStats};
 use std::sync::Mutex;
@@ -46,19 +47,24 @@ pub struct PlanEval {
 /// Runs the quantized network over calibration images with an ideal-ADC
 /// collector engine and returns per-layer BL samples — Algorithm 1's raw
 /// input (the paper samples 32 calibration images).
+///
+/// # Errors
+///
+/// Returns [`CalibError::Collection`] when the calibration forward pass
+/// fails (the engine session is still closed cleanly in that case).
 pub fn collect_bl_samples(
     qnet: &QuantizedNetwork,
     arch: &ArchConfig,
     images: &[Tensor],
     config: CollectorConfig,
-) -> Vec<LayerSamples> {
+) -> Result<Vec<LayerSamples>, CalibError> {
     let mut engine = PimMvm::collector(arch, qnet.layers().len(), config);
     // the whole calibration batch goes through each layer in one engine
     // call; the collector's per-tile counts pass sees every BL sample in
     // deterministic tile order (the collector pins tile rounds to one
     // thread for exactly this reason, so no pool sharding here)
-    let _ = qnet.forward_batch(images, &mut engine).expect("calibration forward failed");
-    engine.take_samples()
+    qnet.forward_batch(images, &mut engine).map_err(CalibError::Collection)?;
+    Ok(engine.take_samples())
 }
 
 /// Evaluates a per-layer plan end to end, in parallel across images.
@@ -69,22 +75,32 @@ pub fn collect_bl_samples(
 /// tile rounds inline (the pool's job slot is held by the shard round),
 /// which is the right granularity anyway: images are embarrassingly
 /// parallel, tiles are not free.
+///
+/// # Errors
+///
+/// Returns [`CalibError`] when any shard's forward pass fails. Shards
+/// record their own outcome and the merge below picks the first failure
+/// in shard order, so the reported error is deterministic for every
+/// worker count — and a failing shard never panics inside the pool round.
 pub fn evaluate_plan(
     qnet: &QuantizedNetwork,
     arch: &ArchConfig,
     plan: &[AdcScheme],
     metric: &EvalMetric<'_>,
-) -> PlanEval {
+) -> Result<PlanEval, CalibError> {
     let n = metric.len();
     if n == 0 {
-        return PlanEval { score: 0.0, stats: PimStats::default() };
+        return Ok(PlanEval { score: 0.0, stats: PimStats::default() });
     }
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8).min(n);
     let chunk = n.div_ceil(threads);
     // one result slot per shard; shards are merged in slot order below,
     // so the outcome is deterministic for every thread count
-    let slots: Vec<Mutex<Option<(usize, PimStats)>>> =
-        (0..threads).map(|_| Mutex::new(None)).collect();
+    type ShardResult = Result<(usize, PimStats), CalibError>;
+    let slots: Vec<Mutex<Option<ShardResult>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    let store = |shard: usize, result: ShardResult| {
+        *slots[shard].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+    };
     Pool::global().run(threads, &|shard| {
         let lo = shard * chunk;
         let hi = ((shard + 1) * chunk).min(n);
@@ -100,7 +116,13 @@ pub fn evaluate_plan(
                 EvalMetric::Fidelity(inputs) => inputs[i].clone(),
             })
             .collect();
-        let ys = qnet.forward_batch(&images, &mut engine).expect("eval forward failed");
+        let ys = match qnet.forward_batch(&images, &mut engine) {
+            Ok(ys) => ys,
+            Err(e) => {
+                store(shard, Err(CalibError::Evaluation(e)));
+                return;
+            }
+        };
         let mut correct = 0usize;
         for (i, y) in (lo..hi).zip(ys.iter()) {
             match metric {
@@ -110,26 +132,35 @@ pub fn evaluate_plan(
                     }
                 }
                 EvalMetric::Fidelity(inputs) => {
-                    let reference =
-                        qnet.network().forward(&inputs[i]).expect("reference forward failed");
+                    let reference = match qnet.network().forward(&inputs[i]) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            store(shard, Err(CalibError::Reference(e)));
+                            return;
+                        }
+                    };
                     if y.argmax() == reference.argmax() {
                         correct += 1;
                     }
                 }
             }
         }
-        *slots[shard].lock().expect("slot poisoned") = Some((correct, engine.stats().clone()));
+        store(shard, Ok((correct, engine.stats().clone())));
     });
 
     let mut stats = PimStats::default();
     let mut correct = 0usize;
     for slot in &slots {
-        if let Some((c, s)) = slot.lock().expect("slot poisoned").as_ref() {
-            correct += c;
-            stats.merge(s);
+        match slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take() {
+            Some(Ok((c, s))) => {
+                correct += c;
+                stats.merge(&s);
+            }
+            Some(Err(e)) => return Err(e),
+            None => {}
         }
     }
-    PlanEval { score: correct as f64 / n as f64, stats }
+    Ok(PlanEval { score: correct as f64 / n as f64, stats })
 }
 
 #[cfg(test)]
@@ -148,7 +179,8 @@ mod tests {
     #[test]
     fn collection_covers_every_layer() {
         let (qnet, arch, images) = small_setup();
-        let samples = collect_bl_samples(&qnet, &arch, &images[..2], CollectorConfig::default());
+        let samples =
+            collect_bl_samples(&qnet, &arch, &images[..2], CollectorConfig::default()).unwrap();
         assert_eq!(samples.len(), 2);
         for (i, s) in samples.iter().enumerate() {
             assert_eq!(s.mvm_index, i);
@@ -161,7 +193,7 @@ mod tests {
         let (qnet, arch, images) = small_setup();
         let metric = EvalMetric::Fidelity(&images);
         let plan = vec![AdcScheme::Ideal; qnet.layers().len()];
-        let eval = evaluate_plan(&qnet, &arch, &plan, &metric);
+        let eval = evaluate_plan(&qnet, &arch, &plan, &metric).unwrap();
         assert!(
             eval.score >= 0.8,
             "8-bit PTQ + lossless ADC should agree with FP32: {}",
@@ -175,7 +207,7 @@ mod tests {
         let (qnet, arch, images) = small_setup();
         let metric = EvalMetric::Fidelity(&images);
         let coarse = vec![AdcScheme::uniform(1, 64.0); qnet.layers().len()];
-        let eval = evaluate_plan(&qnet, &arch, &coarse, &metric);
+        let eval = evaluate_plan(&qnet, &arch, &coarse, &metric).unwrap();
         // 1-bit BL quantization must at minimum slash the op count
         assert!(eval.stats.remaining_ops_ratio() < 0.2);
     }
@@ -185,8 +217,8 @@ mod tests {
         let (qnet, arch, images) = small_setup();
         let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
         let metric = EvalMetric::Fidelity(&images);
-        let a = evaluate_plan(&qnet, &arch, &plan, &metric);
-        let b = evaluate_plan(&qnet, &arch, &plan, &metric);
+        let a = evaluate_plan(&qnet, &arch, &plan, &metric).unwrap();
+        let b = evaluate_plan(&qnet, &arch, &plan, &metric).unwrap();
         assert_eq!(a.score, b.score, "evaluation must be deterministic");
         assert_eq!(a.stats.ops(), b.stats.ops());
     }
@@ -195,7 +227,7 @@ mod tests {
     fn empty_metric_is_zero() {
         let (qnet, arch, _) = small_setup();
         let metric = EvalMetric::Fidelity(&[]);
-        let eval = evaluate_plan(&qnet, &arch, &[AdcScheme::Ideal], &metric);
+        let eval = evaluate_plan(&qnet, &arch, &[AdcScheme::Ideal], &metric).unwrap();
         assert_eq!(eval.score, 0.0);
     }
 }

@@ -256,14 +256,16 @@ pub fn plan_network(
         let mut i = w;
         while i < samples.len() {
             let plan = plan_layer(&samples[i], arch, nmax, settings);
-            *slots[i].lock().expect("plan slot poisoned") = Some(plan);
+            *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(plan);
             i += threads;
         }
     });
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner().expect("plan slot poisoned").expect("every layer slot filled")
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every layer slot filled")
         })
         .collect()
 }

@@ -18,7 +18,43 @@ pub use layer_search::{plan_layer, plan_network, CalibSettings, LayerPlan};
 use crate::arch::ArchConfig;
 use crate::pim::{AdcScheme, LayerSamples};
 use serde::{Deserialize, Serialize};
-use trq_nn::QuantizedNetwork;
+use trq_nn::{NnError, QuantizedNetwork};
+
+/// A calibration or evaluation forward pass failed.
+///
+/// Calibration runs whole batches through pool-session engines; a failure
+/// used to `panic!` mid-session, which is exactly the wrong failure mode
+/// for a long-running process — these variants carry the phase that broke
+/// so callers can report (or retry) instead of dying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibError {
+    /// The BL-sample collection forward pass failed.
+    Collection(NnError),
+    /// A plan-evaluation forward pass failed on the quantized datapath.
+    Evaluation(NnError),
+    /// The FP32 reference forward failed while scoring fidelity.
+    Reference(NnError),
+}
+
+impl std::fmt::Display for CalibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibError::Collection(e) => write!(f, "BL-sample collection failed: {e}"),
+            CalibError::Evaluation(e) => write!(f, "plan evaluation failed: {e}"),
+            CalibError::Reference(e) => write!(f, "FP32 reference forward failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibError::Collection(e) | CalibError::Evaluation(e) | CalibError::Reference(e) => {
+                Some(e)
+            }
+        }
+    }
+}
 
 /// Result of the full Algorithm 1 run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,21 +79,26 @@ pub struct Algorithm1Result {
 ///
 /// `samples` must come from [`collect_bl_samples`] on the same quantized
 /// network.
+///
+/// # Errors
+///
+/// Propagates [`CalibError`] from any evaluation forward pass.
 pub fn algorithm1(
     qnet: &QuantizedNetwork,
     arch: &ArchConfig,
     samples: &[LayerSamples],
     metric: &EvalMetric<'_>,
     settings: &CalibSettings,
-) -> Algorithm1Result {
-    let reference = evaluate_plan(qnet, arch, &vec![AdcScheme::Ideal; qnet.layers().len()], metric);
+) -> Result<Algorithm1Result, CalibError> {
+    let reference =
+        evaluate_plan(qnet, arch, &vec![AdcScheme::Ideal; qnet.layers().len()], metric)?;
     let mut visited = Vec::new();
     let mut accepted: Option<(Vec<LayerPlan>, u32, f64)> = None;
     let mut nmax = arch.adc_bits.saturating_sub(1).max(1);
     loop {
         let plans = plan_network(samples, arch, nmax, settings);
         let schemes: Vec<AdcScheme> = plans.iter().map(|p| p.scheme).collect();
-        let eval = evaluate_plan(qnet, arch, &schemes, metric);
+        let eval = evaluate_plan(qnet, arch, &schemes, metric)?;
         visited.push((nmax, eval.score));
         if reference.score - eval.score > settings.theta {
             break;
@@ -77,7 +118,7 @@ pub fn algorithm1(
         (plans, nmax, score)
     });
     let schemes = plans.iter().map(|p| p.scheme).collect();
-    Algorithm1Result { plans, schemes, nmax, score, reference_score: reference.score, visited }
+    Ok(Algorithm1Result { plans, schemes, nmax, score, reference_score: reference.score, visited })
 }
 
 #[cfg(test)]
@@ -99,14 +140,15 @@ mod tests {
         let cal: Vec<Tensor> = train.iter().take(8).map(|s| s.image.clone()).collect();
         let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
         let arch = ArchConfig::default();
-        let samples = collect_bl_samples(&qnet, &arch, &cal[..4], CollectorConfig::default());
+        let samples =
+            collect_bl_samples(&qnet, &arch, &cal[..4], CollectorConfig::default()).unwrap();
         assert_eq!(samples.len(), qnet.layers().len());
 
         let labeled: Vec<(Tensor, usize)> =
             eval_ds.iter().map(|s| (s.image.clone(), s.label)).collect();
         let metric = EvalMetric::Labeled(&labeled);
         let settings = CalibSettings { candidates: 12, theta: 0.05, ..Default::default() };
-        let result = algorithm1(&qnet, &arch, &samples, &metric, &settings);
+        let result = algorithm1(&qnet, &arch, &samples, &metric, &settings).unwrap();
 
         assert!(
             result.reference_score - result.score <= settings.theta + 1e-9,
@@ -115,7 +157,7 @@ mod tests {
             result.score
         );
         // the accepted plan must actually save A/D operations
-        let eval = evaluate_plan(&qnet, &arch, &result.schemes, &metric);
+        let eval = evaluate_plan(&qnet, &arch, &result.schemes, &metric).unwrap();
         let ratio = eval.stats.remaining_ops_ratio();
         assert!(ratio < 0.9, "calibrated plan should cut ops: ratio {ratio}");
         assert!(result.nmax <= 7);

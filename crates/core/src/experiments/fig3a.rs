@@ -1,7 +1,7 @@
 //! Fig. 3a — the distribution of crossbar bit-line outputs.
 
 use crate::arch::ArchConfig;
-use crate::calib::collect_bl_samples;
+use crate::calib::{collect_bl_samples, CalibError};
 use crate::experiments::workloads::Workload;
 use crate::pim::CollectorConfig;
 use serde::{Deserialize, Serialize};
@@ -53,14 +53,22 @@ impl Fig3aReport {
 }
 
 /// Collects the BL output distribution of every MVM layer (Fig. 3a).
-pub fn fig3a(workload: &Workload, arch: &ArchConfig, images: usize) -> Fig3aReport {
+///
+/// # Errors
+///
+/// Propagates [`CalibError`] from the collection forward pass.
+pub fn fig3a(
+    workload: &Workload,
+    arch: &ArchConfig,
+    images: usize,
+) -> Result<Fig3aReport, CalibError> {
     let n = images.min(workload.cal_images.len()).max(1);
     let samples = collect_bl_samples(
         &workload.qnet,
         arch,
         &workload.cal_images[..n],
         CollectorConfig::default(),
-    );
+    )?;
     let classifier = ClassifierConfig::default();
     let layers = samples
         .iter()
@@ -80,7 +88,7 @@ pub fn fig3a(workload: &Workload, arch: &ArchConfig, images: usize) -> Fig3aRepo
             }
         })
         .collect();
-    Fig3aReport { workload: workload.name.clone(), layers }
+    Ok(Fig3aReport { workload: workload.name.clone(), layers })
 }
 
 #[cfg(test)]
@@ -94,7 +102,7 @@ mod tests {
         // simulated datapath, not be baked in anywhere
         let cfg = SuiteConfig::quick();
         let w = Workload::lenet5(&cfg);
-        let report = fig3a(&w, &ArchConfig::default(), 2);
+        let report = fig3a(&w, &ArchConfig::default(), 2).unwrap();
         assert_eq!(report.layers.len(), 5);
         for layer in &report.layers {
             assert!(layer.seen > 0);

@@ -2,7 +2,7 @@
 //! remaining-operations series of Fig. 6c.
 
 use crate::arch::ArchConfig;
-use crate::calib::{collect_bl_samples, evaluate_plan, plan_network, CalibSettings};
+use crate::calib::{collect_bl_samples, evaluate_plan, plan_network, CalibError, CalibSettings};
 use crate::experiments::workloads::Workload;
 use crate::pim::{AdcScheme, CollectorConfig, LayerSamples};
 use serde::{Deserialize, Serialize};
@@ -72,13 +72,16 @@ pub fn plan_uniform_network(
 /// `bit_caps` is the x-axis tail (the paper uses `[8, 7, 6, 5, 4]`): the
 /// maximum allowed ADC code length, i.e. the resolution of the uniform
 /// ADC (Fig. 6a) or the `Nmax` bound on `NR1`/`NR2` (Fig. 6b).
+/// # Errors
+///
+/// Propagates [`CalibError`] from any collection or evaluation pass.
 pub fn fig6_accuracy(
     workload: &Workload,
     arch: &ArchConfig,
     settings: &CalibSettings,
     trq: bool,
     bit_caps: &[u32],
-) -> Fig6Series {
+) -> Result<Fig6Series, CalibError> {
     let metric = workload.metric();
     let mut points = Vec::new();
 
@@ -91,7 +94,7 @@ pub fn fig6_accuracy(
 
     // 8/f — 8-bit W/A quantization, lossless ADC
     let ideal_plan = vec![AdcScheme::Ideal; workload.qnet.layers().len()];
-    let ideal = evaluate_plan(&workload.qnet, arch, &ideal_plan, &metric);
+    let ideal = evaluate_plan(&workload.qnet, arch, &ideal_plan, &metric)?;
     points.push(AccuracyPoint {
         config: "8/f".into(),
         score: ideal.score,
@@ -105,7 +108,7 @@ pub fn fig6_accuracy(
         arch,
         &workload.cal_images[..collect_n],
         CollectorConfig::default(),
-    );
+    )?;
 
     for &bits in bit_caps {
         let plan: Vec<AdcScheme> = if trq {
@@ -113,7 +116,7 @@ pub fn fig6_accuracy(
         } else {
             plan_uniform_network(&samples, arch, bits, settings)
         };
-        let eval = evaluate_plan(&workload.qnet, arch, &plan, &metric);
+        let eval = evaluate_plan(&workload.qnet, arch, &plan, &metric)?;
         points.push(AccuracyPoint {
             config: bits.to_string(),
             score: eval.score,
@@ -121,7 +124,7 @@ pub fn fig6_accuracy(
         });
     }
 
-    Fig6Series { workload: workload.name.clone(), trq, points }
+    Ok(Fig6Series { workload: workload.name.clone(), trq, points })
 }
 
 #[cfg(test)]
@@ -136,8 +139,8 @@ mod tests {
         let arch = ArchConfig::default();
         let settings = CalibSettings { candidates: 10, ..Default::default() };
 
-        let uniform = fig6_accuracy(&w, &arch, &settings, false, &[8, 4]);
-        let trq = fig6_accuracy(&w, &arch, &settings, true, &[8, 4]);
+        let uniform = fig6_accuracy(&w, &arch, &settings, false, &[8, 4]).unwrap();
+        let trq = fig6_accuracy(&w, &arch, &settings, true, &[8, 4]).unwrap();
         assert_eq!(uniform.points.len(), 4);
         assert_eq!(trq.points.len(), 4);
 
@@ -168,7 +171,8 @@ mod tests {
         let w = Workload::lenet5(&cfg);
         let arch = ArchConfig::default();
         let samples =
-            collect_bl_samples(&w.qnet, &arch, &w.cal_images[..1], CollectorConfig::default());
+            collect_bl_samples(&w.qnet, &arch, &w.cal_images[..1], CollectorConfig::default())
+                .unwrap();
         let plan = plan_uniform_network(&samples, &arch, 6, &CalibSettings::default());
         assert_eq!(plan.len(), w.qnet.layers().len());
         for scheme in plan {

@@ -2,7 +2,7 @@
 //! ADC energy reduction.
 
 use crate::arch::ArchConfig;
-use crate::calib::{collect_bl_samples, evaluate_plan, plan_network, CalibSettings};
+use crate::calib::{collect_bl_samples, evaluate_plan, plan_network, CalibError, CalibSettings};
 use crate::energy::{breakdown_from_stats, EnergyParams, PowerBreakdown};
 use crate::experiments::fig6::plan_uniform_network;
 use crate::experiments::workloads::Workload;
@@ -53,12 +53,15 @@ impl HeadlineReport {
 /// (TRQ calibrated at `Nmax = 4`), and the *minimal-resolution uniform ADC
 /// that holds accuracy* within `θ` of the 8/f anchor (the paper lands on
 /// UQ(7b)/UQ(8b) depending on workload).
+/// # Errors
+///
+/// Propagates [`CalibError`] from any collection or evaluation pass.
 pub fn fig7_power(
     workload: &Workload,
     arch: &ArchConfig,
     settings: &CalibSettings,
     energy: &EnergyParams,
-) -> Vec<Fig7Bar> {
+) -> Result<Vec<Fig7Bar>, CalibError> {
     let metric = workload.metric();
     let n_layers = workload.qnet.layers().len();
     let collect_n = workload.cal_images.len().clamp(1, 4);
@@ -67,37 +70,40 @@ pub fn fig7_power(
         arch,
         &workload.cal_images[..collect_n],
         CollectorConfig::default(),
-    );
+    )?;
 
     // ISAAC baseline: unmodified 8-op conversions
     let isaac_plan = vec![AdcScheme::Ideal; n_layers];
-    let isaac = evaluate_plan(&workload.qnet, arch, &isaac_plan, &metric);
+    let isaac = evaluate_plan(&workload.qnet, arch, &isaac_plan, &metric)?;
     let isaac_bd = breakdown_from_stats(&isaac.stats, energy);
 
     // Ours/4b: TRQ with Nmax = 4
     let trq_plan: Vec<AdcScheme> =
         plan_network(&samples, arch, 4, settings).iter().map(|p| p.scheme).collect();
-    let ours = evaluate_plan(&workload.qnet, arch, &trq_plan, &metric);
+    let ours = evaluate_plan(&workload.qnet, arch, &trq_plan, &metric)?;
     let ours_bd = breakdown_from_stats(&ours.stats, energy);
 
     // UQ(xb): smallest uniform resolution within θ of the anchor
     let mut uq_choice = None;
     for bits in (4..=arch.adc_bits).rev() {
         let plan = plan_uniform_network(&samples, arch, bits, settings);
-        let eval = evaluate_plan(&workload.qnet, arch, &plan, &metric);
+        let eval = evaluate_plan(&workload.qnet, arch, &plan, &metric)?;
         if isaac.score - eval.score <= settings.theta {
             uq_choice = Some((bits, eval));
         } else {
             break; // accuracy falls off monotonically; stop shrinking
         }
     }
-    let (uq_bits, uq_eval) = uq_choice.unwrap_or_else(|| {
-        let plan = plan_uniform_network(&samples, arch, arch.adc_bits, settings);
-        (arch.adc_bits, evaluate_plan(&workload.qnet, arch, &plan, &metric))
-    });
+    let (uq_bits, uq_eval) = match uq_choice {
+        Some(choice) => choice,
+        None => {
+            let plan = plan_uniform_network(&samples, arch, arch.adc_bits, settings);
+            (arch.adc_bits, evaluate_plan(&workload.qnet, arch, &plan, &metric)?)
+        }
+    };
     let uq_bd = breakdown_from_stats(&uq_eval.stats, energy);
 
-    vec![
+    Ok(vec![
         Fig7Bar {
             workload: workload.name.clone(),
             config: "ISAAC".into(),
@@ -116,7 +122,7 @@ pub fn fig7_power(
             breakdown: uq_bd,
             score: uq_eval.score,
         },
-    ]
+    ])
 }
 
 /// Batch-rescales bars so every workload's ISAAC total lands on the same
@@ -174,7 +180,7 @@ mod tests {
         let w = Workload::lenet5(&cfg);
         let arch = ArchConfig::default();
         let settings = CalibSettings { candidates: 10, theta: 0.05, ..Default::default() };
-        let mut bars = fig7_power(&w, &arch, &settings, &EnergyParams::default());
+        let mut bars = fig7_power(&w, &arch, &settings, &EnergyParams::default()).unwrap();
         assert_eq!(bars.len(), 3);
         let isaac = bars[0].breakdown;
         let ours = bars[1].breakdown;

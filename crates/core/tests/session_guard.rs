@@ -1,0 +1,90 @@
+//! Pool-level session/panic hardening: a panicking forward pass must not
+//! leave [`trq_core::exec::Pool::global`] wedged for the next caller, and
+//! calibration failures must surface as typed [`CalibError`]s instead of
+//! panicking mid-pool-session.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use trq_core::arch::{ArchConfig, ExecConfig};
+use trq_core::calib::{collect_bl_samples, evaluate_plan, CalibError, EvalMetric};
+use trq_core::pim::{AdcScheme, CollectorConfig, PimMvm};
+use trq_nn::{MvmEngine, MvmLayerInfo, QuantizedNetwork};
+use trq_tensor::Tensor;
+
+fn fixture() -> (QuantizedNetwork, ArchConfig, Vec<Tensor>) {
+    let net = trq_nn::models::mlp(64, 8, 4, 3).expect("static topology");
+    let images: Vec<Tensor> = (0..6)
+        .map(|i| {
+            Tensor::from_vec(vec![64], (0..64).map(|j| ((i + j) % 11) as f32 * 0.05).collect())
+                .expect("static shape")
+        })
+        .collect();
+    let arch = ArchConfig {
+        exec: ExecConfig::serial().with_threads(2).with_tile_outputs(2).with_tile_windows(2),
+        ..ArchConfig::default()
+    };
+    let qnet = QuantizedNetwork::quantize(&net, &images[..2]).expect("calibration succeeds");
+    (qnet, arch, images)
+}
+
+/// An engine that panics inside the forward pass — between the session
+/// open and the session close — standing in for any mid-batch failure.
+struct PanickingEngine;
+
+impl MvmEngine for PanickingEngine {
+    fn mvm_into(
+        &mut self,
+        _info: &MvmLayerInfo,
+        _weights_q: &[i32],
+        _cols: &[u8],
+        _n: usize,
+        _out: &mut [f64],
+    ) {
+        panic!("injected mid-batch failure");
+    }
+}
+
+#[test]
+fn global_pool_survives_a_panicked_forward_batch() {
+    let (qnet, arch, images) = fixture();
+    // panic inside a forward pass that has opened a session
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = qnet.forward_batch(&images, &mut PanickingEngine);
+    }));
+    assert!(result.is_err(), "the injected panic must propagate to the caller");
+
+    // the global pool must not be wedged: a threaded PimMvm forward on the
+    // same pool still completes and matches the exact reference
+    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal; qnet.layers().len()]);
+    let got = qnet.forward_batch(&images, &mut pim).expect("pool usable after panic");
+    let want: Vec<Tensor> = images
+        .iter()
+        .map(|x| qnet.forward(x, &mut trq_nn::ExactMvm).expect("exact forward"))
+        .collect();
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g.data(), w.data(), "ideal crossbar must stay exact after the panic");
+    }
+}
+
+#[test]
+fn calibration_failures_are_typed_not_panics() {
+    let (qnet, arch, images) = fixture();
+    // a mixed-shape batch fails collection with a typed error (and no
+    // panic mid-pool-session)
+    let mut bad = images.clone();
+    bad.push(Tensor::from_vec(vec![16], vec![0.0; 16]).expect("static shape"));
+    let err =
+        collect_bl_samples(&qnet, &arch, &bad, CollectorConfig::default()).expect_err("must fail");
+    assert!(matches!(err, CalibError::Collection(_)), "typed collection error: {err}");
+
+    // evaluation over the same bad set: forward_batch inside the shard
+    // fails and the error propagates deterministically out of the round
+    let metric = EvalMetric::Fidelity(&bad);
+    let err = evaluate_plan(&qnet, &arch, &[AdcScheme::Ideal], &metric).expect_err("must fail");
+    assert!(matches!(err, CalibError::Evaluation(_)), "typed evaluation error: {err}");
+
+    // and the pool is still serviceable for a clean evaluation afterwards
+    let metric = EvalMetric::Fidelity(&images);
+    let plan = vec![AdcScheme::Ideal; qnet.layers().len()];
+    let eval = evaluate_plan(&qnet, &arch, &plan, &metric).expect("pool usable after error");
+    assert!(eval.stats.conversions() > 0);
+}

@@ -25,6 +25,15 @@ pub enum NnError {
         /// Actual input count.
         actual: usize,
     },
+    /// A batch handed to [`crate::QuantizedNetwork::forward_batch`] mixed
+    /// input shapes — batches must be shape-uniform so every image's
+    /// windows concatenate along one engine axis.
+    BatchShape {
+        /// Shape of the batch head (image 0).
+        expected: Vec<usize>,
+        /// First offending shape.
+        got: Vec<usize>,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -34,6 +43,9 @@ impl fmt::Display for NnError {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::Arity { label, expected, actual } => {
                 write!(f, "node {label}: expected {expected} inputs, got {actual}")
+            }
+            NnError::BatchShape { expected, got } => {
+                write!(f, "batch mixes input shapes: expected {expected:?}, got {got:?}")
             }
         }
     }

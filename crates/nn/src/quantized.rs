@@ -78,6 +78,32 @@ pub trait MvmEngine {
     }
 }
 
+/// RAII pairing of [`MvmEngine::begin_session`] with
+/// [`MvmEngine::end_session`]: the session is closed on *every* exit path
+/// — normal completion, early `Err` returns, and unwinding panics alike —
+/// so an engine backed by shared resources (a persistent worker pool)
+/// can never be left mid-session by a failed forward pass.
+struct SessionGuard<'e> {
+    engine: &'e mut dyn MvmEngine,
+}
+
+impl<'e> SessionGuard<'e> {
+    fn begin(engine: &'e mut dyn MvmEngine) -> Self {
+        engine.begin_session();
+        SessionGuard { engine }
+    }
+
+    fn engine(&mut self) -> &mut dyn MvmEngine {
+        self.engine
+    }
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.engine.end_session();
+    }
+}
+
 /// The exact integer engine — lossless reference.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExactMvm;
@@ -229,26 +255,31 @@ impl QuantizedNetwork {
     ///
     /// # Errors
     ///
-    /// Propagates tensor/shape failures; returns [`NnError::BadGraph`]
+    /// Propagates tensor/shape failures; returns [`NnError::BatchShape`]
     /// when the batch mixes input shapes.
     pub fn forward_batch(
         &self,
         inputs: &[Tensor],
         engine: &mut dyn MvmEngine,
     ) -> Result<Vec<Tensor>, NnError> {
+        // empty batches and shape rejections short-circuit *before* the
+        // session opens — no engine should spin up (and immediately tear
+        // down) pool workers for work that will never arrive
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
-        if inputs.iter().any(|x| x.shape().dims() != inputs[0].shape().dims()) {
-            return Err(NnError::BadGraph { reason: "batch mixes input shapes".into() });
+        if let Some(bad) = inputs.iter().find(|x| x.shape().dims() != inputs[0].shape().dims()) {
+            return Err(NnError::BatchShape {
+                expected: inputs[0].shape().dims().to_vec(),
+                got: bad.shape().dims().to_vec(),
+            });
         }
         // one engine session per batch: persistent executors warm their
         // worker pool and arenas here, so every layer call below is a
-        // dispatch onto already-parked threads
-        engine.begin_session();
-        let result = self.forward_batch_in_session(inputs, engine);
-        engine.end_session();
-        result
+        // dispatch onto already-parked threads; the guard closes the
+        // session on early `Err` returns and panics too
+        let mut session = SessionGuard::begin(engine);
+        self.forward_batch_in_session(inputs, session.engine())
     }
 
     fn forward_batch_in_session(
@@ -454,7 +485,8 @@ mod tests {
         assert!(qnet.forward_batch(&[], &mut ExactMvm).unwrap().is_empty());
         let a = Tensor::from_vec(vec![16], vec![0.1; 16]).unwrap();
         let b = Tensor::from_vec(vec![8], vec![0.1; 8]).unwrap();
-        assert!(qnet.forward_batch(&[a, b], &mut ExactMvm).is_err());
+        let err = qnet.forward_batch(&[a, b], &mut ExactMvm).unwrap_err();
+        assert_eq!(err, NnError::BatchShape { expected: vec![16], got: vec![8] });
     }
 
     #[test]

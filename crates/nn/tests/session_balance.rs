@@ -1,0 +1,175 @@
+//! Session-lifecycle hardening tests for `QuantizedNetwork::forward_batch`:
+//! `begin_session`/`end_session` must stay balanced on every path — success,
+//! early typed errors, mid-batch forward failures, and engine panics — and
+//! no session may open for work that will never run (empty batches,
+//! mixed-shape rejections).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use trq_nn::{ExactMvm, MvmEngine, MvmLayerInfo, Network, NnError, Op, QuantizedNetwork};
+use trq_tensor::ops::{Conv2dGeom, PoolGeom};
+use trq_tensor::Tensor;
+
+/// An [`ExactMvm`] wrapper that counts session events and can be told to
+/// panic on its `n`-th `mvm_into` call — the error-injection engine the
+/// balance assertions drive.
+struct CountingEngine {
+    inner: ExactMvm,
+    begins: Arc<AtomicUsize>,
+    ends: Arc<AtomicUsize>,
+    calls: Arc<AtomicUsize>,
+    panic_on_call: Option<usize>,
+}
+
+impl CountingEngine {
+    fn new() -> Self {
+        CountingEngine {
+            inner: ExactMvm,
+            begins: Arc::new(AtomicUsize::new(0)),
+            ends: Arc::new(AtomicUsize::new(0)),
+            calls: Arc::new(AtomicUsize::new(0)),
+            panic_on_call: None,
+        }
+    }
+
+    fn panicking_on(call: usize) -> Self {
+        CountingEngine { panic_on_call: Some(call), ..CountingEngine::new() }
+    }
+
+    fn counters(&self) -> (Arc<AtomicUsize>, Arc<AtomicUsize>, Arc<AtomicUsize>) {
+        (Arc::clone(&self.begins), Arc::clone(&self.ends), Arc::clone(&self.calls))
+    }
+}
+
+impl MvmEngine for CountingEngine {
+    fn mvm_into(
+        &mut self,
+        info: &MvmLayerInfo,
+        weights_q: &[i32],
+        cols: &[u8],
+        n: usize,
+        out: &mut [f64],
+    ) {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.panic_on_call == Some(call) {
+            panic!("injected engine failure on call {call}");
+        }
+        self.inner.mvm_into(info, weights_q, cols, n, out);
+    }
+
+    fn begin_session(&mut self) {
+        self.begins.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn end_session(&mut self) {
+        self.ends.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn mlp_fixture() -> (QuantizedNetwork, Vec<Tensor>) {
+    let net = trq_nn::models::mlp(16, 6, 3, 7).expect("static topology");
+    let images: Vec<Tensor> = (0..4)
+        .map(|i| {
+            Tensor::from_vec(vec![16], (0..16).map(|j| ((i * 16 + j) % 9) as f32 * 0.1).collect())
+                .expect("static shape")
+        })
+        .collect();
+    let qnet = QuantizedNetwork::quantize(&net, &images[..2]).expect("calibration succeeds");
+    (qnet, images)
+}
+
+/// A conv → pool network that quantizes fine on 8×8 calibration images but
+/// whose pool no longer fits a 4×4 serving input: the forward pass fails
+/// *after* the conv layer's engine call, i.e. genuinely mid-batch with the
+/// session open.
+fn midbatch_failing_fixture() -> (QuantizedNetwork, Tensor) {
+    let mut net = Network::new("pool-trap");
+    let geom = Conv2dGeom::square(1, 2, 3, 1, 0);
+    // [outputs × kh·kw·ci] weights, a small fixed ramp
+    let weights = Tensor::from_vec(vec![2, 9], (0..18).map(|i| (i as f32 - 9.0) * 0.05).collect())
+        .expect("static shape");
+    let c = net
+        .chain(Op::Conv2d { weights, bias: Some(vec![0.0; 2]), geom }, 0, "conv")
+        .expect("valid chain");
+    net.chain(Op::MaxPool(PoolGeom::square(3)), c, "pool").expect("valid chain");
+    let cal = vec![Tensor::full(vec![1, 8, 8], 0.4).expect("static shape")];
+    let qnet = QuantizedNetwork::quantize(&net, &cal).expect("pool fits the calibration size");
+    let small = Tensor::full(vec![1, 4, 4], 0.4).expect("static shape");
+    (qnet, small)
+}
+
+#[test]
+fn empty_batch_opens_no_session() {
+    let (qnet, _) = mlp_fixture();
+    let mut engine = CountingEngine::new();
+    let outs = qnet.forward_batch(&[], &mut engine).expect("empty batch is trivially ok");
+    assert!(outs.is_empty());
+    assert_eq!(engine.begins.load(Ordering::SeqCst), 0, "empty batch must not open a session");
+    assert_eq!(engine.ends.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn mixed_shape_rejection_opens_no_session() {
+    let (qnet, images) = mlp_fixture();
+    let odd = Tensor::from_vec(vec![8], vec![0.1; 8]).expect("static shape");
+    let mut engine = CountingEngine::new();
+    let err = qnet.forward_batch(&[images[0].clone(), odd], &mut engine).unwrap_err();
+    assert!(matches!(err, NnError::BatchShape { .. }), "typed mixed-shape error: {err}");
+    assert_eq!(engine.begins.load(Ordering::SeqCst), 0, "rejected batch must not open a session");
+    assert_eq!(engine.ends.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn successful_batch_balances_exactly_one_session() {
+    let (qnet, images) = mlp_fixture();
+    let mut engine = CountingEngine::new();
+    let outs = qnet.forward_batch(&images, &mut engine).expect("forward succeeds");
+    assert_eq!(outs.len(), images.len());
+    assert_eq!(engine.begins.load(Ordering::SeqCst), 1, "one session per batch");
+    assert_eq!(engine.ends.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn mid_batch_forward_error_still_closes_the_session() {
+    let (qnet, small) = midbatch_failing_fixture();
+    let mut engine = CountingEngine::new();
+    let err = qnet.forward_batch(&[small], &mut engine).unwrap_err();
+    assert!(matches!(err, NnError::Tensor(_)), "pool misfit surfaces as a tensor error: {err}");
+    assert_eq!(engine.calls.load(Ordering::SeqCst), 1, "the conv layer ran before the failure");
+    assert_eq!(engine.begins.load(Ordering::SeqCst), 1);
+    assert_eq!(engine.ends.load(Ordering::SeqCst), 1, "end_session must run on the early-Err path");
+}
+
+#[test]
+fn engine_panic_mid_batch_still_closes_the_session() {
+    let (qnet, images) = mlp_fixture();
+    // the MLP has two MVM layers; panic on the second so the first has
+    // already executed inside the open session
+    let mut engine = CountingEngine::panicking_on(2);
+    let (begins, ends, calls) = engine.counters();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = qnet.forward_batch(&images, &mut engine);
+    }));
+    assert!(result.is_err(), "the injected panic must propagate");
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+    assert_eq!(begins.load(Ordering::SeqCst), 1);
+    assert_eq!(ends.load(Ordering::SeqCst), 1, "the session guard must close during unwinding");
+}
+
+#[test]
+fn engine_stays_usable_after_a_failed_batch() {
+    let (qnet, images) = mlp_fixture();
+    let mut engine = CountingEngine::panicking_on(1);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = qnet.forward_batch(&images, &mut engine);
+    }));
+    assert!(result.is_err());
+    // disarm the injection and run again on the same engine: sessions are
+    // balanced, so the next batch starts from a clean state
+    engine.panic_on_call = None;
+    let outs = qnet.forward_batch(&images, &mut engine).expect("recovered forward succeeds");
+    assert_eq!(outs.len(), images.len());
+    assert_eq!(engine.begins.load(Ordering::SeqCst), 2);
+    assert_eq!(engine.ends.load(Ordering::SeqCst), 2);
+}

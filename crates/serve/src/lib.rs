@@ -1,0 +1,863 @@
+//! # trq-serve
+//!
+//! The batch-serving frontend of the reproduction: a multi-producer
+//! request queue with a **deterministic micro-batcher** on top of the
+//! crossbar engine. Callers submit single images ([`Server::submit`] /
+//! [`Server::try_submit`]) and get a [`Ticket`] back; a dedicated batcher
+//! thread coalesces whatever is queued — up to
+//! [`BatchPolicy::max_batch`], waiting at most [`BatchPolicy::max_wait`]
+//! for stragglers — into single [`QuantizedNetwork::forward_batch`] calls
+//! on one engine, then hands each ticket its own image's output.
+//!
+//! Key properties:
+//!
+//! - **Bit-identical batching.** However requests happen to coalesce, the
+//!   outputs (and the summed [`PimStats`] ledgers) are exactly those of
+//!   per-image [`QuantizedNetwork::forward`] calls — batching concatenates
+//!   windows along the engine's `n` axis, and every window's product
+//!   depends only on its own column. The batcher preserves arrival order
+//!   and maps result slot `i` back to request `i`, so no merge ambiguity
+//!   exists.
+//! - **One pool session per drained batch.** Each `forward_batch` call
+//!   opens and closes exactly one engine session (the PR 3 discipline);
+//!   failed batches close theirs too via the session guard in `trq-nn`.
+//! - **Backpressure.** The queue is bounded ([`BatchPolicy::queue_cap`]):
+//!   [`Server::try_submit`] fails fast with [`ServeError::QueueFull`],
+//!   [`Server::submit`] blocks until space frees up.
+//! - **Clean shutdown.** [`Server::shutdown`] stops intake, drains every
+//!   queued request through the engine, and returns the accumulated
+//!   [`ServeReport`]. A batch that fails — typed error or panic — fails
+//!   only its own tickets; the server keeps serving.
+//!
+//! ```no_run
+//! use trq_serve::{BatchPolicy, Server};
+//! use trq_core::{arch::ArchConfig, pim::AdcScheme};
+//! use trq_nn::{data, models, QuantizedNetwork};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = models::lenet5(1)?;
+//! let ds = data::synthetic_digits(8, 2);
+//! let cal: Vec<_> = ds.iter().map(|s| s.image.clone()).collect();
+//! let qnet = QuantizedNetwork::quantize(&net, &cal)?;
+//! let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
+//! let server = Server::start(qnet, ArchConfig::default(), plan, BatchPolicy::default());
+//! let ticket = server.submit(ds[0].image.clone())?;
+//! let response = ticket.wait()?;
+//! println!("served in {:?} (batch of {})", response.latency, response.batch_size);
+//! let report = server.shutdown();
+//! println!("{} requests, {} batches", report.requests, report.batches);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use trq_core::arch::ArchConfig;
+use trq_core::pim::{AdcScheme, PimMvm, PimStats};
+use trq_nn::{NnError, QuantizedNetwork};
+use trq_tensor::Tensor;
+
+/// How the micro-batcher forms batches and how much work it may hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest number of requests coalesced into one engine call
+    /// (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// After the first request of a batch arrives, how long the batcher
+    /// waits for more before running a partial batch. `Duration::ZERO`
+    /// runs with whatever is queued at drain time.
+    pub max_wait: Duration,
+    /// Bound on queued (not yet batched) requests — the backpressure
+    /// knob (clamped to ≥ 1).
+    pub queue_cap: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch: 16, max_wait: Duration::from_millis(1), queue_cap: 256 }
+    }
+}
+
+impl BatchPolicy {
+    /// Builder: sets the maximum batch size.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Builder: sets the straggler wait.
+    #[must_use]
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Builder: sets the queue bound.
+    #[must_use]
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        self.queue_cap = queue_cap;
+        self
+    }
+
+    fn normalized(self) -> Self {
+        BatchPolicy {
+            max_batch: self.max_batch.max(1),
+            max_wait: self.max_wait,
+            queue_cap: self.queue_cap.max(1),
+        }
+    }
+}
+
+/// Errors surfaced to submitters and ticket holders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue is full ([`Server::try_submit`] only —
+    /// [`Server::submit`] blocks instead).
+    QueueFull,
+    /// The server is shutting down (or its batcher is gone) and accepts
+    /// no new requests.
+    ShuttingDown,
+    /// The batch this request rode in failed in the forward pass; every
+    /// ticket of that batch gets the same typed error.
+    Forward(NnError),
+    /// The backend panicked while running this request's batch. The
+    /// server fails the batch's tickets and keeps serving.
+    BatchPanicked,
+    /// The backend answered the batch with the wrong number of outputs
+    /// (a [`Server::with_worker`] contract violation); the whole batch
+    /// fails rather than leaving unanswered tickets hanging.
+    BadBatchOutput {
+        /// Requests in the batch.
+        expected: usize,
+        /// Outputs the backend returned.
+        got: usize,
+    },
+    /// The batcher thread died before this request could run.
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Forward(e) => write!(f, "batch forward pass failed: {e}"),
+            ServeError::BatchPanicked => write!(f, "backend panicked while running the batch"),
+            ServeError::BadBatchOutput { expected, got } => {
+                write!(f, "backend answered {got} outputs for a batch of {expected}")
+            }
+            ServeError::WorkerLost => write!(f, "batcher thread died before the request ran"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Forward(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One served request's result.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The network output for the submitted image — bit-identical to a
+    /// per-image [`QuantizedNetwork::forward`] call.
+    pub output: Tensor,
+    /// Submit-to-completion wall time.
+    pub latency: Duration,
+    /// How many requests shared this request's engine call.
+    pub batch_size: usize,
+}
+
+/// Aggregate accounting the batcher keeps; returned by
+/// [`Server::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Requests failed (batch errors, panics, worker loss).
+    pub failed: u64,
+    /// Engine calls (batches) executed.
+    pub batches: u64,
+    /// Largest batch actually formed.
+    pub max_batch_seen: usize,
+    /// Summed per-batch engine ledgers — bit-identical to the ledger one
+    /// engine accumulates serving the same images serially.
+    pub stats: PimStats,
+}
+
+struct TicketShared {
+    result: Mutex<Option<Result<Response, ServeError>>>,
+    ready: Condvar,
+}
+
+impl TicketShared {
+    fn complete(&self, result: Result<Response, ServeError>) {
+        *self.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on one submitted request's future result.
+pub struct Ticket {
+    shared: Arc<TicketShared>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self.shared.result.lock().unwrap_or_else(PoisonError::into_inner).is_some();
+        f.debug_struct("Ticket").field("ready", &ready).finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut slot = self.shared.result.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.shared.ready.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking poll: clones out the result if the request has
+    /// completed, `None` if it is still queued or running. The result
+    /// stays claimable — [`Ticket::wait`] after a successful poll
+    /// returns (it does not hang), so polling loops can hand the ticket
+    /// to a final `wait`.
+    pub fn poll(&self) -> Option<Result<Response, ServeError>> {
+        self.shared.result.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
+struct Request {
+    image: Tensor,
+    submitted: Instant,
+    ticket: Arc<TicketShared>,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    /// No new submissions; the batcher drains what is queued, then exits.
+    draining: bool,
+    /// The batcher thread is gone (clean exit or panic).
+    dead: bool,
+}
+
+struct Shared {
+    policy: BatchPolicy,
+    state: Mutex<QueueState>,
+    /// The batcher parks here waiting for requests.
+    arrived: Condvar,
+    /// Blocking submitters park here waiting for queue space.
+    vacated: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The batcher's end of the request queue, handed to the worker body of
+/// [`Server::with_worker`]. Call [`BatchSource::serve`] with a batch
+/// runner to enter the drain loop; the standard [`Server::start`] wires
+/// it to a [`PimMvm`]-backed [`QuantizedNetwork::forward_batch`].
+pub struct BatchSource {
+    shared: Arc<Shared>,
+}
+
+impl BatchSource {
+    /// Waits for the next micro-batch, or `None` when the server is
+    /// draining and the queue is empty (time to exit).
+    ///
+    /// Batches are same-shape runs of the arrival order: the head request
+    /// fixes the batch's input shape and the batcher takes queued
+    /// requests while they match, up to `max_batch` — a differently
+    /// shaped request ends the batch and heads the next one. This keeps
+    /// every engine call shape-uniform (no [`NnError::BatchShape`]
+    /// rejections at runtime) while staying deterministic in arrival
+    /// order.
+    fn next_batch(&self) -> Option<Vec<Request>> {
+        let policy = self.shared.policy;
+        let mut st = self.shared.lock();
+        loop {
+            if !st.queue.is_empty() {
+                break;
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.shared.arrived.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        // micro-batch fill: give stragglers up to `max_wait` to coalesce
+        // into this engine call (skipped while draining — the goal then
+        // is to finish, not to optimise batch shape). Two cases already
+        // bound the batch and make waiting pointless: a differently
+        // shaped request inside the first `max_batch` entries (the batch
+        // is cut there no matter what arrives), and a queue at capacity
+        // (nothing new can arrive until the batcher itself drains).
+        if policy.max_wait > Duration::ZERO {
+            let batch_bounded = |st: &QueueState| {
+                let head_dims = st.queue[0].image.shape().dims();
+                st.queue
+                    .iter()
+                    .take(policy.max_batch)
+                    .skip(1)
+                    .any(|r| r.image.shape().dims() != head_dims)
+            };
+            let deadline = Instant::now() + policy.max_wait;
+            while st.queue.len() < policy.max_batch.min(policy.queue_cap)
+                && !st.draining
+                && !batch_bounded(&st)
+            {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = self
+                    .shared
+                    .arrived
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        let head_dims =
+            st.queue.front().expect("loop above ensures a head").image.shape().dims().to_vec();
+        let mut batch = Vec::new();
+        while batch.len() < policy.max_batch {
+            match st.queue.front() {
+                Some(r) if r.image.shape().dims() == head_dims => {
+                    batch.push(st.queue.pop_front().expect("front exists"));
+                }
+                _ => break,
+            }
+        }
+        drop(st);
+        self.shared.vacated.notify_all();
+        Some(batch)
+    }
+
+    /// Runs the drain loop: pulls micro-batches and feeds them to
+    /// `run_batch`, which returns each image's output (slot `i` answers
+    /// request `i`) plus the batch's engine ledger. Returns the
+    /// accumulated report when the server drains out.
+    ///
+    /// A `run_batch` error fails that batch's tickets with
+    /// [`ServeError::Forward`]; a panic fails them with
+    /// [`ServeError::BatchPanicked`]. Both leave the loop running — one
+    /// poisoned batch must not take the server down.
+    pub fn serve<R>(self, mut run_batch: R) -> ServeReport
+    where
+        R: FnMut(&[Tensor]) -> Result<(Vec<Tensor>, PimStats), NnError>,
+    {
+        let mut report = ServeReport::default();
+        while let Some(batch) = self.next_batch() {
+            let batch_size = batch.len();
+            let mut images = Vec::with_capacity(batch_size);
+            let mut waiters = Vec::with_capacity(batch_size);
+            for request in batch {
+                images.push(request.image);
+                waiters.push((request.submitted, request.ticket));
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_batch(&images)));
+            report.batches += 1;
+            report.max_batch_seen = report.max_batch_seen.max(batch_size);
+            match outcome {
+                Ok(Ok((outputs, stats))) if outputs.len() == batch_size => {
+                    report.requests += batch_size as u64;
+                    report.stats.merge(&stats);
+                    for ((submitted, ticket), output) in waiters.into_iter().zip(outputs) {
+                        let latency = submitted.elapsed();
+                        ticket.complete(Ok(Response { output, latency, batch_size }));
+                    }
+                }
+                Ok(Ok((outputs, _))) => {
+                    // contract violation by a custom backend: answering
+                    // the wrong request count must fail the whole batch
+                    // loudly — zipping would leave unanswered tickets
+                    // blocked forever
+                    report.failed += batch_size as u64;
+                    let err =
+                        ServeError::BadBatchOutput { expected: batch_size, got: outputs.len() };
+                    for (_, ticket) in waiters {
+                        ticket.complete(Err(err.clone()));
+                    }
+                }
+                Ok(Err(e)) => {
+                    report.failed += batch_size as u64;
+                    for (_, ticket) in waiters {
+                        ticket.complete(Err(ServeError::Forward(e.clone())));
+                    }
+                }
+                Err(_panic) => {
+                    report.failed += batch_size as u64;
+                    for (_, ticket) in waiters {
+                        ticket.complete(Err(ServeError::BatchPanicked));
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// The multi-producer serving frontend. See the crate docs for the model.
+pub struct Server {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<ServeReport>>,
+}
+
+impl Server {
+    /// Starts a server over the standard crossbar backend: one
+    /// [`PimMvm`] engine (programmed once, reused for every batch)
+    /// running `qnet` under `plan`, one engine session per drained batch.
+    pub fn start(
+        qnet: QuantizedNetwork,
+        arch: ArchConfig,
+        plan: Vec<AdcScheme>,
+        policy: BatchPolicy,
+    ) -> Server {
+        Server::with_worker(policy, move |source| {
+            let mut engine = PimMvm::new(&arch, plan);
+            source.serve(move |images| {
+                // per-batch ledger: reset, run, hand the delta to the
+                // report (merge keeps the sum bit-identical to one
+                // engine serving the same images serially)
+                engine.reset_stats();
+                let outputs = qnet.forward_batch(images, &mut engine)?;
+                Ok((outputs, engine.stats().clone()))
+            })
+        })
+    }
+
+    /// Starts a server with a custom worker body — the seam tests and
+    /// alternative backends use. The body receives the [`BatchSource`]
+    /// and normally calls [`BatchSource::serve`]; whatever report it
+    /// returns comes back from [`Server::shutdown`]. If the body exits
+    /// (or panics) with requests still queued, those tickets fail with
+    /// [`ServeError::WorkerLost`] and the server stops accepting work.
+    pub fn with_worker<F>(policy: BatchPolicy, body: F) -> Server
+    where
+        F: FnOnce(BatchSource) -> ServeReport + Send + 'static,
+    {
+        let shared = Arc::new(Shared {
+            policy: policy.normalized(),
+            state: Mutex::new(QueueState { queue: VecDeque::new(), draining: false, dead: false }),
+            arrived: Condvar::new(),
+            vacated: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("trq-serve-batcher".into())
+            .spawn(move || {
+                let source = BatchSource { shared: Arc::clone(&worker_shared) };
+                let outcome = catch_unwind(AssertUnwindSafe(|| body(source)));
+                // the batcher is gone: refuse new work and fail anything
+                // still queued so no ticket waits forever
+                let leftovers: Vec<Request> = {
+                    let mut st = worker_shared.lock();
+                    st.dead = true;
+                    st.queue.drain(..).collect()
+                };
+                worker_shared.vacated.notify_all();
+                let mut report = outcome.unwrap_or_default();
+                report.failed += leftovers.len() as u64;
+                for request in leftovers {
+                    request.ticket.complete(Err(ServeError::WorkerLost));
+                }
+                report
+            })
+            .expect("spawn batcher thread");
+        Server { shared, worker: Some(worker) }
+    }
+
+    /// Submits one image, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] once shutdown has begun or
+    /// the batcher is gone.
+    pub fn submit(&self, image: Tensor) -> Result<Ticket, ServeError> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.draining || st.dead {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queue.len() < self.shared.policy.queue_cap {
+                break;
+            }
+            st = self.shared.vacated.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        Ok(self.enqueue(st, image))
+    }
+
+    /// Submits one image without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] when the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] once shutdown has begun.
+    pub fn try_submit(&self, image: Tensor) -> Result<Ticket, ServeError> {
+        let st = self.shared.lock();
+        if st.draining || st.dead {
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.queue.len() >= self.shared.policy.queue_cap {
+            return Err(ServeError::QueueFull);
+        }
+        Ok(self.enqueue(st, image))
+    }
+
+    fn enqueue(&self, mut st: MutexGuard<'_, QueueState>, image: Tensor) -> Ticket {
+        let shared = Arc::new(TicketShared { result: Mutex::new(None), ready: Condvar::new() });
+        st.queue.push_back(Request {
+            image,
+            submitted: Instant::now(),
+            ticket: Arc::clone(&shared),
+        });
+        drop(st);
+        self.shared.arrived.notify_all();
+        Ticket { shared }
+    }
+
+    /// Requests queued right now (an instantaneous backpressure signal).
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Begins shutdown without consuming the server: new submissions fail
+    /// with [`ServeError::ShuttingDown`] while the batcher drains what is
+    /// already queued. Call [`Server::shutdown`] to join and collect the
+    /// report.
+    pub fn begin_shutdown(&self) {
+        self.shared.lock().draining = true;
+        self.shared.arrived.notify_all();
+        self.shared.vacated.notify_all();
+    }
+
+    /// Drains every queued request through the engine, stops the batcher,
+    /// and returns the accumulated report. Every outstanding ticket is
+    /// resolved before this returns.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> ServeReport {
+        self.begin_shutdown();
+        match self.worker.take() {
+            Some(handle) => handle.join().unwrap_or_default(),
+            None => ServeReport::default(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.worker.is_some() {
+            let _ = self.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A gate the tests use to hold the backend closed while they stage
+    /// the queue, making queue-capacity assertions deterministic.
+    struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate { open: Mutex::new(false), cv: Condvar::new() })
+        }
+
+        fn open(&self) {
+            *self.open.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+
+        fn wait_open(&self) {
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+        }
+    }
+
+    fn image(tag: f32) -> Tensor {
+        Tensor::from_vec(vec![4], vec![tag, tag + 1.0, tag + 2.0, tag + 3.0]).unwrap()
+    }
+
+    /// An echo backend: waits for the gate, then answers each request
+    /// with its own input. Exercises the queue/ticket machinery without
+    /// a network.
+    fn gated_echo_server(policy: BatchPolicy, gate: &Arc<Gate>) -> Server {
+        let gate = Arc::clone(gate);
+        Server::with_worker(policy, move |source| {
+            gate.wait_open();
+            source.serve(|images| Ok((images.to_vec(), PimStats::default())))
+        })
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure() {
+        let gate = Gate::new();
+        let policy = BatchPolicy::default().with_queue_cap(2).with_max_wait(Duration::ZERO);
+        let server = gated_echo_server(policy, &gate);
+        let t1 = server.try_submit(image(0.0)).expect("slot 1");
+        let t2 = server.try_submit(image(4.0)).expect("slot 2");
+        assert_eq!(server.try_submit(image(8.0)).unwrap_err(), ServeError::QueueFull);
+        assert_eq!(server.queue_len(), 2);
+        gate.open();
+        assert_eq!(t1.wait().expect("echo").output.data(), image(0.0).data());
+        assert_eq!(t2.wait().expect("echo").output.data(), image(4.0).data());
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_space() {
+        let gate = Gate::new();
+        let policy = BatchPolicy::default().with_queue_cap(1).with_max_wait(Duration::ZERO);
+        let server = Arc::new(gated_echo_server(policy, &gate));
+        let _t1 = server.submit(image(0.0)).expect("slot 1");
+        let server2 = Arc::clone(&server);
+        let blocked = std::thread::spawn(move || server2.submit(image(4.0)));
+        // open the gate: the batcher drains slot 1, freeing space for the
+        // blocked submitter
+        gate.open();
+        let t2 = blocked.join().expect("no panic").expect("unblocked submit succeeds");
+        assert_eq!(t2.wait().expect("echo").output.data(), image(4.0).data());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let gate = Gate::new();
+        let policy = BatchPolicy::default().with_max_batch(2).with_max_wait(Duration::ZERO);
+        let server = gated_echo_server(policy, &gate);
+        let tickets: Vec<Ticket> =
+            (0..5).map(|i| server.submit(image(i as f32)).expect("enqueue")).collect();
+        server.begin_shutdown();
+        assert_eq!(server.submit(image(99.0)).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(server.try_submit(image(99.0)).unwrap_err(), ServeError::ShuttingDown);
+        gate.open();
+        let report = server.shutdown();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().expect("drained before exit");
+            assert_eq!(response.output.data(), image(i as f32).data());
+            assert!(response.batch_size <= 2);
+        }
+        assert_eq!(report.requests, 5);
+        assert_eq!(report.failed, 0);
+        assert!(report.batches >= 3, "max_batch 2 needs ≥ 3 batches for 5 requests");
+        assert_eq!(report.max_batch_seen, 2);
+    }
+
+    #[test]
+    fn batch_error_fails_only_its_own_tickets() {
+        // backend that rejects any batch whose head is negative
+        let policy = BatchPolicy::default().with_max_batch(1).with_max_wait(Duration::ZERO);
+        let server = Server::with_worker(policy, move |source| {
+            source.serve(|images| {
+                if images[0].data()[0] < 0.0 {
+                    return Err(NnError::BadGraph { reason: "injected".into() });
+                }
+                Ok((images.to_vec(), PimStats::default()))
+            })
+        });
+        let good1 = server.submit(image(1.0)).unwrap();
+        let bad = server.submit(image(-9.0)).unwrap();
+        let good2 = server.submit(image(2.0)).unwrap();
+        assert!(good1.wait().is_ok());
+        assert!(matches!(bad.wait().unwrap_err(), ServeError::Forward(_)));
+        assert!(good2.wait().is_ok(), "the server must keep serving after a failed batch");
+        let report = server.shutdown();
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.failed, 1);
+    }
+
+    #[test]
+    fn batch_panic_fails_tickets_but_server_survives() {
+        let panics = Arc::new(AtomicUsize::new(0));
+        let panics2 = Arc::clone(&panics);
+        let policy = BatchPolicy::default().with_max_batch(1).with_max_wait(Duration::ZERO);
+        let server = Server::with_worker(policy, move |source| {
+            source.serve(move |images| {
+                if images[0].data()[0] < 0.0 {
+                    panics2.fetch_add(1, Ordering::SeqCst);
+                    panic!("injected backend panic");
+                }
+                Ok((images.to_vec(), PimStats::default()))
+            })
+        });
+        let bad = server.submit(image(-1.0)).unwrap();
+        let good = server.submit(image(5.0)).unwrap();
+        assert_eq!(bad.wait().unwrap_err(), ServeError::BatchPanicked);
+        assert!(good.wait().is_ok(), "a panicked batch must not take the batcher down");
+        assert_eq!(panics.load(Ordering::SeqCst), 1);
+        let report = server.shutdown();
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.failed, 1);
+    }
+
+    #[test]
+    fn dead_worker_fails_leftover_tickets() {
+        // body exits immediately without serving anything
+        let policy = BatchPolicy::default();
+        let server = Server::with_worker(policy, |_source| ServeReport::default());
+        // the worker may already be gone; either the submit is refused or
+        // the ticket resolves to WorkerLost — nothing hangs
+        match server.submit(image(0.0)) {
+            Ok(ticket) => {
+                assert_eq!(ticket.wait().unwrap_err(), ServeError::WorkerLost);
+            }
+            Err(e) => assert_eq!(e, ServeError::ShuttingDown),
+        }
+    }
+
+    #[test]
+    fn mixed_shapes_split_into_shape_uniform_batches() {
+        let gate = Gate::new();
+        let policy = BatchPolicy::default().with_max_batch(8).with_max_wait(Duration::ZERO);
+        let shapes_seen = Arc::new(Mutex::new(Vec::new()));
+        let shapes2 = Arc::clone(&shapes_seen);
+        let gate2 = Arc::clone(&gate);
+        let server = Server::with_worker(policy, move |source| {
+            gate2.wait_open();
+            source.serve(move |images| {
+                let dims = images[0].shape().dims().to_vec();
+                assert!(
+                    images.iter().all(|x| x.shape().dims() == dims),
+                    "batches must be shape-uniform"
+                );
+                shapes2.lock().unwrap().push((dims, images.len()));
+                Ok((images.to_vec(), PimStats::default()))
+            })
+        });
+        let wide = Tensor::from_vec(vec![2, 2], vec![1.0; 4]).unwrap();
+        let t1 = server.submit(image(0.0)).unwrap();
+        let t2 = server.submit(image(4.0)).unwrap();
+        let t3 = server.submit(wide.clone()).unwrap();
+        let t4 = server.submit(image(8.0)).unwrap();
+        gate.open();
+        for t in [t1, t2, t3, t4] {
+            assert!(t.wait().is_ok());
+        }
+        let report = server.shutdown();
+        assert_eq!(report.requests, 4);
+        let shapes = shapes_seen.lock().unwrap();
+        // arrival order is preserved: [4]×2, then [2,2]×1, then [4]×1
+        assert_eq!(*shapes, vec![(vec![4], 2), (vec![2, 2], 1), (vec![4], 1)]);
+    }
+
+    #[test]
+    fn wrong_output_count_fails_the_batch_instead_of_hanging() {
+        let policy = BatchPolicy::default().with_max_batch(4).with_max_wait(Duration::ZERO);
+        let gate = Gate::new();
+        let gate2 = Arc::clone(&gate);
+        let server = Server::with_worker(policy, move |source| {
+            gate2.wait_open();
+            // a broken backend: answers one output regardless of batch size
+            source.serve(|images| Ok((images[..1].to_vec(), PimStats::default())))
+        });
+        let t1 = server.submit(image(0.0)).unwrap();
+        let t2 = server.submit(image(4.0)).unwrap();
+        gate.open();
+        // both tickets must resolve (not hang), with the typed error
+        let err = t1.wait().unwrap_err();
+        assert_eq!(err, ServeError::BadBatchOutput { expected: 2, got: 1 });
+        assert_eq!(t2.wait().unwrap_err(), err);
+        let report = server.shutdown();
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.requests, 0);
+    }
+
+    #[test]
+    fn poll_is_non_consuming_and_wait_still_returns() {
+        let policy = BatchPolicy::default().with_max_batch(1).with_max_wait(Duration::ZERO);
+        let server = Server::with_worker(policy, move |source| {
+            source.serve(|images| Ok((images.to_vec(), PimStats::default())))
+        });
+        let ticket = server.submit(image(3.0)).unwrap();
+        // spin until the poll sees the result, then wait() must not hang
+        loop {
+            if let Some(result) = ticket.poll() {
+                assert_eq!(result.expect("echo").output.data(), image(3.0).data());
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(ticket.wait().expect("still claimable").output.data(), image(3.0).data());
+    }
+
+    #[test]
+    fn shape_bounded_batch_skips_the_straggler_wait() {
+        // a long max_wait with a shape boundary already queued: the batch
+        // is bounded, so next_batch must not sleep the full wait
+        let gate = Gate::new();
+        let policy = BatchPolicy::default()
+            .with_max_batch(16)
+            .with_max_wait(Duration::from_secs(5))
+            .with_queue_cap(8);
+        let server = gated_echo_server(policy, &gate);
+        let t1 = server.submit(image(0.0)).unwrap();
+        let t2 = server.submit(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).unwrap()).unwrap();
+        let t0 = Instant::now();
+        gate.open();
+        assert!(t1.wait().is_ok());
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "bounded batches must not eat the full max_wait"
+        );
+        // t2 now heads a lone batch and would legitimately wait for
+        // stragglers; draining releases it immediately
+        server.begin_shutdown();
+        assert!(t2.wait().is_ok());
+    }
+
+    #[test]
+    fn full_queue_skips_the_straggler_wait() {
+        // queue_cap < max_batch with the queue pinned at capacity:
+        // nothing new can arrive, so the batcher must not sleep max_wait
+        let gate = Gate::new();
+        let policy = BatchPolicy::default()
+            .with_max_batch(16)
+            .with_max_wait(Duration::from_secs(5))
+            .with_queue_cap(2);
+        let server = gated_echo_server(policy, &gate);
+        let t1 = server.submit(image(0.0)).unwrap();
+        let t2 = server.submit(image(4.0)).unwrap();
+        let t0 = Instant::now();
+        gate.open();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "a capacity-bounded batch must not eat the full max_wait"
+        );
+    }
+
+    #[test]
+    fn policy_normalisation_clamps_degenerate_knobs() {
+        let p = BatchPolicy::default().with_max_batch(0).with_queue_cap(0).normalized();
+        assert_eq!(p.max_batch, 1);
+        assert_eq!(p.queue_cap, 1);
+    }
+}

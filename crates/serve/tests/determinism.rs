@@ -1,0 +1,132 @@
+//! Server determinism: however requests arrive and coalesce, the served
+//! outputs must be **bit-identical** — values and summed engine ledgers —
+//! to per-image [`trq_nn::QuantizedNetwork::forward`] calls on one serial
+//! engine. Random arrival patterns (interleaved waits force different
+//! batch splits) × `max_batch ∈ {1, 4, 7}` × thread counts all land on
+//! the same bits.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use trq_core::arch::{ArchConfig, ExecConfig};
+use trq_core::pim::{AdcScheme, PimMvm, PimStats};
+use trq_nn::QuantizedNetwork;
+use trq_serve::{BatchPolicy, Server, Ticket};
+use trq_tensor::Tensor;
+
+const DEPTH: usize = 24;
+const IMAGES: usize = 10;
+
+fn fixture() -> (QuantizedNetwork, Vec<Tensor>) {
+    let net = trq_nn::models::mlp(DEPTH, 8, 4, 21).expect("static topology");
+    let images: Vec<Tensor> = (0..IMAGES)
+        .map(|i| {
+            let data: Vec<f32> =
+                (0..DEPTH).map(|j| (((i * 31 + j * 7) % 17) as f32) * 0.06).collect();
+            Tensor::from_vec(vec![DEPTH], data).expect("static shape")
+        })
+        .collect();
+    let qnet = QuantizedNetwork::quantize(&net, &images[..3]).expect("calibration succeeds");
+    (qnet, images)
+}
+
+fn plan(layers: usize) -> Vec<AdcScheme> {
+    vec![AdcScheme::uniform(6, 0.7); layers]
+}
+
+/// Serial reference: one engine, one `forward` per image, cumulative
+/// ledger — the ground truth every batching schedule must reproduce.
+fn serial_reference(
+    qnet: &QuantizedNetwork,
+    arch: &ArchConfig,
+    images: &[Tensor],
+) -> (Vec<Vec<f32>>, PimStats) {
+    let mut engine = PimMvm::new(arch, plan(qnet.layers().len()));
+    let outputs: Vec<Vec<f32>> = images
+        .iter()
+        .map(|x| qnet.forward(x, &mut engine).expect("serial forward").data().to_vec())
+        .collect();
+    (outputs, engine.stats().clone())
+}
+
+/// Runs every image through a server under `policy`/`arch`, following the
+/// arrival pattern: after submitting image `i`, `wait_now[i]` forces an
+/// immediate ticket wait (flushing whatever the batcher holds and ending
+/// the current batch split there). Returns outputs in submission order
+/// plus the server's summed ledger.
+fn serve_all(
+    qnet: &QuantizedNetwork,
+    arch: &ArchConfig,
+    images: &[Tensor],
+    policy: BatchPolicy,
+    wait_now: &[bool],
+) -> (Vec<Vec<f32>>, PimStats, usize) {
+    let server = Server::start(qnet.clone(), *arch, plan(qnet.layers().len()), policy);
+    let mut outputs: Vec<Option<Vec<f32>>> = vec![None; images.len()];
+    let mut pending: Vec<(usize, Ticket)> = Vec::new();
+    let mut max_batch_size = 0usize;
+    for (i, image) in images.iter().enumerate() {
+        let ticket = server.submit(image.clone()).expect("queue has room");
+        if wait_now[i % wait_now.len()] {
+            let response = ticket.wait().expect("served");
+            max_batch_size = max_batch_size.max(response.batch_size);
+            outputs[i] = Some(response.output.data().to_vec());
+        } else {
+            pending.push((i, ticket));
+        }
+    }
+    for (i, ticket) in pending {
+        let response = ticket.wait().expect("served");
+        max_batch_size = max_batch_size.max(response.batch_size);
+        outputs[i] = Some(response.output.data().to_vec());
+    }
+    let report = server.shutdown();
+    assert_eq!(report.requests, images.len() as u64);
+    assert_eq!(report.failed, 0);
+    (
+        outputs.into_iter().map(|o| o.expect("every slot answered")).collect(),
+        report.stats,
+        max_batch_size,
+    )
+}
+
+proptest! {
+    /// Random arrival patterns × batch caps: outputs and summed ledgers
+    /// must equal the serial reference bit for bit, and no batch may
+    /// exceed the policy cap.
+    #[test]
+    fn server_is_bit_identical_to_serial_forward(
+        wait_now in proptest::collection::vec(proptest::bool::ANY, IMAGES..IMAGES + 1),
+        cap_sel in 0usize..3,
+        wait_us in 0u64..2,
+    ) {
+        let (qnet, images) = fixture();
+        let arch = ArchConfig::default();
+        let (want, want_stats) = serial_reference(&qnet, &arch, &images);
+        let max_batch = [1usize, 4, 7][cap_sel];
+        let policy = BatchPolicy::default()
+            .with_max_batch(max_batch)
+            .with_max_wait(Duration::from_micros(wait_us * 500));
+        let (got, got_stats, seen) = serve_all(&qnet, &arch, &images, policy, &wait_now);
+        prop_assert_eq!(&got, &want, "served outputs must match per-image forward bits");
+        prop_assert_eq!(&got_stats, &want_stats, "summed ledgers must match the serial ledger");
+        prop_assert!(seen <= max_batch, "batch {} exceeded cap {}", seen, max_batch);
+    }
+}
+
+#[test]
+fn threaded_pool_serving_matches_serial_forward() {
+    // the engine side of the batcher runs threaded tile rounds on the
+    // persistent pool; results must still be the serial bits
+    let (qnet, images) = fixture();
+    let arch = ArchConfig {
+        exec: ExecConfig::serial().with_threads(2).with_tile_outputs(2).with_tile_windows(2),
+        ..ArchConfig::default()
+    };
+    let serial_arch = ArchConfig::default();
+    let (want, want_stats) = serial_reference(&qnet, &serial_arch, &images);
+    let policy = BatchPolicy::default().with_max_batch(4).with_max_wait(Duration::ZERO);
+    let wait_now = vec![false; IMAGES];
+    let (got, got_stats, _) = serve_all(&qnet, &arch, &images, policy, &wait_now);
+    assert_eq!(got, want, "threaded serving must not change bits");
+    assert_eq!(got_stats, want_stats, "threaded serving must not change the ledger");
+}

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = ArchConfig::default();
 
     println!("collecting bit-line statistics from {} calibration images...", 2);
-    let samples = collect_bl_samples(&qnet, &arch, &cal[..2], CollectorConfig::default());
+    let samples = collect_bl_samples(&qnet, &arch, &cal[..2], CollectorConfig::default())?;
 
     let settings = CalibSettings::default();
     for nmax in [7u32, 4] {

@@ -35,9 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. collect BL statistics and run Algorithm 1
     let arch = ArchConfig::default();
-    let samples = collect_bl_samples(&qnet, &arch, &cal[..4], CollectorConfig::default());
+    let samples = collect_bl_samples(&qnet, &arch, &cal[..4], CollectorConfig::default())?;
     let settings = CalibSettings::default();
-    let result = algorithm1(&qnet, &arch, &samples, &metric, &settings);
+    let result = algorithm1(&qnet, &arch, &samples, &metric, &settings)?;
 
     println!(
         "\nAlgorithm 1 accepted Nmax = {} with accuracy {:.1}%",
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. the energy story: ops of the accepted plan vs the 8-op baseline
-    let final_eval = evaluate_plan(&qnet, &arch, &result.schemes, &metric);
+    let final_eval = evaluate_plan(&qnet, &arch, &result.schemes, &metric)?;
     let ratio = final_eval.stats.remaining_ops_ratio();
     println!(
         "\nA/D operations remaining: {:.1}% of the 8-bit baseline ({:.2}x reduction)",

@@ -11,7 +11,9 @@
 //! - [`adc`] — SAR ADC state machines (uniform / non-uniform / TRQ);
 //! - [`nn`] — DNN graph engine, paper workloads, synthetic datasets;
 //! - [`core`] — ISAAC-like architecture, energy model, Algorithm 1,
-//!   experiment drivers.
+//!   experiment drivers;
+//! - [`serve`] — batch-serving frontend with deterministic
+//!   micro-batching over the crossbar engine.
 //!
 //! ```
 //! use trq::quant::{TrqParams, TwinRangeQuantizer};
@@ -28,5 +30,6 @@ pub use trq_adc as adc;
 pub use trq_core as core;
 pub use trq_nn as nn;
 pub use trq_quant as quant;
+pub use trq_serve as serve;
 pub use trq_tensor as tensor;
 pub use trq_xbar as xbar;

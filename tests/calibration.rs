@@ -12,8 +12,10 @@ fn calibration_is_deterministic() {
     let w = Workload::lenet5(&SuiteConfig::quick());
     let arch = ArchConfig::default();
     let settings = CalibSettings { candidates: 10, ..Default::default() };
-    let s1 = collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default());
-    let s2 = collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default());
+    let s1 =
+        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default()).unwrap();
+    let s2 =
+        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default()).unwrap();
     let p1 = plan_network(&s1, &arch, 5, &settings);
     let p2 = plan_network(&s2, &arch, 5, &settings);
     assert_eq!(p1, p2, "same inputs must give the same plan");
@@ -25,7 +27,7 @@ fn schemes_respect_the_bit_cap() {
     let arch = ArchConfig::default();
     let settings = CalibSettings { candidates: 10, ..Default::default() };
     let samples =
-        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default());
+        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default()).unwrap();
     for nmax in [7u32, 5, 3, 1] {
         for plan in plan_network(&samples, &arch, nmax, &settings) {
             match plan.scheme {
@@ -46,7 +48,7 @@ fn mean_ops_never_exceeds_worst_case_and_tracks_nmax() {
     let arch = ArchConfig::default();
     let settings = CalibSettings { candidates: 10, ..Default::default() };
     let samples =
-        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default());
+        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default()).unwrap();
     let mut prev_total = f64::INFINITY;
     for nmax in (3..=7).rev() {
         let plans = plan_network(&samples, &arch, nmax, &settings);
@@ -70,7 +72,7 @@ fn mse_grows_as_bits_shrink() {
     let arch = ArchConfig::default();
     let settings = CalibSettings { candidates: 10, ..Default::default() };
     let samples =
-        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default());
+        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default()).unwrap();
     let p7 = plan_network(&samples, &arch, 7, &settings);
     let p3 = plan_network(&samples, &arch, 3, &settings);
     let mse7: f64 = p7.iter().map(|p| p.mse).sum();
@@ -88,7 +90,8 @@ fn collector_reservoirs_are_bounded() {
         &arch,
         &w.cal_images[..2],
         CollectorConfig { reservoir_cap: cap },
-    );
+    )
+    .unwrap();
     for s in &samples {
         assert!(s.values.len() <= cap, "{} reservoir overflowed: {}", s.label, s.values.len());
         assert!(s.seen >= s.values.len() as u64);

@@ -18,15 +18,15 @@ fn trained_lenet_beats_uniform_at_four_bits() {
     let (w, arch) = quick_lenet();
     let settings = CalibSettings { candidates: 12, ..Default::default() };
     let samples =
-        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default());
+        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default()).unwrap();
     let metric = w.metric();
 
     let trq_plan: Vec<AdcScheme> =
         plan_network(&samples, &arch, 4, &settings).iter().map(|p| p.scheme).collect();
     let uni_plan = plan_uniform_network(&samples, &arch, 4, &settings);
 
-    let trq = evaluate_plan(&w.qnet, &arch, &trq_plan, &metric);
-    let uni = evaluate_plan(&w.qnet, &arch, &uni_plan, &metric);
+    let trq = evaluate_plan(&w.qnet, &arch, &trq_plan, &metric).unwrap();
+    let uni = evaluate_plan(&w.qnet, &arch, &uni_plan, &metric).unwrap();
     assert!(
         trq.score >= uni.score,
         "paper's core claim at 4 bits: TRQ {} vs uniform {}",
@@ -45,9 +45,9 @@ fn algorithm1_respects_theta_and_reports_descent() {
     let (w, arch) = quick_lenet();
     let settings = CalibSettings { candidates: 10, theta: 0.05, ..Default::default() };
     let samples =
-        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default());
+        collect_bl_samples(&w.qnet, &arch, &w.cal_images[..2], CollectorConfig::default()).unwrap();
     let metric = w.metric();
-    let result = algorithm1(&w.qnet, &arch, &samples, &metric, &settings);
+    let result = algorithm1(&w.qnet, &arch, &samples, &metric, &settings).unwrap();
     assert!(result.reference_score - result.score <= settings.theta + 1e-9);
     // descent must have tried at least the first Nmax
     assert!(!result.visited.is_empty());
@@ -59,7 +59,7 @@ fn algorithm1_respects_theta_and_reports_descent() {
 fn fig6_series_is_well_formed_and_monotone_in_ops() {
     let (w, arch) = quick_lenet();
     let settings = CalibSettings { candidates: 8, ..Default::default() };
-    let series = fig6_accuracy(&w, &arch, &settings, true, &[8, 6, 4]);
+    let series = fig6_accuracy(&w, &arch, &settings, true, &[8, 6, 4]).unwrap();
     assert_eq!(series.points.len(), 5);
     assert_eq!(series.points[0].config, "f/f");
     assert_eq!(series.points[1].config, "8/f");
@@ -75,7 +75,7 @@ fn energy_breakdown_identities_hold() {
     let (w, arch) = quick_lenet();
     let metric = w.metric();
     let plan = vec![AdcScheme::Ideal; w.qnet.layers().len()];
-    let eval = evaluate_plan(&w.qnet, &arch, &plan, &metric);
+    let eval = evaluate_plan(&w.qnet, &arch, &plan, &metric).unwrap();
     let params = EnergyParams::default();
     let bd = breakdown_from_stats(&eval.stats, &params);
     // Eq. 6 identity: ADC energy == e_op·ops + e_sample·conversions
@@ -92,7 +92,7 @@ fn stats_event_counts_match_architecture_arithmetic() {
     let (w, arch) = quick_lenet();
     let metric = EvalMetric::Fidelity(&w.eval_inputs[..1]);
     let plan = vec![AdcScheme::Ideal; w.qnet.layers().len()];
-    let eval = evaluate_plan(&w.qnet, &arch, &plan, &metric);
+    let eval = evaluate_plan(&w.qnet, &arch, &plan, &metric).unwrap();
     for (layer, q) in eval.stats.layers.iter().zip(w.qnet.layers()) {
         let per_window = arch.conversions_per_window(q.info.depth, q.info.outputs);
         assert_eq!(

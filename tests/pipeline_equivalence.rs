@@ -264,8 +264,10 @@ fn pool_session_forward_batch_and_calibration_are_bit_stable() {
     }
 
     // calibration on the same process-wide pool: everything deterministic
-    let samples_a = collect_bl_samples(&qnet, &pool_arch, &images[..4], CollectorConfig::default());
-    let samples_b = collect_bl_samples(&qnet, &pool_arch, &images[..4], CollectorConfig::default());
+    let samples_a =
+        collect_bl_samples(&qnet, &pool_arch, &images[..4], CollectorConfig::default()).unwrap();
+    let samples_b =
+        collect_bl_samples(&qnet, &pool_arch, &images[..4], CollectorConfig::default()).unwrap();
     assert_eq!(samples_a.len(), samples_b.len());
     for (a, b) in samples_a.iter().zip(samples_b.iter()) {
         assert_eq!(a.values, b.values, "collector must stay deterministic");
@@ -276,8 +278,8 @@ fn pool_session_forward_batch_and_calibration_are_bit_stable() {
     assert_eq!(plans_a, plans_b, "pool-sharded search must stay deterministic");
 
     let metric = EvalMetric::Fidelity(&images);
-    let eval_a = evaluate_plan(&qnet, &pool_arch, &plan, &metric);
-    let eval_b = evaluate_plan(&qnet, &scope_arch, &plan, &metric);
+    let eval_a = evaluate_plan(&qnet, &pool_arch, &plan, &metric).unwrap();
+    let eval_b = evaluate_plan(&qnet, &scope_arch, &plan, &metric).unwrap();
     assert_eq!(eval_a.score, eval_b.score, "pool-sharded eval changed the score");
     assert_eq!(eval_a.stats.ops(), eval_b.stats.ops());
     assert_eq!(eval_a.stats.conversions(), eval_b.stats.conversions());

@@ -10,7 +10,7 @@ use trq::quant::TrqParams;
 #[test]
 fn fig3a_report_roundtrips() {
     let w = Workload::lenet5(&SuiteConfig::quick());
-    let report = fig3a(&w, &ArchConfig::default(), 1);
+    let report = fig3a(&w, &ArchConfig::default(), 1).unwrap();
     let json = serde_json::to_string(&report).unwrap();
     let back: trq::core::experiments::Fig3aReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.layers.len(), report.layers.len());
@@ -21,7 +21,7 @@ fn fig3a_report_roundtrips() {
 fn fig6_series_roundtrips() {
     let w = Workload::lenet5(&SuiteConfig::quick());
     let settings = CalibSettings { candidates: 6, ..Default::default() };
-    let series = fig6_accuracy(&w, &ArchConfig::default(), &settings, true, &[6]);
+    let series = fig6_accuracy(&w, &ArchConfig::default(), &settings, true, &[6]).unwrap();
     let json = serde_json::to_string(&series).unwrap();
     let back: trq::core::experiments::Fig6Series = serde_json::from_str(&json).unwrap();
     assert_eq!(back.points.len(), series.points.len());
@@ -32,7 +32,7 @@ fn fig6_series_roundtrips() {
 fn fig7_and_headline_roundtrip() {
     let w = Workload::lenet5(&SuiteConfig::quick());
     let settings = CalibSettings { candidates: 6, theta: 0.1, ..Default::default() };
-    let bars = fig7_power(&w, &ArchConfig::default(), &settings, &EnergyParams::default());
+    let bars = fig7_power(&w, &ArchConfig::default(), &settings, &EnergyParams::default()).unwrap();
     let json = serde_json::to_string(&bars).unwrap();
     let back: Vec<trq::core::experiments::Fig7Bar> = serde_json::from_str(&json).unwrap();
     assert_eq!(back.len(), 3);

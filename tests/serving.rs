@@ -1,0 +1,52 @@
+//! Facade-level serving test: `trq::serve` must produce bit-identical
+//! outputs and summed ledgers vs per-image `forward` for every batch
+//! policy the bench records ({1, 4, 16}), and resolve every ticket on
+//! shutdown.
+
+use std::time::Duration;
+use trq::core::arch::ArchConfig;
+use trq::core::pim::{AdcScheme, PimMvm};
+use trq::nn::{data, models, QuantizedNetwork};
+use trq::serve::{BatchPolicy, Server};
+use trq::tensor::Tensor;
+
+#[test]
+fn serving_matches_per_image_forward_for_all_bench_batch_sizes() {
+    let net = models::mlp(28 * 28, 12, 10, 5).unwrap();
+    let ds = data::synthetic_digits(12, 4);
+    let images: Vec<Tensor> = ds.iter().map(|s| s.image.clone()).collect();
+    let qnet = QuantizedNetwork::quantize(&net, &images[..4]).unwrap();
+    let arch = ArchConfig::default();
+    let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
+
+    // serial reference: one engine, one forward per image
+    let mut reference = PimMvm::new(&arch, plan.clone());
+    let want: Vec<Vec<f32>> =
+        images.iter().map(|x| qnet.forward(x, &mut reference).unwrap().data().to_vec()).collect();
+    let want_stats = reference.stats().clone();
+
+    for max_batch in [1usize, 4, 16] {
+        let policy = BatchPolicy::default()
+            .with_max_batch(max_batch)
+            .with_max_wait(Duration::from_micros(200));
+        let server = Server::start(qnet.clone(), arch, plan.clone(), policy);
+        let tickets: Vec<_> =
+            images.iter().map(|x| server.submit(x.clone()).expect("queue has room")).collect();
+        for (ticket, want_out) in tickets.into_iter().zip(&want) {
+            let response = ticket.wait().expect("served");
+            assert!(response.batch_size <= max_batch, "batch cap violated at {max_batch}");
+            assert_eq!(
+                response.output.data(),
+                &want_out[..],
+                "serving at max_batch={max_batch} must be bit-identical to forward"
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.requests, images.len() as u64);
+        assert_eq!(report.failed, 0);
+        assert_eq!(
+            report.stats, want_stats,
+            "summed ledgers at max_batch={max_batch} must equal the serial ledger"
+        );
+    }
+}

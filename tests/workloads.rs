@@ -43,7 +43,7 @@ fn resnet18_pim_ideal_equals_exact_engine() {
     let inputs = &w.eval_inputs[..2];
     let plan = vec![AdcScheme::Ideal; w.qnet.layers().len()];
     let metric = EvalMetric::Fidelity(inputs);
-    let pim = evaluate_plan(&w.qnet, &arch, &plan, &metric);
+    let pim = evaluate_plan(&w.qnet, &arch, &plan, &metric).unwrap();
 
     let mut engine = ExactMvm;
     let mut agree = 0usize;
