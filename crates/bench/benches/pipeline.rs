@@ -17,32 +17,31 @@ fn bench_pipeline(c: &mut Criterion) {
     let cal: Vec<_> = ds.iter().map(|s| s.image.clone()).collect();
     let qnet = QuantizedNetwork::quantize(&net, &cal).unwrap();
     let arch = ArchConfig::default();
-    let arch_threaded =
-        ArchConfig { exec: ExecConfig::serial().with_threads(4), ..ArchConfig::default() };
+    let arch_threaded = ArchConfig::default().with_exec(ExecConfig::serial().with_threads(4));
     let trq = AdcScheme::Trq(TrqParams::new(3, 7, 1, 1.0, 0).unwrap());
 
     group.bench_function("lenet_pim_ideal", |b| {
-        let mut engine = PimMvm::new(&arch, vec![AdcScheme::Ideal; qnet.layers().len()]);
+        let mut engine = PimMvm::new(arch, vec![AdcScheme::Ideal; qnet.layers().len()]);
         b.iter(|| black_box(qnet.forward(black_box(&ds[0].image), &mut engine).unwrap()))
     });
 
     group.bench_function("lenet_pim_trq", |b| {
-        let mut engine = PimMvm::new(&arch, vec![trq; qnet.layers().len()]);
+        let mut engine = PimMvm::new(arch, vec![trq; qnet.layers().len()]);
         b.iter(|| black_box(qnet.forward(black_box(&ds[0].image), &mut engine).unwrap()))
     });
 
     group.bench_function("lenet_pim_trq_threads4", |b| {
-        let mut engine = PimMvm::new(&arch_threaded, vec![trq; qnet.layers().len()]);
+        let mut engine = PimMvm::new(arch_threaded, vec![trq; qnet.layers().len()]);
         b.iter(|| black_box(qnet.forward(black_box(&ds[0].image), &mut engine).unwrap()))
     });
 
     group.bench_function("lenet_pim_trq_batch8", |b| {
-        let mut engine = PimMvm::new(&arch, vec![trq; qnet.layers().len()]);
+        let mut engine = PimMvm::new(arch, vec![trq; qnet.layers().len()]);
         b.iter(|| black_box(qnet.forward_batch(black_box(&cal), &mut engine).unwrap()))
     });
 
     group.bench_function("lenet_pim_trq_batch8_threads4", |b| {
-        let mut engine = PimMvm::new(&arch_threaded, vec![trq; qnet.layers().len()]);
+        let mut engine = PimMvm::new(arch_threaded, vec![trq; qnet.layers().len()]);
         b.iter(|| black_box(qnet.forward_batch(black_box(&cal), &mut engine).unwrap()))
     });
     group.finish();

@@ -46,9 +46,9 @@ fn bench_pool_dispatch(c: &mut Criterion) {
     for (name, dispatch) in
         [("small_mvm_pool_threads2", Dispatch::Pool), ("small_mvm_scope_threads2", Dispatch::Scope)]
     {
-        let arch = ArchConfig { exec: tiled.with_dispatch(dispatch), ..ArchConfig::default() };
+        let arch = ArchConfig::default().with_exec(tiled.with_dispatch(dispatch));
         group.bench_function(name, |b| {
-            let mut engine = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+            let mut engine = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
             let mut out = vec![0.0f64; outputs * windows];
             engine.begin_session();
             engine.mvm_into(&info, &weights, &cols, windows, &mut out);

@@ -84,9 +84,9 @@ fn vectors(w: &Workload) -> (Vec<i32>, Vec<u8>, f64) {
 /// `dispatch` and returns mean ns per MVM window.
 fn measure(dispatch: Dispatch, calls: usize, w: &Workload, weights: &[i32], cols: &[u8]) -> f64 {
     let exec = ExecConfig::serial().with_dispatch(dispatch);
-    let arch = ArchConfig { exec, ..ArchConfig::default() };
+    let arch = ArchConfig::default().with_exec(exec);
     let params = TrqParams::new(3, 7, 1, 1.0, 0).expect("static params");
-    let mut engine = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let mut engine = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
     let info = MvmLayerInfo {
         node: 0,
         mvm_index: 0,

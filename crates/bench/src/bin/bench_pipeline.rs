@@ -26,7 +26,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 fn measure(workload: &Workload, arch: &ArchConfig, iters: usize) -> (f64, u64) {
     let params = TrqParams::new(3, 7, 1, 1.0, 0).expect("static params");
     let plan = vec![AdcScheme::Trq(params); workload.qnet.layers().len()];
-    let mut engine = PimMvm::new(arch, plan);
+    let mut engine = PimMvm::new(*arch, plan);
     // warmup pass: programs every layer and sizes the scratch pools
     let _ = workload.qnet.forward_batch(&workload.eval_inputs, &mut engine).expect("warmup");
     engine.reset_stats();
@@ -51,10 +51,8 @@ fn main() {
     let workload = Workload::resnet20(&cfg);
 
     let serial_arch = ArchConfig::default();
-    let threaded_arch = ArchConfig {
-        exec: ExecConfig::serial().with_threads(threads).with_dispatch(dispatch),
-        ..ArchConfig::default()
-    };
+    let threaded_arch = ArchConfig::default()
+        .with_exec(ExecConfig::serial().with_threads(threads).with_dispatch(dispatch));
     let host = HostMeta::capture(
         threads,
         match dispatch {

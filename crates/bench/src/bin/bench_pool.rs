@@ -56,9 +56,9 @@ fn test_vectors() -> (Vec<i32>, Vec<u8>) {
 /// Times `calls` warm `mvm_into` invocations under `exec` and returns
 /// mean ns/call.
 fn measure(exec: ExecConfig, calls: usize, weights: &[i32], cols: &[u8]) -> f64 {
-    let arch = ArchConfig { exec, ..ArchConfig::default() };
+    let arch = ArchConfig::default().with_exec(exec);
     let params = TrqParams::new(3, 7, 1, 1.0, 0).expect("static params");
-    let mut engine = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let mut engine = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
     let info = MvmLayerInfo {
         node: 0,
         mvm_index: 0,

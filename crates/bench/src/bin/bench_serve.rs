@@ -1,12 +1,14 @@
 //! Measures the `trq-serve` micro-batching frontend: a burst of
-//! single-image requests is pushed through [`trq_serve::Server`] at
-//! several `max_batch` policies, recording requests/sec and p50/p99
-//! submit-to-completion latency per policy — the throughput-vs-latency
-//! trade the batcher exists to expose. The timed region covers submit
-//! through ticket resolution only; after each burst completes, every
-//! served output is verified **bit-identical** to per-image `forward`
-//! calls on a serial engine before the record is written (batching must
-//! never change results).
+//! single-image requests is pushed through a [`trq_serve::Server`]
+//! (one resident model) at several `max_batch` policies, recording
+//! requests/sec and p50/p99 submit-to-completion latency per policy —
+//! the throughput-vs-latency trade the batcher exists to expose. A
+//! final point interleaves two resident models round-robin through one
+//! registry server, measuring what per-model batch splitting costs.
+//! The timed region covers submit through ticket resolution only; after
+//! each burst completes, every served output is verified **bit-identical**
+//! to per-image `forward` calls on a serial engine before the record is
+//! written (batching must never change results).
 //!
 //! Results land in `results/BENCH_serve.json` with host metadata, so a
 //! record from the single-core CI container (where batching amortises
@@ -21,11 +23,11 @@
 //! Usage: `cargo run --release -p trq-bench --bin bench_serve`
 
 use std::time::{Duration, Instant};
-use trq_bench::{write_json, HostMeta, ServeBenchRecord, ServePointTiming};
+use trq_bench::{write_json, HostMeta, MixedModelTiming, ServeBenchRecord, ServePointTiming};
 use trq_core::arch::{ArchConfig, ExecConfig};
 use trq_core::pim::{AdcScheme, PimMvm};
 use trq_nn::{data, models, QuantizedNetwork};
-use trq_serve::{BatchPolicy, Server};
+use trq_serve::{BatchPolicy, Model, ModelId, Registry, Server};
 use trq_tensor::Tensor;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -33,7 +35,9 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 const HIDDEN: usize = 32;
+const HIDDEN_B: usize = 24;
 const MAX_WAIT_US: u64 = 500;
+const MIXED_MAX_BATCH: usize = 16;
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     if sorted_us.is_empty() {
@@ -41,6 +45,21 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     }
     let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
     sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Per-image forward on one serial engine: the bits every serving
+/// schedule below must reproduce exactly.
+fn reference_outputs(
+    qnet: &QuantizedNetwork,
+    arch: ArchConfig,
+    plan: &[AdcScheme],
+    images: &[Tensor],
+) -> Vec<Vec<f32>> {
+    let mut engine = PimMvm::new(arch, plan.to_vec());
+    images
+        .iter()
+        .map(|x| qnet.forward(x, &mut engine).expect("reference forward").data().to_vec())
+        .collect()
 }
 
 fn main() {
@@ -52,17 +71,10 @@ fn main() {
     let ds = data::synthetic_digits(requests.min(64), 3);
     let images: Vec<Tensor> = (0..requests).map(|i| ds[i % ds.len()].image.clone()).collect();
     let qnet = QuantizedNetwork::quantize(&net, &images[..8]).expect("calibration succeeds");
-    let arch =
-        ArchConfig { exec: ExecConfig::serial().with_threads(threads), ..ArchConfig::default() };
+    let arch = ArchConfig::default().with_exec(ExecConfig::serial().with_threads(threads));
     let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
 
-    // ground truth: per-image forward on one serial engine — the bits
-    // every batching policy below must reproduce exactly
-    let mut reference = PimMvm::new(&arch, plan.clone());
-    let want: Vec<Vec<f32>> = images
-        .iter()
-        .map(|x| qnet.forward(x, &mut reference).expect("reference forward").data().to_vec())
-        .collect();
+    let want = reference_outputs(&qnet, arch, &plan, &images);
 
     println!(
         "serve micro-batching: mlp 784x{HIDDEN}x10, {requests} requests/point, \
@@ -80,11 +92,13 @@ fn main() {
             .with_max_batch(max_batch)
             .with_max_wait(Duration::from_micros(MAX_WAIT_US))
             .with_queue_cap(requests);
-        let server = Server::start(qnet.clone(), arch, plan.clone(), policy);
+        let mut registry = Registry::new();
+        let model = registry.insert(Model::program("mlp-a", qnet.clone(), arch, plan.clone()));
+        let server = Server::start(registry, policy);
         let t0 = Instant::now();
         let tickets: Vec<_> = images
             .iter()
-            .map(|x| server.submit(x.clone()).expect("queue sized for the burst"))
+            .map(|x| server.submit(model, x.clone()).expect("queue sized for the burst"))
             .collect();
         let mut latencies_us: Vec<f64> = Vec::with_capacity(requests);
         let mut outputs: Vec<Tensor> = Vec::with_capacity(requests);
@@ -127,12 +141,74 @@ fn main() {
         points.push(point);
     }
 
+    // mixed-model traffic: a second resident model, requests round-robin
+    // a,b,a,b,… — every model switch ends a batch, the worst case for
+    // coalescing. Outputs still verify against each model's own serial
+    // reference.
+    let net_b = models::mlp(28 * 28, HIDDEN_B, 10, 11).expect("static topology");
+    let qnet_b = QuantizedNetwork::quantize(&net_b, &images[..8]).expect("calibration succeeds");
+    let plan_b = vec![AdcScheme::uniform(6, 0.7); qnet_b.layers().len()];
+    let want_b = reference_outputs(&qnet_b, arch, &plan_b, &images);
+
+    let policy = BatchPolicy::default()
+        .with_max_batch(MIXED_MAX_BATCH)
+        .with_max_wait(Duration::from_micros(MAX_WAIT_US))
+        .with_queue_cap(requests);
+    let mut registry = Registry::new();
+    let id_a = registry.insert(Model::program("mlp-a", qnet.clone(), arch, plan.clone()));
+    let id_b = registry.insert(Model::program("mlp-b", qnet_b.clone(), arch, plan_b.clone()));
+    let server = Server::start(registry, policy);
+    let t0 = Instant::now();
+    let tickets: Vec<(ModelId, usize, _)> = images
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let id = if i % 2 == 0 { id_a } else { id_b };
+            (id, i, server.submit(id, x.clone()).expect("queue sized for the burst"))
+        })
+        .collect();
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(requests);
+    let mut outputs: Vec<(ModelId, usize, Tensor)> = Vec::with_capacity(requests);
+    for (id, i, ticket) in tickets {
+        let response = ticket.wait().expect("request served");
+        assert_eq!(response.model, id, "responses must carry the routed model");
+        latencies_us.push(response.latency.as_secs_f64() * 1e6);
+        outputs.push((id, i, response.output));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let report = server.shutdown();
+    assert_eq!(report.requests, requests as u64, "shutdown must drain the burst");
+    for (id, i, output) in &outputs {
+        let want_out = if *id == id_a { &want[*i] } else { &want_b[*i] };
+        assert_eq!(
+            output.data(),
+            &want_out[..],
+            "mixed-model serving must be bit-identical to each model's forward"
+        );
+    }
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mixed = MixedModelTiming {
+        models: 2,
+        max_batch: MIXED_MAX_BATCH,
+        requests,
+        batches: report.batches,
+        mean_batch: requests as f64 / report.batches.max(1) as f64,
+        requests_per_sec: requests as f64 / elapsed.max(1e-9),
+        p50_latency_us: percentile(&latencies_us, 0.50),
+        p99_latency_us: percentile(&latencies_us, 0.99),
+    };
+    println!(
+        "  mixed x2  {:>10.2}  {:>12.0}  {:>10.0}  {:>10.0}",
+        mixed.mean_batch, mixed.requests_per_sec, mixed.p50_latency_us, mixed.p99_latency_us
+    );
+
     let record = ServeBenchRecord {
         workload: format!("mlp784x{HIDDEN}x10"),
         host,
         queue_cap: requests,
         max_wait_us: MAX_WAIT_US,
         points,
+        mixed: Some(mixed),
     };
     write_json("BENCH_serve", &record);
 }

@@ -1,0 +1,116 @@
+//! Measures what a model snapshot buys at bring-up: the full cold start
+//! (quantize → Algorithm 1 plan search → program the crossbars) against
+//! restoring the same model from a `trq-store` generation file
+//! (read + checksum + install the programmed state). The record is
+//! gated on bit-identity — the restored model must reproduce the cold
+//! model's outputs *and* [`trq_core::pim::PimStats`] ledgers exactly
+//! before anything is written.
+//!
+//! Results land in `results/BENCH_store.json` with host metadata.
+//!
+//! Environment knobs:
+//! - `TRQ_THREADS` — engine worker threads (default 1);
+//! - `TRQ_STORE_IMAGES` — calibration/eval images (default 12).
+//!
+//! Usage: `cargo run --release -p trq-bench --bin bench_store`
+
+use std::time::Instant;
+use trq_bench::{write_json, HostMeta, StoreBenchRecord};
+use trq_core::arch::{ArchConfig, ExecConfig};
+use trq_core::calib::{algorithm1, collect_bl_samples, CalibSettings, EvalMetric};
+use trq_core::pim::CollectorConfig;
+use trq_nn::{data, models, QuantizedNetwork};
+use trq_serve::Model;
+use trq_tensor::Tensor;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+const HIDDEN: usize = 32;
+
+fn main() {
+    let threads = env_usize("TRQ_THREADS", 1).max(1);
+    let n_images = env_usize("TRQ_STORE_IMAGES", 12).max(4);
+    let host = HostMeta::capture(threads, "pool");
+
+    let net = models::mlp(28 * 28, HIDDEN, 10, 7).expect("static topology");
+    let ds = data::synthetic_digits(n_images, 3);
+    let images: Vec<Tensor> = ds.iter().map(|s| s.image.clone()).collect();
+    let arch = ArchConfig::default().with_exec(ExecConfig::serial().with_threads(threads));
+
+    println!(
+        "snapshot store: mlp 784x{HIDDEN}x10, {n_images} calibration images, \
+         {threads} engine thread(s), {} cores",
+        host.nproc
+    );
+
+    // cold start, staged and timed: quantize → Algorithm 1 → program
+    let t0 = Instant::now();
+    let qnet = QuantizedNetwork::quantize(&net, &images).expect("calibration succeeds");
+    let quantize_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let samples = collect_bl_samples(&qnet, &arch, &images, CollectorConfig::default())
+        .expect("sample collection succeeds");
+    let metric = EvalMetric::Fidelity(&images);
+    let result = algorithm1(&qnet, &arch, &samples, &metric, &CalibSettings::default())
+        .expect("plan search succeeds");
+    let calibrate_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut cold = Model::program("mlp", qnet.clone(), arch, result.schemes.clone());
+    let program_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_start_ms = quantize_ms + calibrate_ms + program_ms;
+
+    // snapshot to a scratch generation directory
+    let dir = std::env::temp_dir().join(format!("trq-bench-store-{}", std::process::id()));
+    let t0 = Instant::now();
+    let generation = cold.save_generation(&dir).expect("snapshot write succeeds");
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snapshot_bytes = std::fs::read_dir(&dir)
+        .expect("snapshot dir readable")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .max()
+        .unwrap_or(0);
+
+    // warm start: load + verify + install
+    let t0 = Instant::now();
+    let (loaded_generation, mut warm) = Model::load_latest(&dir).expect("snapshot load succeeds");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(loaded_generation, generation, "load_latest must pick the written generation");
+
+    // bit-identity gate: outputs and ledgers of cold vs restored model
+    let (want, want_stats) = cold.run_batch(&images).expect("cold forward succeeds");
+    let (got, got_stats) = warm.run_batch(&images).expect("restored forward succeeds");
+    for (w, g) in want.iter().zip(&got) {
+        assert_eq!(w.data(), g.data(), "restored model must reproduce the cold model's bits");
+    }
+    assert_eq!(want_stats, got_stats, "restored model must reproduce the cold model's ledger");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = cold_start_ms / load_ms.max(1e-9);
+    println!("  quantize    {quantize_ms:>10.2} ms");
+    println!("  calibrate   {calibrate_ms:>10.2} ms");
+    println!("  program     {program_ms:>10.2} ms");
+    println!("  cold start  {cold_start_ms:>10.2} ms");
+    println!("  save        {save_ms:>10.2} ms  ({snapshot_bytes} bytes, gen {generation})");
+    println!("  load        {load_ms:>10.2} ms");
+    println!("  speedup     {speedup:>10.1}x");
+
+    let record = StoreBenchRecord {
+        workload: format!("mlp784x{HIDDEN}x10"),
+        host,
+        snapshot_bytes,
+        quantize_ms,
+        calibrate_ms,
+        program_ms,
+        cold_start_ms,
+        save_ms,
+        load_ms,
+        speedup,
+    };
+    write_json("BENCH_store", &record);
+}

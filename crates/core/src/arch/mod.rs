@@ -161,6 +161,21 @@ impl Default for ArchConfig {
 }
 
 impl ArchConfig {
+    /// Builder: replaces the execution configuration, keeping the
+    /// paper-default datapath parameters. The idiomatic way to get a
+    /// threaded or re-tiled architecture:
+    ///
+    /// ```
+    /// use trq_core::arch::{ArchConfig, ExecConfig};
+    /// let arch = ArchConfig::default().with_exec(ExecConfig::serial().with_threads(4));
+    /// assert_eq!(arch.exec.effective_threads(), 4);
+    /// ```
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Number of crossbar row-blocks ("subarrays") a depth-`d` MVM needs.
     pub fn subarrays_for_depth(&self, depth: usize) -> usize {
         depth.div_ceil(self.xbar.rows)

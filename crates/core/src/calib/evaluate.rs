@@ -58,7 +58,7 @@ pub fn collect_bl_samples(
     images: &[Tensor],
     config: CollectorConfig,
 ) -> Result<Vec<LayerSamples>, CalibError> {
-    let mut engine = PimMvm::collector(arch, qnet.layers().len(), config);
+    let mut engine = PimMvm::collector(*arch, qnet.layers().len(), config);
     // the whole calibration batch goes through each layer in one engine
     // call; the collector's per-tile counts pass sees every BL sample in
     // deterministic tile order (the collector pins tile rounds to one
@@ -107,7 +107,7 @@ pub fn evaluate_plan(
         if lo >= hi {
             return;
         }
-        let mut engine = PimMvm::new(arch, plan.to_vec());
+        let mut engine = PimMvm::new(*arch, plan.to_vec());
         // the shard's whole slice runs as one window batch, so the
         // engine tiles across images as well as windows
         let images: Vec<Tensor> = (lo..hi)

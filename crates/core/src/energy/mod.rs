@@ -172,7 +172,7 @@ mod tests {
         };
         let weights: Vec<i32> = (0..128 * 16).map(|_| next(255) - 127).collect();
         let cols: Vec<u8> = (0..128 * 16).map(|_| next(64) as u8).collect();
-        let mut pim = PimMvm::new(&arch, vec![scheme]);
+        let mut pim = PimMvm::new(arch, vec![scheme]);
         let _ = pim.mvm(&info, &weights, &cols, 16);
         pim.stats().clone()
     }

@@ -24,7 +24,7 @@
 //! let qnet = QuantizedNetwork::quantize(&net, &cal)?;
 //! let arch = ArchConfig::default();
 //! let plan = vec![AdcScheme::uniform(8, 1.0); qnet.layers().len()];
-//! let mut engine = PimMvm::new(&arch, plan);
+//! let mut engine = PimMvm::new(arch, plan);
 //! let logits = qnet.forward(&ds[0].image, &mut engine)?;
 //! println!("ops per conversion: {}", engine.stats().mean_ops());
 //! # Ok(())

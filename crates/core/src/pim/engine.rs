@@ -37,6 +37,7 @@ use crate::arch::{ArchConfig, Dispatch};
 use crate::exec::Pool;
 use crate::pim::scheme::{AdcScheme, Lut};
 use crate::pim::stats::PimStats;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -91,6 +92,61 @@ struct DiffSubarray {
     pos_live: ColMask,
     neg_live: ColMask,
 }
+
+/// Serializable image of one programmed differential subarray pair: the
+/// sliced bit planes plus the static column-occupancy masks. Part of
+/// [`ProgrammedLayerState`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubarrayState {
+    /// Positive-side weight slice planes.
+    pub pos: BitMatrix,
+    /// Negative-side weight slice planes.
+    pub neg: BitMatrix,
+    /// Column occupancy of the positive side (the static skip mask).
+    pub pos_live: ColMask,
+    /// Column occupancy of the negative side.
+    pub neg_live: ColMask,
+}
+
+/// Serializable image of one layer's program-stage output — everything
+/// the engine derives from the layer's quantized weights: differential
+/// subarray pairs, skip masks, and the packed conversion LUT.
+/// [`PimMvm::export_programming`] produces these and
+/// [`PimMvm::import_programming`] installs them, so a restored engine
+/// skips the program stage entirely and is bit-identical to a freshly
+/// programmed one (values and event ledgers alike).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgrammedLayerState {
+    /// MVM layer index the state belongs to.
+    pub mvm_index: usize,
+    /// One entry per crossbar row block, in depth order.
+    pub subarrays: Vec<SubarrayState>,
+    /// Packed conversion-table entries (`ops << 24 | lsb`), indexed by
+    /// BL count `0..=rows`.
+    pub lut_entries: Vec<u32>,
+    /// Physical value of one LUT LSB in count units.
+    pub lut_delta: f64,
+}
+
+/// Rejection returned by [`PimMvm::import_programming`] when a layer
+/// state does not fit the engine's architecture (wrong array height, LUT
+/// length, or mask width) — installing it anyway would panic deep inside
+/// the kernels instead of failing at the API boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramImportError {
+    /// The offending layer.
+    pub mvm_index: usize,
+    /// What did not line up.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ProgramImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "layer {}: {}", self.mvm_index, self.reason)
+    }
+}
+
+impl std::error::Error for ProgramImportError {}
 
 /// One (output-block × window-block) unit of work. Subarrays and input
 /// bit-planes are looped inside the tile, so a tile owns the disjoint
@@ -381,8 +437,8 @@ fn execute_tile_scalar(
 /// per [`crate::arch::ExecConfig`]; results and event counts are
 /// bit-identical for every thread count. See the crate docs for an
 /// end-to-end example.
-pub struct PimMvm<'a> {
-    arch: &'a ArchConfig,
+pub struct PimMvm {
+    arch: ArchConfig,
     plan: Vec<AdcScheme>,
     programmed: HashMap<usize, Programmed>,
     stats: PimStats,
@@ -394,7 +450,7 @@ pub struct PimMvm<'a> {
     /// set ⇔ input bit-plane `b` is non-zero); capacity reused.
     plane_live: Vec<u32>,
     /// The executor tile rounds dispatch to (process-global by default).
-    pool: &'a Pool,
+    pool: &'static Pool,
     /// Tile list of the current call, capacity reused across calls.
     tiles: Vec<Tile>,
     /// Layer accumulator, capacity reused across calls.
@@ -404,12 +460,15 @@ pub struct PimMvm<'a> {
     arenas: Vec<Mutex<WorkerArena>>,
 }
 
-impl<'a> PimMvm<'a> {
+impl PimMvm {
     /// Creates an engine with a per-layer ADC plan (`plan[mvm_index]`).
     /// Layers beyond the plan's length run with [`AdcScheme::Ideal`].
-    /// Tile rounds dispatch to the process-wide [`Pool::global`]; use
-    /// [`PimMvm::with_pool`] to share a dedicated pool instead.
-    pub fn new(arch: &'a ArchConfig, plan: Vec<AdcScheme>) -> Self {
+    /// The engine owns its architecture (`ArchConfig` is `Copy`), so
+    /// handles built on top of it — models, registries, servers — carry
+    /// no borrow. Tile rounds dispatch to the process-wide
+    /// [`Pool::global`]; use [`PimMvm::with_pool`] to share a dedicated
+    /// long-lived pool instead.
+    pub fn new(arch: ArchConfig, plan: Vec<AdcScheme>) -> Self {
         PimMvm {
             arch,
             plan,
@@ -427,9 +486,10 @@ impl<'a> PimMvm<'a> {
     }
 
     /// Builder: dispatches this engine's tile rounds to `pool` instead of
-    /// the process-wide pool.
+    /// the process-wide pool (the pool must outlive the process's use of
+    /// the engine, matching [`Pool::global`]'s lifetime).
     #[must_use]
-    pub fn with_pool(mut self, pool: &'a Pool) -> Self {
+    pub fn with_pool(mut self, pool: &'static Pool) -> Self {
         self.pool = pool;
         self
     }
@@ -459,7 +519,7 @@ impl<'a> PimMvm<'a> {
     /// (calibration mode). The scheme is forced to [`AdcScheme::Ideal`] so
     /// the collected distribution is the true one, and tiles run serially
     /// in deterministic order so the retained reservoir is reproducible.
-    pub fn collector(arch: &'a ArchConfig, layers: usize, config: CollectorConfig) -> Self {
+    pub fn collector(arch: ArchConfig, layers: usize, config: CollectorConfig) -> Self {
         let mut engine = PimMvm::new(arch, vec![AdcScheme::Ideal; layers]);
         engine.collector = Some(config);
         engine
@@ -479,6 +539,121 @@ impl<'a> PimMvm<'a> {
     /// The per-layer ADC plan.
     pub fn plan(&self) -> &[AdcScheme] {
         &self.plan
+    }
+
+    /// The architecture this engine simulates.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Runs the program stage for one layer without executing anything:
+    /// bit-slices `weights_q` onto differential subarrays and builds the
+    /// conversion LUT, exactly as the first `mvm_into` call would. Model
+    /// handles use this to pay the whole programming cost up front — and
+    /// to have complete state for [`PimMvm::export_programming`] before
+    /// any request runs. Idempotent per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights_q` does not match the layer geometry.
+    pub fn program_layer(&mut self, info: &MvmLayerInfo, weights_q: &[i32]) {
+        assert_eq!(weights_q.len(), info.depth * info.outputs, "weight shape mismatch");
+        self.program(info, weights_q);
+    }
+
+    /// Exports the programmed state of every layer, ordered by layer
+    /// index — the persistable image of the program stage (bit planes,
+    /// skip masks, packed LUTs). Installing the result into a fresh
+    /// engine with [`PimMvm::import_programming`] reproduces this
+    /// engine's forward bits without re-slicing a single weight.
+    pub fn export_programming(&self) -> Vec<ProgrammedLayerState> {
+        let mut out: Vec<ProgrammedLayerState> = self
+            .programmed
+            .iter()
+            .map(|(&mvm_index, prog)| ProgrammedLayerState {
+                mvm_index,
+                subarrays: prog
+                    .subarrays
+                    .iter()
+                    .map(|s| SubarrayState {
+                        pos: s.pos.clone(),
+                        neg: s.neg.clone(),
+                        pos_live: s.pos_live.clone(),
+                        neg_live: s.neg_live.clone(),
+                    })
+                    .collect(),
+                lut_entries: prog.lut.entries().to_vec(),
+                lut_delta: prog.lut.delta,
+            })
+            .collect();
+        out.sort_by_key(|s| s.mvm_index);
+        out
+    }
+
+    /// Installs previously exported programming, replacing any existing
+    /// state for those layers. Every layer is validated against this
+    /// engine's architecture — array height, LUT length, differential
+    /// pair shape, mask coverage — before anything is installed, so a
+    /// snapshot from a different geometry (or a corrupted one) is
+    /// rejected whole at the API boundary instead of panicking inside
+    /// the kernels mid-batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramImportError`] naming the first offending layer.
+    pub fn import_programming(
+        &mut self,
+        layers: Vec<ProgrammedLayerState>,
+    ) -> Result<(), ProgramImportError> {
+        let rows = self.arch.xbar.rows;
+        for state in &layers {
+            let fail =
+                |reason: String| Err(ProgramImportError { mvm_index: state.mvm_index, reason });
+            if state.lut_entries.len() != rows + 1 {
+                return fail(format!(
+                    "LUT has {} entries, architecture needs {}",
+                    state.lut_entries.len(),
+                    rows + 1
+                ));
+            }
+            for (s, sub) in state.subarrays.iter().enumerate() {
+                if !sub.pos.backing_consistent() || !sub.neg.backing_consistent() {
+                    return fail(format!("subarray {s} has inconsistent bit-plane storage"));
+                }
+                if sub.pos.rows() != rows || sub.neg.rows() != rows {
+                    return fail(format!(
+                        "subarray {s} is {}/{} rows tall, architecture has {rows}",
+                        sub.pos.rows(),
+                        sub.neg.rows()
+                    ));
+                }
+                if sub.pos.cols() != sub.neg.cols() {
+                    return fail(format!(
+                        "subarray {s} differential pair disagrees on width: {} vs {}",
+                        sub.pos.cols(),
+                        sub.neg.cols()
+                    ));
+                }
+                if !sub.pos_live.covers(sub.pos.cols()) || !sub.neg_live.covers(sub.neg.cols()) {
+                    return fail(format!("subarray {s} skip masks do not cover its columns"));
+                }
+            }
+        }
+        for state in layers {
+            let subarrays = state
+                .subarrays
+                .into_iter()
+                .map(|s| DiffSubarray {
+                    pos: s.pos,
+                    neg: s.neg,
+                    pos_live: s.pos_live,
+                    neg_live: s.neg_live,
+                })
+                .collect();
+            let lut = Lut::from_parts(state.lut_entries, state.lut_delta);
+            self.programmed.insert(state.mvm_index, Programmed { subarrays, lut });
+        }
+        Ok(())
     }
 
     /// Takes the collected calibration samples, ordered by layer index.
@@ -585,7 +760,7 @@ impl<'a> PimMvm<'a> {
     }
 }
 
-impl MvmEngine for PimMvm<'_> {
+impl MvmEngine for PimMvm {
     fn mvm_into(
         &mut self,
         info: &MvmLayerInfo,
@@ -841,7 +1016,7 @@ mod tests {
         };
         let weights: Vec<i32> = (0..150 * 3).map(|_| next(255) - 127).collect();
         let cols: Vec<u8> = (0..150 * 4).map(|_| next(256) as u8).collect();
-        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+        let mut pim = PimMvm::new(arch, vec![AdcScheme::Ideal]);
         let got = pim.mvm(&info, &weights, &cols, 4);
         let want = ExactMvm.mvm(&info, &weights, &cols, 4);
         assert_eq!(got, want, "ideal crossbar datapath must be exact");
@@ -862,8 +1037,8 @@ mod tests {
         let weights: Vec<i32> = (0..200 * 5).map(|_| next(255) - 127).collect();
         let cols: Vec<u8> = (0..200 * 7).map(|_| next(256) as u8).collect();
         let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
-        let mut serial = PimMvm::new(&serial_arch, vec![AdcScheme::Trq(params)]);
-        let mut threaded = PimMvm::new(&threaded_arch, vec![AdcScheme::Trq(params)]);
+        let mut serial = PimMvm::new(serial_arch, vec![AdcScheme::Trq(params)]);
+        let mut threaded = PimMvm::new(threaded_arch, vec![AdcScheme::Trq(params)]);
         let a = serial.mvm(&info, &weights, &cols, 7);
         let b = threaded.mvm(&info, &weights, &cols, 7);
         assert_eq!(a, b, "thread count must never change results");
@@ -876,7 +1051,7 @@ mod tests {
         let info = info(150, 3);
         let weights = vec![1i32; 150 * 3];
         let cols = vec![1u8; 150 * 5];
-        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+        let mut pim = PimMvm::new(arch, vec![AdcScheme::Ideal]);
         let _ = pim.mvm(&info, &weights, &cols, 5);
         let expect = 5 * arch.conversions_per_window(150, 3);
         assert_eq!(pim.stats().conversions(), expect);
@@ -896,7 +1071,7 @@ mod tests {
         }
         let cols: Vec<u8> = (0..128 * 3).map(|i| if i % 4 == 0 { 9 } else { 0 }).collect();
         let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
-        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+        let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
         let _ = pim.mvm(&info, &weights, &cols, 3);
         let ratio = pim.stats().remaining_ops_ratio();
         assert!(ratio < 0.7, "skewed counts should early-bird: ratio {ratio}");
@@ -917,7 +1092,7 @@ mod tests {
         let cols: Vec<u8> = (0..100 * 3).map(|_| next(256) as u8).collect();
         // counts ≤ 100 < 128 → Rideal = 8 with ΔR1 = 1; NR2 = 4, M = 4
         let params = trq_quant::TrqParams::new(8, 4, 4, 1.0, 0).unwrap();
-        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+        let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
         let got = pim.mvm(&info, &weights, &cols, 3);
         // NR1 = 8 covers [0,256) at Δ=1 → all counts are early birds with
         // exact reconstruction
@@ -931,7 +1106,7 @@ mod tests {
         let info = info(64, 2);
         let weights: Vec<i32> = (0..64 * 2).map(|i| (i % 5) - 2).collect();
         let cols: Vec<u8> = (0..64 * 4).map(|i| (i % 7) as u8 * 30).collect();
-        let mut pim = PimMvm::collector(&arch, 1, CollectorConfig { reservoir_cap: 512 });
+        let mut pim = PimMvm::collector(arch, 1, CollectorConfig { reservoir_cap: 512 });
         let _ = pim.mvm(&info, &weights, &cols, 4);
         let samples = pim.take_samples();
         assert_eq!(samples.len(), 1);
@@ -952,7 +1127,7 @@ mod tests {
         let weights: Vec<i32> = (0..96 * 3).map(|i: i32| (i % 9) - 4).collect();
         let cols: Vec<u8> = (0..96 * 5).map(|i| (i % 11) as u8 * 20).collect();
         let run = |arch: &ArchConfig| {
-            let mut pim = PimMvm::collector(arch, 1, CollectorConfig { reservoir_cap: 64 });
+            let mut pim = PimMvm::collector(*arch, 1, CollectorConfig { reservoir_cap: 64 });
             let _ = pim.mvm(&info, &weights, &cols, 5);
             pim.take_samples()
         };
@@ -970,7 +1145,7 @@ mod tests {
         let info = info(128, 4);
         let weights: Vec<i32> = (0..128 * 4).map(|i: i32| ((i * 7) % 255) - 127).collect();
         let cols: Vec<u8> = (0..128 * 8).map(|i| ((i * 13) % 256) as u8).collect();
-        let mut pim = PimMvm::collector(&arch, 1, CollectorConfig { reservoir_cap: 32 });
+        let mut pim = PimMvm::collector(arch, 1, CollectorConfig { reservoir_cap: 32 });
         let _ = pim.mvm(&info, &weights, &cols, 8);
         let samples = pim.take_samples();
         let s = &samples[0];
@@ -991,7 +1166,7 @@ mod tests {
         let info = info(10, 1);
         let weights = vec![1i32; 10];
         let cols = vec![1u8; 10];
-        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+        let mut pim = PimMvm::new(arch, vec![AdcScheme::Ideal]);
         let _ = pim.mvm(&info, &weights, &cols, 1);
         assert!(pim.stats().conversions() > 0);
         pim.reset_stats();

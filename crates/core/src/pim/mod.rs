@@ -24,6 +24,8 @@ mod engine;
 mod scheme;
 mod stats;
 
-pub use engine::{CollectorConfig, LayerSamples, PimMvm};
+pub use engine::{
+    CollectorConfig, LayerSamples, PimMvm, ProgramImportError, ProgrammedLayerState, SubarrayState,
+};
 pub use scheme::AdcScheme;
 pub use stats::{LayerStats, PimStats};

@@ -96,6 +96,14 @@ impl Lut {
         Lut { entries, delta }
     }
 
+    /// Reassembles a table from previously exported packed entries (the
+    /// persistence path — entries carry their ops byte and magnitude bits
+    /// already packed, so no re-encoding happens and a restored table is
+    /// bit-identical to the one built at programming time).
+    pub(crate) fn from_parts(entries: Vec<u32>, delta: f64) -> Self {
+        Lut { entries, delta }
+    }
+
     /// The packed entries, indexed by BL count — the hot decode loop reads
     /// these directly so ops and magnitude come from one load.
     #[inline]

@@ -70,7 +70,7 @@ fn steady_state_serial_mvm_into_is_allocation_free() {
     let info = layer(depth, outputs);
     let (weights, cols) = inputs(depth, outputs, n);
     let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
-    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
     let mut out = vec![0.0f64; outputs * n];
     // warm-up: programs the layer, builds the LUT, sizes every scratch
     pim.mvm_into(&info, &weights, &cols, n, &mut out);
@@ -94,19 +94,18 @@ fn steady_state_serial_mvm_into_is_allocation_free() {
 /// after warm-up — the capacity invariant that covers the worker threads.
 #[test]
 fn steady_state_pooled_mvm_into_is_allocation_free_with_stable_arenas() {
-    let arch = ArchConfig {
-        exec: ExecConfig::serial()
+    let arch = ArchConfig::default().with_exec(
+        ExecConfig::serial()
             .with_threads(2)
             .with_tile_outputs(2)
             .with_tile_windows(2)
             .with_dispatch(Dispatch::Pool),
-        ..ArchConfig::default()
-    };
+    );
     let (depth, outputs, n) = (150, 8, 6);
     let info = layer(depth, outputs);
     let (weights, cols) = inputs(depth, outputs, n);
     let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
-    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
     let mut out = vec![0.0f64; outputs * n];
     pim.begin_session(); // spawns/warms the pool workers once
     pim.mvm_into(&info, &weights, &cols, n, &mut out);
@@ -132,12 +131,10 @@ fn steady_state_pooled_mvm_into_is_allocation_free_with_stable_arenas() {
 /// shape is warm: the footprint is monotone, not per-shape.
 #[test]
 fn revisiting_a_seen_shape_is_warm() {
-    let arch = ArchConfig {
-        exec: ExecConfig::serial().with_threads(2).with_tile_outputs(4).with_tile_windows(4),
-        ..ArchConfig::default()
-    };
+    let arch = ArchConfig::default()
+        .with_exec(ExecConfig::serial().with_threads(2).with_tile_outputs(4).with_tile_windows(4));
     let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
-    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params), AdcScheme::Ideal]);
+    let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params), AdcScheme::Ideal]);
 
     let (d0, o0, n0) = (150, 8, 6);
     let info0 = layer(d0, o0);

@@ -115,7 +115,7 @@ proptest! {
             .with_tile_windows(tile_windows);
         // the pinned reference: scalar datapath, serial
         let ref_arch = arch_with_rows(rows, exec.with_dispatch(Dispatch::Scope));
-        let mut reference = PimMvm::new(&ref_arch, vec![scheme]);
+        let mut reference = PimMvm::new(ref_arch, vec![scheme]);
         let want = reference.mvm(&info, &weights, &cols, n);
 
         for threads in [1usize, env_threads()] {
@@ -123,7 +123,7 @@ proptest! {
                 rows,
                 exec.with_threads(threads).with_dispatch(Dispatch::Pool),
             );
-            let mut pim = PimMvm::new(&arch, vec![scheme]);
+            let mut pim = PimMvm::new(arch, vec![scheme]);
             let got = pim.mvm(&info, &weights, &cols, n);
             prop_assert_eq!(
                 &got, &want,
@@ -207,11 +207,11 @@ fn skip_corners_match_scalar_reference() {
         let info = layer(*depth, *outputs);
         let exec = ExecConfig::serial().with_tile_outputs(2).with_tile_windows(3);
         let ref_arch = arch_with_rows(128, exec.with_dispatch(Dispatch::Scope));
-        let mut reference = PimMvm::new(&ref_arch, vec![AdcScheme::Trq(params)]);
+        let mut reference = PimMvm::new(ref_arch, vec![AdcScheme::Trq(params)]);
         let want = reference.mvm(&info, weights, cols, *n);
         for threads in [1usize, env_threads()] {
             let arch = arch_with_rows(128, exec.with_threads(threads));
-            let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+            let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
             let got = pim.mvm(&info, weights, cols, *n);
             assert_eq!(got, want, "{name}: values diverged at {threads} threads");
             assert_eq!(
@@ -232,7 +232,7 @@ fn skipped_conversions_still_cost_ops() {
     let weights = weights_for(0, depth, outputs, 7);
     let cols = vec![0u8; depth * n];
     let arch = arch_with_rows(128, ExecConfig::serial());
-    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+    let mut pim = PimMvm::new(arch, vec![AdcScheme::Ideal]);
     let out = pim.mvm(&info, &weights, &cols, n);
     assert!(out.iter().all(|&v| v == 0.0), "zero input must produce zero output");
     let conversions = pim.stats().conversions();

@@ -18,10 +18,8 @@ fn fixture() -> (QuantizedNetwork, ArchConfig, Vec<Tensor>) {
                 .expect("static shape")
         })
         .collect();
-    let arch = ArchConfig {
-        exec: ExecConfig::serial().with_threads(2).with_tile_outputs(2).with_tile_windows(2),
-        ..ArchConfig::default()
-    };
+    let arch = ArchConfig::default()
+        .with_exec(ExecConfig::serial().with_threads(2).with_tile_outputs(2).with_tile_windows(2));
     let qnet = QuantizedNetwork::quantize(&net, &images[..2]).expect("calibration succeeds");
     (qnet, arch, images)
 }
@@ -54,7 +52,7 @@ fn global_pool_survives_a_panicked_forward_batch() {
 
     // the global pool must not be wedged: a threaded PimMvm forward on the
     // same pool still completes and matches the exact reference
-    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal; qnet.layers().len()]);
+    let mut pim = PimMvm::new(arch, vec![AdcScheme::Ideal; qnet.layers().len()]);
     let got = qnet.forward_batch(&images, &mut pim).expect("pool usable after panic");
     let want: Vec<Tensor> = images
         .iter()

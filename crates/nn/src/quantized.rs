@@ -141,7 +141,7 @@ impl MvmEngine for ExactMvm {
 }
 
 /// One quantized MVM layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QLayer {
     /// Layer identity/geometry.
     pub info: MvmLayerInfo,
@@ -159,8 +159,10 @@ pub struct QLayer {
 
 /// A post-training-quantized network: original graph structure with every
 /// MVM layer replaced by an 8-bit integer product running on a pluggable
-/// [`MvmEngine`].
-#[derive(Debug, Clone, PartialEq)]
+/// [`MvmEngine`]. Serializable as a whole — the graph, the integer weight
+/// codes, and the calibrated scales — so a persisted model restores the
+/// exact quantization state (`trq-store` snapshots rely on this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedNetwork {
     net: Network,
     layers: Vec<QLayer>,

@@ -1,23 +1,28 @@
 //! # trq-serve
 //!
-//! The batch-serving frontend of the reproduction: a multi-producer
-//! request queue with a **deterministic micro-batcher** on top of the
-//! crossbar engine. Callers submit single images ([`Server::submit`] /
-//! [`Server::try_submit`]) and get a [`Ticket`] back; a dedicated batcher
-//! thread coalesces whatever is queued — up to
-//! [`BatchPolicy::max_batch`], waiting at most [`BatchPolicy::max_wait`]
-//! for stragglers — into single [`QuantizedNetwork::forward_batch`] calls
-//! on one engine, then hands each ticket its own image's output.
+//! The batch-serving frontend of the reproduction: a [`Registry`] of
+//! resident [`Model`]s behind a multi-producer request queue with a
+//! **deterministic micro-batcher**. Callers submit single images to a
+//! named model ([`Server::submit`] / [`Server::try_submit`] with a
+//! [`ModelId`]) and get a [`Ticket`] back; a dedicated batcher thread
+//! coalesces whatever is queued — up to [`BatchPolicy::max_batch`],
+//! waiting at most [`BatchPolicy::max_wait`] for stragglers — into single
+//! [`trq_nn::QuantizedNetwork::forward_batch`] calls on the selected model's
+//! engine, then hands each ticket its own image's output.
 //!
 //! Key properties:
 //!
 //! - **Bit-identical batching.** However requests happen to coalesce, the
 //!   outputs (and the summed [`PimStats`] ledgers) are exactly those of
-//!   per-image [`QuantizedNetwork::forward`] calls — batching concatenates
+//!   per-image [`trq_nn::QuantizedNetwork::forward`] calls — batching concatenates
 //!   windows along the engine's `n` axis, and every window's product
 //!   depends only on its own column. The batcher preserves arrival order
 //!   and maps result slot `i` back to request `i`, so no merge ambiguity
 //!   exists.
+//! - **Per-model batches.** A batch never mixes models: the head request
+//!   fixes the batch's `(model, shape)` and a different model or shape
+//!   ends the batch (and heads the next one), so every engine call stays
+//!   one model, one uniform shape — and per-model ledgers stay exact.
 //! - **One pool session per drained batch.** Each `forward_batch` call
 //!   opens and closes exactly one engine session (the PR 3 discipline);
 //!   failed batches close theirs too via the session guard in `trq-nn`.
@@ -25,12 +30,12 @@
 //!   [`Server::try_submit`] fails fast with [`ServeError::QueueFull`],
 //!   [`Server::submit`] blocks until space frees up.
 //! - **Clean shutdown.** [`Server::shutdown`] stops intake, drains every
-//!   queued request through the engine, and returns the accumulated
+//!   queued request through the engines, and returns the accumulated
 //!   [`ServeReport`]. A batch that fails — typed error or panic — fails
 //!   only its own tickets; the server keeps serving.
 //!
 //! ```no_run
-//! use trq_serve::{BatchPolicy, Server};
+//! use trq_serve::{BatchPolicy, Model, Registry, Server};
 //! use trq_core::{arch::ArchConfig, pim::AdcScheme};
 //! use trq_nn::{data, models, QuantizedNetwork};
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,8 +44,10 @@
 //! let cal: Vec<_> = ds.iter().map(|s| s.image.clone()).collect();
 //! let qnet = QuantizedNetwork::quantize(&net, &cal)?;
 //! let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
-//! let server = Server::start(qnet, ArchConfig::default(), plan, BatchPolicy::default());
-//! let ticket = server.submit(ds[0].image.clone())?;
+//! let mut registry = Registry::new();
+//! let lenet = registry.insert(Model::program("lenet", qnet, ArchConfig::default(), plan));
+//! let server = Server::start(registry, BatchPolicy::default());
+//! let ticket = server.submit(lenet, ds[0].image.clone())?;
 //! let response = ticket.wait()?;
 //! println!("served in {:?} (batch of {})", response.latency, response.batch_size);
 //! let report = server.shutdown();
@@ -51,13 +58,16 @@
 
 #![deny(missing_docs)]
 
+mod model;
+
+pub use model::{Model, ModelId, Registry};
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
-use trq_core::arch::ArchConfig;
-use trq_core::pim::{AdcScheme, PimMvm, PimStats};
-use trq_nn::{NnError, QuantizedNetwork};
+use trq_core::pim::PimStats;
+use trq_nn::NnError;
 use trq_tensor::Tensor;
 
 /// How the micro-batcher forms batches and how much work it may hold.
@@ -76,6 +86,12 @@ pub struct BatchPolicy {
 }
 
 impl Default for BatchPolicy {
+    /// The reference policy: `max_batch = 16`, `max_wait = 1 ms`,
+    /// `queue_cap = 256`. Start here and adjust with the builder
+    /// setters ([`BatchPolicy::with_max_batch`],
+    /// [`BatchPolicy::with_max_wait`], [`BatchPolicy::with_queue_cap`])
+    /// rather than struct literals — the setters survive future policy
+    /// fields without breaking callers.
     fn default() -> Self {
         BatchPolicy { max_batch: 16, max_wait: Duration::from_millis(1), queue_cap: 256 }
     }
@@ -138,6 +154,9 @@ pub enum ServeError {
     },
     /// The batcher thread died before this request could run.
     WorkerLost,
+    /// The submitted [`ModelId`] names no model in the server's
+    /// [`Registry`]; the request is refused at submit time.
+    UnknownModel(ModelId),
 }
 
 impl std::fmt::Display for ServeError {
@@ -151,6 +170,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "backend answered {got} outputs for a batch of {expected}")
             }
             ServeError::WorkerLost => write!(f, "batcher thread died before the request ran"),
+            ServeError::UnknownModel(id) => write!(f, "{id} is not resident in this server"),
         }
     }
 }
@@ -168,12 +188,27 @@ impl std::error::Error for ServeError {
 #[derive(Debug, Clone)]
 pub struct Response {
     /// The network output for the submitted image — bit-identical to a
-    /// per-image [`QuantizedNetwork::forward`] call.
+    /// per-image [`trq_nn::QuantizedNetwork::forward`] call on the same model.
     pub output: Tensor,
+    /// The model that served this request.
+    pub model: ModelId,
     /// Submit-to-completion wall time.
     pub latency: Duration,
     /// How many requests shared this request's engine call.
     pub batch_size: usize,
+}
+
+/// One model's slice of a [`ServeReport`].
+#[derive(Debug, Clone, Default)]
+pub struct ModelUsage {
+    /// Requests this model completed successfully.
+    pub requests: u64,
+    /// Engine calls (batches) this model executed.
+    pub batches: u64,
+    /// Summed per-batch ledgers of this model's engine — bit-identical
+    /// to the ledger it would accumulate serving the same images
+    /// serially.
+    pub stats: PimStats,
 }
 
 /// Aggregate accounting the batcher keeps; returned by
@@ -188,9 +223,18 @@ pub struct ServeReport {
     pub batches: u64,
     /// Largest batch actually formed.
     pub max_batch_seen: usize,
-    /// Summed per-batch engine ledgers — bit-identical to the ledger one
-    /// engine accumulates serving the same images serially.
+    /// Summed per-batch engine ledgers across all models.
     pub stats: PimStats,
+    /// Per-model accounting, indexed by [`ModelId::index`] (grown on
+    /// demand; ids never batched are absent or zeroed).
+    pub per_model: Vec<ModelUsage>,
+}
+
+impl ServeReport {
+    /// This model's slice of the report, if it served anything.
+    pub fn model_usage(&self, id: ModelId) -> Option<&ModelUsage> {
+        self.per_model.get(id.index())
+    }
 }
 
 struct TicketShared {
@@ -240,6 +284,7 @@ impl Ticket {
 }
 
 struct Request {
+    model: ModelId,
     image: Tensor,
     submitted: Instant,
     ticket: Arc<TicketShared>,
@@ -255,6 +300,10 @@ struct QueueState {
 
 struct Shared {
     policy: BatchPolicy,
+    /// `Some(n)`: submits validate `ModelId.index() < n` (registry-backed
+    /// servers). `None`: the custom [`Server::with_worker`] backend owns
+    /// the id space and every id is accepted.
+    model_count: Option<usize>,
     state: Mutex<QueueState>,
     /// The batcher parks here waiting for requests.
     arrived: Condvar,
@@ -271,7 +320,7 @@ impl Shared {
 /// The batcher's end of the request queue, handed to the worker body of
 /// [`Server::with_worker`]. Call [`BatchSource::serve`] with a batch
 /// runner to enter the drain loop; the standard [`Server::start`] wires
-/// it to a [`PimMvm`]-backed [`QuantizedNetwork::forward_batch`].
+/// it to a [`PimMvm`]-backed [`trq_nn::QuantizedNetwork::forward_batch`].
 pub struct BatchSource {
     shared: Arc<Shared>,
 }
@@ -280,13 +329,13 @@ impl BatchSource {
     /// Waits for the next micro-batch, or `None` when the server is
     /// draining and the queue is empty (time to exit).
     ///
-    /// Batches are same-shape runs of the arrival order: the head request
-    /// fixes the batch's input shape and the batcher takes queued
-    /// requests while they match, up to `max_batch` — a differently
-    /// shaped request ends the batch and heads the next one. This keeps
-    /// every engine call shape-uniform (no [`NnError::BatchShape`]
-    /// rejections at runtime) while staying deterministic in arrival
-    /// order.
+    /// Batches are same-`(model, shape)` runs of the arrival order: the
+    /// head request fixes the batch's model and input shape and the
+    /// batcher takes queued requests while they match, up to `max_batch`
+    /// — a request for a different model or shape ends the batch and
+    /// heads the next one. This keeps every engine call one model and
+    /// shape-uniform (no [`NnError::BatchShape`] rejections at runtime)
+    /// while staying deterministic in arrival order.
     fn next_batch(&self) -> Option<Vec<Request>> {
         let policy = self.shared.policy;
         let mut st = self.shared.lock();
@@ -302,18 +351,20 @@ impl BatchSource {
         // micro-batch fill: give stragglers up to `max_wait` to coalesce
         // into this engine call (skipped while draining — the goal then
         // is to finish, not to optimise batch shape). Two cases already
-        // bound the batch and make waiting pointless: a differently
-        // shaped request inside the first `max_batch` entries (the batch
-        // is cut there no matter what arrives), and a queue at capacity
+        // bound the batch and make waiting pointless: a different model
+        // or shape inside the first `max_batch` entries (the batch is
+        // cut there no matter what arrives), and a queue at capacity
         // (nothing new can arrive until the batcher itself drains).
         if policy.max_wait > Duration::ZERO {
             let batch_bounded = |st: &QueueState| {
-                let head_dims = st.queue[0].image.shape().dims();
+                let head = &st.queue[0];
+                let head_dims = head.image.shape().dims();
+                let head_model = head.model;
                 st.queue
                     .iter()
                     .take(policy.max_batch)
                     .skip(1)
-                    .any(|r| r.image.shape().dims() != head_dims)
+                    .any(|r| r.model != head_model || r.image.shape().dims() != head_dims)
             };
             let deadline = Instant::now() + policy.max_wait;
             while st.queue.len() < policy.max_batch.min(policy.queue_cap)
@@ -335,12 +386,13 @@ impl BatchSource {
                 }
             }
         }
-        let head_dims =
-            st.queue.front().expect("loop above ensures a head").image.shape().dims().to_vec();
+        let head = st.queue.front().expect("loop above ensures a head");
+        let head_model = head.model;
+        let head_dims = head.image.shape().dims().to_vec();
         let mut batch = Vec::new();
         while batch.len() < policy.max_batch {
             match st.queue.front() {
-                Some(r) if r.image.shape().dims() == head_dims => {
+                Some(r) if r.model == head_model && r.image.shape().dims() == head_dims => {
                     batch.push(st.queue.pop_front().expect("front exists"));
                 }
                 _ => break,
@@ -352,9 +404,10 @@ impl BatchSource {
     }
 
     /// Runs the drain loop: pulls micro-batches and feeds them to
-    /// `run_batch`, which returns each image's output (slot `i` answers
-    /// request `i`) plus the batch's engine ledger. Returns the
-    /// accumulated report when the server drains out.
+    /// `run_batch` with the batch's model id (batches never mix models),
+    /// which returns each image's output (slot `i` answers request `i`)
+    /// plus the batch's engine ledger. Returns the accumulated report
+    /// when the server drains out.
     ///
     /// A `run_batch` error fails that batch's tickets with
     /// [`ServeError::Forward`]; a panic fails them with
@@ -362,27 +415,35 @@ impl BatchSource {
     /// poisoned batch must not take the server down.
     pub fn serve<R>(self, mut run_batch: R) -> ServeReport
     where
-        R: FnMut(&[Tensor]) -> Result<(Vec<Tensor>, PimStats), NnError>,
+        R: FnMut(ModelId, &[Tensor]) -> Result<(Vec<Tensor>, PimStats), NnError>,
     {
         let mut report = ServeReport::default();
         while let Some(batch) = self.next_batch() {
             let batch_size = batch.len();
+            let model = batch.first().expect("next_batch returns non-empty batches").model;
             let mut images = Vec::with_capacity(batch_size);
             let mut waiters = Vec::with_capacity(batch_size);
             for request in batch {
                 images.push(request.image);
                 waiters.push((request.submitted, request.ticket));
             }
-            let outcome = catch_unwind(AssertUnwindSafe(|| run_batch(&images)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_batch(model, &images)));
             report.batches += 1;
             report.max_batch_seen = report.max_batch_seen.max(batch_size);
             match outcome {
                 Ok(Ok((outputs, stats))) if outputs.len() == batch_size => {
                     report.requests += batch_size as u64;
                     report.stats.merge(&stats);
+                    if report.per_model.len() <= model.index() {
+                        report.per_model.resize_with(model.index() + 1, ModelUsage::default);
+                    }
+                    let usage = &mut report.per_model[model.index()];
+                    usage.requests += batch_size as u64;
+                    usage.batches += 1;
+                    usage.stats.merge(&stats);
                     for ((submitted, ticket), output) in waiters.into_iter().zip(outputs) {
                         let latency = submitted.elapsed();
-                        ticket.complete(Ok(Response { output, latency, batch_size }));
+                        ticket.complete(Ok(Response { output, model, latency, batch_size }));
                     }
                 }
                 Ok(Ok((outputs, _))) => {
@@ -422,24 +483,23 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts a server over the standard crossbar backend: one
-    /// [`PimMvm`] engine (programmed once, reused for every batch)
-    /// running `qnet` under `plan`, one engine session per drained batch.
-    pub fn start(
-        qnet: QuantizedNetwork,
-        arch: ArchConfig,
-        plan: Vec<AdcScheme>,
-        policy: BatchPolicy,
-    ) -> Server {
-        Server::with_worker(policy, move |source| {
-            let mut engine = PimMvm::new(&arch, plan);
-            source.serve(move |images| {
-                // per-batch ledger: reset, run, hand the delta to the
-                // report (merge keeps the sum bit-identical to one
-                // engine serving the same images serially)
-                engine.reset_stats();
-                let outputs = qnet.forward_batch(images, &mut engine)?;
-                Ok((outputs, engine.stats().clone()))
+    /// Starts a server over the standard crossbar backend: the models
+    /// resident in `registry` (each programmed once, reused for every
+    /// batch), one engine session per drained batch. Requests name their
+    /// model per submit; ids the registry never minted are refused at
+    /// submit time with [`ServeError::UnknownModel`].
+    pub fn start(mut registry: Registry, policy: BatchPolicy) -> Server {
+        let model_count = registry.len();
+        Server::spawn(policy, Some(model_count), move |source| {
+            source.serve(move |model, images| {
+                // per-batch ledger: each model's engine is reset, run,
+                // and its delta handed to the report (merging keeps the
+                // per-model sums bit-identical to each engine serving
+                // its own images serially)
+                registry
+                    .get_mut(model)
+                    .expect("submit validated the id against this registry")
+                    .run_batch(images)
             })
         })
     }
@@ -450,12 +510,24 @@ impl Server {
     /// returns comes back from [`Server::shutdown`]. If the body exits
     /// (or panics) with requests still queued, those tickets fail with
     /// [`ServeError::WorkerLost`] and the server stops accepting work.
+    ///
+    /// The backend owns the [`ModelId`] space: submits are not checked
+    /// against any registry, and every id reaches the body's batch
+    /// runner ([`ModelId::new`] mints ids for this use).
     pub fn with_worker<F>(policy: BatchPolicy, body: F) -> Server
+    where
+        F: FnOnce(BatchSource) -> ServeReport + Send + 'static,
+    {
+        Server::spawn(policy, None, body)
+    }
+
+    fn spawn<F>(policy: BatchPolicy, model_count: Option<usize>, body: F) -> Server
     where
         F: FnOnce(BatchSource) -> ServeReport + Send + 'static,
     {
         let shared = Arc::new(Shared {
             policy: policy.normalized(),
+            model_count,
             state: Mutex::new(QueueState { queue: VecDeque::new(), draining: false, dead: false }),
             arrived: Condvar::new(),
             vacated: Condvar::new(),
@@ -485,13 +557,16 @@ impl Server {
         Server { shared, worker: Some(worker) }
     }
 
-    /// Submits one image, blocking while the queue is at capacity.
+    /// Submits one image to `model`, blocking while the queue is at
+    /// capacity.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::ShuttingDown`] once shutdown has begun or
-    /// the batcher is gone.
-    pub fn submit(&self, image: Tensor) -> Result<Ticket, ServeError> {
+    /// Returns [`ServeError::UnknownModel`] when `model` is not resident
+    /// (registry-backed servers only), [`ServeError::ShuttingDown`] once
+    /// shutdown has begun or the batcher is gone.
+    pub fn submit(&self, model: ModelId, image: Tensor) -> Result<Ticket, ServeError> {
+        self.check_model(model)?;
         let mut st = self.shared.lock();
         loop {
             if st.draining || st.dead {
@@ -502,16 +577,19 @@ impl Server {
             }
             st = self.shared.vacated.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
-        Ok(self.enqueue(st, image))
+        Ok(self.enqueue(st, model, image))
     }
 
-    /// Submits one image without blocking.
+    /// Submits one image to `model` without blocking.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::QueueFull`] when the queue is at capacity,
-    /// [`ServeError::ShuttingDown`] once shutdown has begun.
-    pub fn try_submit(&self, image: Tensor) -> Result<Ticket, ServeError> {
+    /// Returns [`ServeError::UnknownModel`] when `model` is not resident
+    /// (registry-backed servers only), [`ServeError::QueueFull`] when the
+    /// queue is at capacity, [`ServeError::ShuttingDown`] once shutdown
+    /// has begun.
+    pub fn try_submit(&self, model: ModelId, image: Tensor) -> Result<Ticket, ServeError> {
+        self.check_model(model)?;
         let st = self.shared.lock();
         if st.draining || st.dead {
             return Err(ServeError::ShuttingDown);
@@ -519,12 +597,20 @@ impl Server {
         if st.queue.len() >= self.shared.policy.queue_cap {
             return Err(ServeError::QueueFull);
         }
-        Ok(self.enqueue(st, image))
+        Ok(self.enqueue(st, model, image))
     }
 
-    fn enqueue(&self, mut st: MutexGuard<'_, QueueState>, image: Tensor) -> Ticket {
+    fn check_model(&self, model: ModelId) -> Result<(), ServeError> {
+        match self.shared.model_count {
+            Some(count) if model.index() >= count => Err(ServeError::UnknownModel(model)),
+            _ => Ok(()),
+        }
+    }
+
+    fn enqueue(&self, mut st: MutexGuard<'_, QueueState>, model: ModelId, image: Tensor) -> Ticket {
         let shared = Arc::new(TicketShared { result: Mutex::new(None), ready: Condvar::new() });
         st.queue.push_back(Request {
+            model,
             image,
             submitted: Instant::now(),
             ticket: Arc::clone(&shared),
@@ -603,6 +689,9 @@ mod tests {
         }
     }
 
+    /// The model id the single-model tests route everything through.
+    const M0: ModelId = ModelId::new(0);
+
     fn image(tag: f32) -> Tensor {
         Tensor::from_vec(vec![4], vec![tag, tag + 1.0, tag + 2.0, tag + 3.0]).unwrap()
     }
@@ -614,7 +703,7 @@ mod tests {
         let gate = Arc::clone(gate);
         Server::with_worker(policy, move |source| {
             gate.wait_open();
-            source.serve(|images| Ok((images.to_vec(), PimStats::default())))
+            source.serve(|_model, images| Ok((images.to_vec(), PimStats::default())))
         })
     }
 
@@ -623,9 +712,9 @@ mod tests {
         let gate = Gate::new();
         let policy = BatchPolicy::default().with_queue_cap(2).with_max_wait(Duration::ZERO);
         let server = gated_echo_server(policy, &gate);
-        let t1 = server.try_submit(image(0.0)).expect("slot 1");
-        let t2 = server.try_submit(image(4.0)).expect("slot 2");
-        assert_eq!(server.try_submit(image(8.0)).unwrap_err(), ServeError::QueueFull);
+        let t1 = server.try_submit(M0, image(0.0)).expect("slot 1");
+        let t2 = server.try_submit(M0, image(4.0)).expect("slot 2");
+        assert_eq!(server.try_submit(M0, image(8.0)).unwrap_err(), ServeError::QueueFull);
         assert_eq!(server.queue_len(), 2);
         gate.open();
         assert_eq!(t1.wait().expect("echo").output.data(), image(0.0).data());
@@ -637,9 +726,9 @@ mod tests {
         let gate = Gate::new();
         let policy = BatchPolicy::default().with_queue_cap(1).with_max_wait(Duration::ZERO);
         let server = Arc::new(gated_echo_server(policy, &gate));
-        let _t1 = server.submit(image(0.0)).expect("slot 1");
+        let _t1 = server.submit(M0, image(0.0)).expect("slot 1");
         let server2 = Arc::clone(&server);
-        let blocked = std::thread::spawn(move || server2.submit(image(4.0)));
+        let blocked = std::thread::spawn(move || server2.submit(M0, image(4.0)));
         // open the gate: the batcher drains slot 1, freeing space for the
         // blocked submitter
         gate.open();
@@ -653,10 +742,10 @@ mod tests {
         let policy = BatchPolicy::default().with_max_batch(2).with_max_wait(Duration::ZERO);
         let server = gated_echo_server(policy, &gate);
         let tickets: Vec<Ticket> =
-            (0..5).map(|i| server.submit(image(i as f32)).expect("enqueue")).collect();
+            (0..5).map(|i| server.submit(M0, image(i as f32)).expect("enqueue")).collect();
         server.begin_shutdown();
-        assert_eq!(server.submit(image(99.0)).unwrap_err(), ServeError::ShuttingDown);
-        assert_eq!(server.try_submit(image(99.0)).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(server.submit(M0, image(99.0)).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(server.try_submit(M0, image(99.0)).unwrap_err(), ServeError::ShuttingDown);
         gate.open();
         let report = server.shutdown();
         for (i, ticket) in tickets.into_iter().enumerate() {
@@ -675,16 +764,16 @@ mod tests {
         // backend that rejects any batch whose head is negative
         let policy = BatchPolicy::default().with_max_batch(1).with_max_wait(Duration::ZERO);
         let server = Server::with_worker(policy, move |source| {
-            source.serve(|images| {
+            source.serve(|_model, images| {
                 if images[0].data()[0] < 0.0 {
                     return Err(NnError::BadGraph { reason: "injected".into() });
                 }
                 Ok((images.to_vec(), PimStats::default()))
             })
         });
-        let good1 = server.submit(image(1.0)).unwrap();
-        let bad = server.submit(image(-9.0)).unwrap();
-        let good2 = server.submit(image(2.0)).unwrap();
+        let good1 = server.submit(M0, image(1.0)).unwrap();
+        let bad = server.submit(M0, image(-9.0)).unwrap();
+        let good2 = server.submit(M0, image(2.0)).unwrap();
         assert!(good1.wait().is_ok());
         assert!(matches!(bad.wait().unwrap_err(), ServeError::Forward(_)));
         assert!(good2.wait().is_ok(), "the server must keep serving after a failed batch");
@@ -699,7 +788,7 @@ mod tests {
         let panics2 = Arc::clone(&panics);
         let policy = BatchPolicy::default().with_max_batch(1).with_max_wait(Duration::ZERO);
         let server = Server::with_worker(policy, move |source| {
-            source.serve(move |images| {
+            source.serve(move |_model, images| {
                 if images[0].data()[0] < 0.0 {
                     panics2.fetch_add(1, Ordering::SeqCst);
                     panic!("injected backend panic");
@@ -707,8 +796,8 @@ mod tests {
                 Ok((images.to_vec(), PimStats::default()))
             })
         });
-        let bad = server.submit(image(-1.0)).unwrap();
-        let good = server.submit(image(5.0)).unwrap();
+        let bad = server.submit(M0, image(-1.0)).unwrap();
+        let good = server.submit(M0, image(5.0)).unwrap();
         assert_eq!(bad.wait().unwrap_err(), ServeError::BatchPanicked);
         assert!(good.wait().is_ok(), "a panicked batch must not take the batcher down");
         assert_eq!(panics.load(Ordering::SeqCst), 1);
@@ -724,7 +813,7 @@ mod tests {
         let server = Server::with_worker(policy, |_source| ServeReport::default());
         // the worker may already be gone; either the submit is refused or
         // the ticket resolves to WorkerLost — nothing hangs
-        match server.submit(image(0.0)) {
+        match server.submit(M0, image(0.0)) {
             Ok(ticket) => {
                 assert_eq!(ticket.wait().unwrap_err(), ServeError::WorkerLost);
             }
@@ -741,7 +830,7 @@ mod tests {
         let gate2 = Arc::clone(&gate);
         let server = Server::with_worker(policy, move |source| {
             gate2.wait_open();
-            source.serve(move |images| {
+            source.serve(move |_model, images| {
                 let dims = images[0].shape().dims().to_vec();
                 assert!(
                     images.iter().all(|x| x.shape().dims() == dims),
@@ -752,10 +841,10 @@ mod tests {
             })
         });
         let wide = Tensor::from_vec(vec![2, 2], vec![1.0; 4]).unwrap();
-        let t1 = server.submit(image(0.0)).unwrap();
-        let t2 = server.submit(image(4.0)).unwrap();
-        let t3 = server.submit(wide.clone()).unwrap();
-        let t4 = server.submit(image(8.0)).unwrap();
+        let t1 = server.submit(M0, image(0.0)).unwrap();
+        let t2 = server.submit(M0, image(4.0)).unwrap();
+        let t3 = server.submit(M0, wide.clone()).unwrap();
+        let t4 = server.submit(M0, image(8.0)).unwrap();
         gate.open();
         for t in [t1, t2, t3, t4] {
             assert!(t.wait().is_ok());
@@ -775,10 +864,10 @@ mod tests {
         let server = Server::with_worker(policy, move |source| {
             gate2.wait_open();
             // a broken backend: answers one output regardless of batch size
-            source.serve(|images| Ok((images[..1].to_vec(), PimStats::default())))
+            source.serve(|_model, images| Ok((images[..1].to_vec(), PimStats::default())))
         });
-        let t1 = server.submit(image(0.0)).unwrap();
-        let t2 = server.submit(image(4.0)).unwrap();
+        let t1 = server.submit(M0, image(0.0)).unwrap();
+        let t2 = server.submit(M0, image(4.0)).unwrap();
         gate.open();
         // both tickets must resolve (not hang), with the typed error
         let err = t1.wait().unwrap_err();
@@ -793,9 +882,9 @@ mod tests {
     fn poll_is_non_consuming_and_wait_still_returns() {
         let policy = BatchPolicy::default().with_max_batch(1).with_max_wait(Duration::ZERO);
         let server = Server::with_worker(policy, move |source| {
-            source.serve(|images| Ok((images.to_vec(), PimStats::default())))
+            source.serve(|_model, images| Ok((images.to_vec(), PimStats::default())))
         });
-        let ticket = server.submit(image(3.0)).unwrap();
+        let ticket = server.submit(M0, image(3.0)).unwrap();
         // spin until the poll sees the result, then wait() must not hang
         loop {
             if let Some(result) = ticket.poll() {
@@ -817,8 +906,8 @@ mod tests {
             .with_max_wait(Duration::from_secs(5))
             .with_queue_cap(8);
         let server = gated_echo_server(policy, &gate);
-        let t1 = server.submit(image(0.0)).unwrap();
-        let t2 = server.submit(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).unwrap()).unwrap();
+        let t1 = server.submit(M0, image(0.0)).unwrap();
+        let t2 = server.submit(M0, Tensor::from_vec(vec![2, 2], vec![1.0; 4]).unwrap()).unwrap();
         let t0 = Instant::now();
         gate.open();
         assert!(t1.wait().is_ok());
@@ -842,8 +931,8 @@ mod tests {
             .with_max_wait(Duration::from_secs(5))
             .with_queue_cap(2);
         let server = gated_echo_server(policy, &gate);
-        let t1 = server.submit(image(0.0)).unwrap();
-        let t2 = server.submit(image(4.0)).unwrap();
+        let t1 = server.submit(M0, image(0.0)).unwrap();
+        let t2 = server.submit(M0, image(4.0)).unwrap();
         let t0 = Instant::now();
         gate.open();
         assert!(t1.wait().is_ok());
@@ -852,6 +941,60 @@ mod tests {
             t0.elapsed() < Duration::from_secs(4),
             "a capacity-bounded batch must not eat the full max_wait"
         );
+    }
+
+    #[test]
+    fn mixed_models_split_into_per_model_batches() {
+        let gate = Gate::new();
+        let policy = BatchPolicy::default().with_max_batch(8).with_max_wait(Duration::ZERO);
+        let batches_seen = Arc::new(Mutex::new(Vec::new()));
+        let batches2 = Arc::clone(&batches_seen);
+        let gate2 = Arc::clone(&gate);
+        let server = Server::with_worker(policy, move |source| {
+            gate2.wait_open();
+            source.serve(move |model, images| {
+                batches2.lock().unwrap().push((model, images.len()));
+                Ok((images.to_vec(), PimStats::default()))
+            })
+        });
+        let m1 = ModelId::new(1);
+        let t1 = server.submit(M0, image(0.0)).unwrap();
+        let t2 = server.submit(M0, image(4.0)).unwrap();
+        let t3 = server.submit(m1, image(8.0)).unwrap();
+        let t4 = server.submit(M0, image(12.0)).unwrap();
+        gate.open();
+        for (t, want) in [(t1, M0), (t2, M0), (t3, m1), (t4, M0)] {
+            assert_eq!(t.wait().expect("echo").model, want);
+        }
+        let report = server.shutdown();
+        // arrival order is preserved and batches never mix models:
+        // model#0 ×2, then model#1 ×1, then model#0 ×1
+        assert_eq!(*batches_seen.lock().unwrap(), vec![(M0, 2), (m1, 1), (M0, 1)]);
+        assert_eq!(report.per_model.len(), 2);
+        assert_eq!(report.model_usage(M0).unwrap().requests, 3);
+        assert_eq!(report.model_usage(M0).unwrap().batches, 2);
+        assert_eq!(report.model_usage(m1).unwrap().requests, 1);
+        assert_eq!(report.model_usage(m1).unwrap().batches, 1);
+    }
+
+    #[test]
+    fn unknown_model_is_refused_at_submit_time() {
+        // a registry-checked server (model_count = 1) behind an echo body
+        let policy = BatchPolicy::default().with_max_wait(Duration::ZERO);
+        let server = Server::spawn(policy, Some(1), move |source| {
+            source.serve(|_model, images| Ok((images.to_vec(), PimStats::default())))
+        });
+        let bogus = ModelId::new(1);
+        assert_eq!(server.submit(bogus, image(0.0)).unwrap_err(), ServeError::UnknownModel(bogus));
+        assert_eq!(
+            server.try_submit(bogus, image(0.0)).unwrap_err(),
+            ServeError::UnknownModel(bogus)
+        );
+        let ok = server.submit(M0, image(1.0)).unwrap();
+        assert_eq!(ok.wait().expect("echo").output.data(), image(1.0).data());
+        let report = server.shutdown();
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.failed, 0);
     }
 
     #[test]

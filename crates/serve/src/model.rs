@@ -1,0 +1,246 @@
+//! First-class model handles and the multi-model registry.
+//!
+//! A [`Model`] owns everything one resident model needs to serve: the
+//! quantized network, its per-layer ADC plan, and a fully *programmed*
+//! [`PimMvm`] engine. Programming (bit-slicing weights, building LUTs)
+//! happens once — eagerly in [`Model::program`], or not at all when the
+//! model comes off disk via [`Model::from_snapshot`] /
+//! [`Model::load_latest`], which install the snapshot's programmed state
+//! directly.
+//!
+//! A [`Registry`] holds multiple resident models and hands out [`ModelId`]
+//! keys; [`crate::Server::start`] takes a registry and routes each
+//! request to the model its submitter named.
+
+use trq_core::arch::ArchConfig;
+use trq_core::pim::{AdcScheme, PimMvm, PimStats};
+use trq_nn::{NnError, QuantizedNetwork};
+use trq_store::{ModelSnapshot, StoreError};
+use trq_tensor::Tensor;
+
+/// Key of one resident model in a [`Registry`] — and the routing tag of
+/// every request submitted to a [`crate::Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelId(usize);
+
+impl ModelId {
+    /// Builds an id from a raw index.
+    ///
+    /// Registry-backed servers only accept ids minted by
+    /// [`Registry::insert`] for the registry they serve; this constructor
+    /// exists for custom [`crate::Server::with_worker`] backends, which
+    /// define their own id space.
+    pub const fn new(index: usize) -> ModelId {
+        ModelId(index)
+    }
+
+    /// The raw index (dense, in registry insertion order).
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model#{}", self.0)
+    }
+}
+
+/// A serving-ready model: quantized network + programmed engine.
+///
+/// The engine is programmed for every layer up front, so the first
+/// request pays no programming cost and [`Model::snapshot`] always has
+/// complete state to persist.
+pub struct Model {
+    name: String,
+    qnet: QuantizedNetwork,
+    engine: PimMvm,
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("name", &self.name)
+            .field("layers", &self.qnet.layers().len())
+            .finish()
+    }
+}
+
+impl Model {
+    /// Builds a model by programming `qnet` into a fresh engine for
+    /// `arch` under `plan` — the "cold start" path, paying the full
+    /// bit-slice + LUT cost per layer here and now.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan` does not name a scheme per MVM layer; a silent
+    /// `Ideal` fallback would make served numbers quietly diverge from
+    /// the calibrated plan.
+    pub fn program(
+        name: &str,
+        qnet: QuantizedNetwork,
+        arch: ArchConfig,
+        plan: Vec<AdcScheme>,
+    ) -> Model {
+        assert_eq!(
+            plan.len(),
+            qnet.layers().len(),
+            "plan must name an ADC scheme for every MVM layer"
+        );
+        let mut engine = PimMvm::new(arch, plan);
+        for layer in qnet.layers() {
+            engine.program_layer(&layer.info, &layer.weights_q);
+        }
+        Model { name: name.to_string(), qnet, engine }
+    }
+
+    /// The model's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The quantized network this model serves.
+    pub fn qnet(&self) -> &QuantizedNetwork {
+        &self.qnet
+    }
+
+    /// The architecture the engine simulates.
+    pub fn arch(&self) -> &ArchConfig {
+        self.engine.arch()
+    }
+
+    /// The per-layer ADC plan.
+    pub fn plan(&self) -> &[AdcScheme] {
+        self.engine.plan()
+    }
+
+    /// Runs one image through the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NnError`] from the forward pass.
+    pub fn forward(&mut self, image: &Tensor) -> Result<Tensor, NnError> {
+        self.qnet.forward(image, &mut self.engine)
+    }
+
+    /// Runs a shape-uniform batch of images through the model in one
+    /// engine session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NnError`] from the forward pass.
+    pub fn forward_batch(&mut self, images: &[Tensor]) -> Result<Vec<Tensor>, NnError> {
+        self.qnet.forward_batch(images, &mut self.engine)
+    }
+
+    /// Runs a batch and returns the outputs together with that batch's
+    /// own engine ledger (the ledger is reset first) — the contract
+    /// [`crate::BatchSource::serve`] expects of a batch runner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NnError`] from the forward pass.
+    pub fn run_batch(&mut self, images: &[Tensor]) -> Result<(Vec<Tensor>, PimStats), NnError> {
+        self.engine.reset_stats();
+        let outputs = self.qnet.forward_batch(images, &mut self.engine)?;
+        Ok((outputs, self.engine.stats().clone()))
+    }
+
+    /// Captures this model's complete programmed state as a
+    /// [`ModelSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError::Invalid`] (cannot happen for a model
+    /// built through this type, which always programs every layer).
+    pub fn snapshot(&self) -> Result<ModelSnapshot, StoreError> {
+        ModelSnapshot::capture(&self.name, &self.qnet, &self.engine)
+    }
+
+    /// Rebuilds a model from a snapshot without re-programming anything —
+    /// the "warm start" path. The result is bit-identical to the model
+    /// the snapshot was captured from: same outputs, same
+    /// [`PimStats`] ledgers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`StoreError`] from [`ModelSnapshot::restore`].
+    pub fn from_snapshot(snapshot: &ModelSnapshot) -> Result<Model, StoreError> {
+        let (qnet, engine) = snapshot.restore()?;
+        Ok(Model { name: snapshot.name.clone(), qnet, engine })
+    }
+
+    /// Persists this model as the next snapshot generation in `dir`;
+    /// returns the generation number written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`StoreError`] from capture or the write.
+    pub fn save_generation(&self, dir: impl AsRef<std::path::Path>) -> Result<u64, StoreError> {
+        trq_store::save_generation(dir, &self.snapshot()?)
+    }
+
+    /// Loads the newest snapshot generation from `dir` and restores it;
+    /// returns the generation number alongside the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`StoreError`] from the read or restore;
+    /// [`StoreError::NoSnapshot`] when `dir` holds no generations.
+    pub fn load_latest(dir: impl AsRef<std::path::Path>) -> Result<(u64, Model), StoreError> {
+        let (generation, snapshot) = trq_store::load_latest(dir)?;
+        Ok((generation, Model::from_snapshot(&snapshot)?))
+    }
+}
+
+/// The set of models resident in one server, keyed by [`ModelId`].
+///
+/// Ids are dense indices in insertion order, so per-model accounting
+/// (e.g. [`crate::ServeReport::per_model`]) can use plain vectors.
+#[derive(Debug, Default)]
+pub struct Registry {
+    models: Vec<Model>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds a model and returns its id.
+    pub fn insert(&mut self, model: Model) -> ModelId {
+        self.models.push(model);
+        ModelId(self.models.len() - 1)
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are resident.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Looks a model up by id.
+    pub fn get(&self, id: ModelId) -> Option<&Model> {
+        self.models.get(id.0)
+    }
+
+    /// Looks a model up by id, mutably (e.g. to run batches through it).
+    pub fn get_mut(&mut self, id: ModelId) -> Option<&mut Model> {
+        self.models.get_mut(id.0)
+    }
+
+    /// All ids, in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = ModelId> {
+        (0..self.models.len()).map(ModelId)
+    }
+
+    /// Iterates `(id, model)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModelId, &Model)> {
+        self.models.iter().enumerate().map(|(i, m)| (ModelId(i), m))
+    }
+}

@@ -1,0 +1,235 @@
+//! Snapshot round-trip and rejection tests.
+//!
+//! The property that matters: program → capture → save → load → restore
+//! must yield a model whose forward outputs **and** [`PimStats`] event
+//! ledgers are bit-identical to the engine the snapshot came from, at
+//! any thread count. The rejection tests pin the typed error for every
+//! way a file can be damaged: wrong magic, future version, truncation,
+//! bit rot, garbage payload, cross-architecture restore.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use trq_core::arch::{ArchConfig, ExecConfig};
+use trq_core::pim::{AdcScheme, PimMvm, PimStats};
+use trq_nn::QuantizedNetwork;
+use trq_quant::TrqParams;
+use trq_store::{
+    decode_snapshot, encode_snapshot, fnv1a64, load_latest, load_snapshot, save_generation,
+    save_snapshot, ModelSnapshot, StoreError, FORMAT_VERSION, HEADER_LEN, MAGIC,
+};
+use trq_tensor::Tensor;
+
+/// A fresh scratch directory under the cargo-managed tmp dir.
+fn scratch(label: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("{label}-{}", SEQ.fetch_add(1, Ordering::Relaxed)));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn scheme_of(sel: u8) -> AdcScheme {
+    match sel % 3 {
+        0 => AdcScheme::Ideal,
+        1 => AdcScheme::uniform(6, 0.7),
+        _ => AdcScheme::Trq(TrqParams::new(3, 7, 1, 1.0, 0).expect("static params")),
+    }
+}
+
+fn fixture(
+    depth: usize,
+    hidden: usize,
+    seed: u64,
+    n_images: usize,
+) -> (QuantizedNetwork, Vec<Tensor>) {
+    let net = trq_nn::models::mlp(depth, hidden, 4, seed).expect("static topology");
+    let images: Vec<Tensor> = (0..n_images)
+        .map(|i| {
+            let data: Vec<f32> =
+                (0..depth).map(|j| (((i * 29 + j * 13) % 23) as f32) * 0.05).collect();
+            Tensor::from_vec(vec![depth], data).expect("static shape")
+        })
+        .collect();
+    let qnet = QuantizedNetwork::quantize(&net, &images[..2.min(images.len())])
+        .expect("calibration succeeds");
+    (qnet, images)
+}
+
+/// Programs every layer of `qnet` into a fresh engine under `plan`.
+fn programmed_engine(qnet: &QuantizedNetwork, arch: ArchConfig, plan: Vec<AdcScheme>) -> PimMvm {
+    let mut engine = PimMvm::new(arch, plan);
+    for layer in qnet.layers() {
+        engine.program_layer(&layer.info, &layer.weights_q);
+    }
+    engine
+}
+
+/// Forward every image, returning outputs and the cumulative ledger.
+fn run_all(
+    qnet: &QuantizedNetwork,
+    engine: &mut PimMvm,
+    images: &[Tensor],
+) -> (Vec<Vec<f32>>, PimStats) {
+    engine.reset_stats();
+    let outputs = images
+        .iter()
+        .map(|x| qnet.forward(x, engine).expect("forward succeeds").data().to_vec())
+        .collect();
+    (outputs, engine.stats().clone())
+}
+
+proptest! {
+    /// program → save → load → forward is bit-identical — values and
+    /// event ledgers — for random topologies, random per-layer plans,
+    /// and threads ∈ {1, N}.
+    #[test]
+    fn snapshot_round_trip_is_bit_identical(
+        depth in 8usize..24,
+        hidden in 4usize..9,
+        seed in 0u64..1000,
+        scheme_sel in proptest::collection::vec(0u8..3, 3..4),
+        threaded in 0usize..2,
+    ) {
+        let (qnet, images) = fixture(depth, hidden, seed, 4);
+        let threads = if threaded == 0 { 1 } else { 3 };
+        let arch =
+            ArchConfig::default().with_exec(ExecConfig::serial().with_threads(threads));
+        let plan: Vec<AdcScheme> = (0..qnet.layers().len())
+            .map(|l| scheme_of(scheme_sel[l % scheme_sel.len()]))
+            .collect();
+        let mut cold = programmed_engine(&qnet, arch, plan);
+        let snapshot = ModelSnapshot::capture("prop", &qnet, &cold).expect("fully programmed");
+
+        let dir = scratch("roundtrip");
+        let generation = save_generation(&dir, &snapshot).expect("save succeeds");
+        let (loaded_generation, loaded) = load_latest(&dir).expect("load succeeds");
+        prop_assert_eq!(generation, loaded_generation);
+        prop_assert_eq!(&loaded, &snapshot, "decoded snapshot must equal the captured one");
+
+        let (restored_qnet, mut warm) = loaded.restore().expect("restore succeeds");
+        let (want, want_stats) = run_all(&qnet, &mut cold, &images);
+        let (got, got_stats) = run_all(&restored_qnet, &mut warm, &images);
+        prop_assert_eq!(got, want, "restored forward must reproduce the original bits");
+        prop_assert_eq!(got_stats, want_stats, "restored ledger must reproduce the original");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// One small static snapshot the rejection tests mutate.
+fn small_snapshot() -> (QuantizedNetwork, ModelSnapshot) {
+    let (qnet, _) = fixture(12, 5, 77, 2);
+    let arch = ArchConfig::default();
+    let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
+    let engine = programmed_engine(&qnet, arch, plan);
+    let snapshot = ModelSnapshot::capture("small", &qnet, &engine).expect("fully programmed");
+    (qnet, snapshot)
+}
+
+#[test]
+fn corrupt_magic_is_rejected() {
+    let (_, snapshot) = small_snapshot();
+    let mut bytes = encode_snapshot(&snapshot).expect("encodable");
+    bytes[0] ^= 0x20;
+    assert!(matches!(decode_snapshot(&bytes), Err(StoreError::BadMagic)));
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let (_, snapshot) = small_snapshot();
+    let mut bytes = encode_snapshot(&snapshot).expect("encodable");
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match decode_snapshot(&bytes) {
+        Err(StoreError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_payload_is_rejected() {
+    let (_, snapshot) = small_snapshot();
+    let bytes = encode_snapshot(&snapshot).expect("encodable");
+    // every cut inside the payload (and inside the header) must be a
+    // typed Truncated error, never a panic
+    for cut in [bytes.len() - 1, bytes.len() / 2, HEADER_LEN, HEADER_LEN - 3, 4] {
+        match decode_snapshot(&bytes[..cut]) {
+            Err(StoreError::Truncated { .. }) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn payload_bit_rot_is_rejected_by_checksum() {
+    let (_, snapshot) = small_snapshot();
+    let mut bytes = encode_snapshot(&snapshot).expect("encodable");
+    let flip_at = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+    bytes[flip_at] ^= 0x01;
+    assert!(matches!(decode_snapshot(&bytes), Err(StoreError::ChecksumMismatch { .. })));
+}
+
+#[test]
+fn well_framed_garbage_payload_is_a_decode_error() {
+    // a correctly checksummed envelope around bytes that are not a
+    // ModelSnapshot: framing passes, decoding must fail typed
+    let payload = br#"{"definitely": "not a snapshot"}"#;
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    assert!(matches!(decode_snapshot(&bytes), Err(StoreError::Decode { .. })));
+}
+
+#[test]
+fn cross_architecture_restore_is_rejected() {
+    // capture under the default 128-row arrays, doctor the arch to claim
+    // 64 rows: restore must refuse to install 128-row planes
+    let (_, mut snapshot) = small_snapshot();
+    snapshot.arch.xbar.rows = 64;
+    assert!(matches!(snapshot.restore(), Err(StoreError::Invalid { .. })));
+}
+
+#[test]
+fn incomplete_programming_is_rejected_at_capture() {
+    let (qnet, _) = small_snapshot();
+    let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
+    let mut engine = PimMvm::new(ArchConfig::default(), plan);
+    let first = &qnet.layers()[0];
+    engine.program_layer(&first.info, &first.weights_q);
+    assert!(matches!(
+        ModelSnapshot::capture("partial", &qnet, &engine),
+        Err(StoreError::Invalid { .. })
+    ));
+}
+
+#[test]
+fn generations_are_sequential_and_load_latest_picks_the_newest() {
+    let (_, snapshot) = small_snapshot();
+    let dir = scratch("generations");
+    assert!(matches!(load_latest(&dir), Err(StoreError::NoSnapshot { .. })));
+    assert_eq!(save_generation(&dir, &snapshot).expect("gen 1"), 1);
+    let mut second = snapshot.clone();
+    second.name = "small-v2".to_string();
+    assert_eq!(save_generation(&dir, &second).expect("gen 2"), 2);
+    let (generation, loaded) = load_latest(&dir).expect("load succeeds");
+    assert_eq!(generation, 2);
+    assert_eq!(loaded.name, "small-v2");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn save_snapshot_then_load_snapshot_round_trips_a_single_file() {
+    let (_, snapshot) = small_snapshot();
+    let dir = scratch("single");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("model.trqs");
+    save_snapshot(&path, &snapshot).expect("save succeeds");
+    let loaded = load_snapshot(&path).expect("load succeeds");
+    assert_eq!(loaded, snapshot);
+    let _ = std::fs::remove_dir_all(&dir);
+}

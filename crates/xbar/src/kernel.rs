@@ -32,6 +32,7 @@
 //! property tests.
 
 use crate::bits::BitMatrix;
+use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// Carry-save adder: compresses three one-bit-per-lane addends into a
@@ -126,7 +127,7 @@ pub fn popcount_words(a: &[u64]) -> u32 {
 /// all-positive output channel, or high-magnitude bit slices of small
 /// weights) popcount to 0 against every input, so the kernel never visits
 /// them.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ColMask {
     words: Vec<u64>,
 }
@@ -172,6 +173,14 @@ impl ColMask {
     /// Number of live columns recorded in the mask.
     pub fn live_count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when the mask's backing words cover exactly `cols` columns —
+    /// the shape check callers run on deserialized masks before handing
+    /// them to the kernels (a short mask would panic in
+    /// [`ColMask::is_live`]).
+    pub fn covers(&self, cols: usize) -> bool {
+        self.words.len() == cols.div_ceil(64).max(1)
     }
 }
 

@@ -1,0 +1,80 @@
+//! The facade's unified error type.
+
+use trq_core::calib::CalibError;
+use trq_nn::NnError;
+use trq_serve::ServeError;
+use trq_store::StoreError;
+
+/// Any error the end-to-end pipeline can surface: quantize/forward
+/// ([`NnError`]), plan search ([`CalibError`]), serving ([`ServeError`]),
+/// or snapshot persistence ([`StoreError`]).
+///
+/// Every stage error converts via `From`, so an application driving the
+/// whole pipeline — quantize, calibrate, program, snapshot, serve — can
+/// use one `Result<_, trq::Error>` and `?` throughout:
+///
+/// ```no_run
+/// use trq::prelude::*;
+///
+/// fn bring_up(dir: &str) -> Result<Model, trq::Error> {
+///     let (_generation, model) = Model::load_latest(dir)?;
+///     Ok(model)
+/// }
+/// ```
+#[derive(Debug)]
+pub enum Error {
+    /// Network construction, quantization, or forward-pass failure.
+    Nn(NnError),
+    /// Calibration plan search failure (Algorithm 1).
+    Calib(CalibError),
+    /// Serving-frontend failure (queue, batch, or model routing).
+    Serve(ServeError),
+    /// Snapshot persistence failure (envelope, checksum, or restore).
+    Store(StoreError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Nn(e) => write!(f, "network error: {e}"),
+            Error::Calib(e) => write!(f, "calibration error: {e}"),
+            Error::Serve(e) => write!(f, "serving error: {e}"),
+            Error::Store(e) => write!(f, "snapshot store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Nn(e) => Some(e),
+            Error::Calib(e) => Some(e),
+            Error::Serve(e) => Some(e),
+            Error::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<NnError> for Error {
+    fn from(e: NnError) -> Error {
+        Error::Nn(e)
+    }
+}
+
+impl From<CalibError> for Error {
+    fn from(e: CalibError) -> Error {
+        Error::Calib(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Error {
+        Error::Serve(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Error {
+        Error::Store(e)
+    }
+}

@@ -12,13 +12,20 @@
 //! - [`nn`] — DNN graph engine, paper workloads, synthetic datasets;
 //! - [`core`] — ISAAC-like architecture, energy model, Algorithm 1,
 //!   experiment drivers;
-//! - [`serve`] — batch-serving frontend with deterministic
-//!   micro-batching over the crossbar engine.
+//! - [`serve`] — batch-serving frontend: a model [`serve::Registry`]
+//!   with deterministic micro-batching over the crossbar engines;
+//! - [`store`] — versioned, checksummed on-disk snapshots of programmed
+//!   models.
+//!
+//! Applications normally start from the [`prelude`], which re-exports
+//! the types of the common pipeline (quantize → calibrate → program →
+//! snapshot → serve), and from [`Error`], which every stage error
+//! converts into:
 //!
 //! ```
-//! use trq::quant::{TrqParams, TwinRangeQuantizer};
-//! # fn main() -> Result<(), trq::quant::QuantError> {
-//! let q = TwinRangeQuantizer::new(TrqParams::new(3, 3, 2, 1.0, 0)?);
+//! use trq::prelude::*;
+//! # fn main() -> Result<(), trq::Error> {
+//! let q = trq::quant::TwinRangeQuantizer::new(TrqParams::new(3, 3, 2, 1.0, 0).unwrap());
 //! assert_eq!(q.quantize(5.0).value, 5.0);
 //! # Ok(())
 //! # }
@@ -26,10 +33,16 @@
 
 #![deny(missing_docs)]
 
+mod error;
+pub mod prelude;
+
+pub use error::Error;
+
 pub use trq_adc as adc;
 pub use trq_core as core;
 pub use trq_nn as nn;
 pub use trq_quant as quant;
 pub use trq_serve as serve;
+pub use trq_store as store;
 pub use trq_tensor as tensor;
 pub use trq_xbar as xbar;

@@ -60,7 +60,7 @@ fn crossbar_engine_with_ideal_adc_is_exact_for_every_layer_shape() {
             depth,
             outputs,
         };
-        let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+        let mut pim = PimMvm::new(arch, vec![AdcScheme::Ideal]);
         let got = pim.mvm(&info, &weights, &cols, n);
         let want = ExactMvm.mvm(&info, &weights, &cols, n);
         assert_eq!(got, want, "shape ({depth}, {outputs}, {n})");
@@ -77,7 +77,7 @@ fn lossless_trq_config_matches_exact_engine_through_crossbars() {
     let weights: Vec<i32> = (0..depth * outputs).map(|_| next(255) - 127).collect();
     let cols: Vec<u8> = (0..depth * n).map(|_| next(256) as u8).collect();
     let info = MvmLayerInfo { node: 1, mvm_index: 0, label: "lossless".into(), depth, outputs };
-    let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
     let got = pim.mvm(&info, &weights, &cols, n);
     let want = ExactMvm.mvm(&info, &weights, &cols, n);
     assert_eq!(got, want);

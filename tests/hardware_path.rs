@@ -35,7 +35,7 @@ fn engine_equals_discrete_component_composition() {
         }
     }
     let info = MvmLayerInfo { node: 1, mvm_index: 0, label: "hw".into(), depth, outputs };
-    let mut engine = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+    let mut engine = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
     let engine_out = engine.mvm(&info, &weights_eng, &cols, n);
     let engine_ops = engine.stats().ops();
 

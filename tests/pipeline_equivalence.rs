@@ -107,8 +107,8 @@ proptest! {
                 .with_threads(threads)
                 .with_tile_outputs(tile_outputs)
                 .with_tile_windows(tile_windows);
-            let arch = ArchConfig { exec, ..ArchConfig::default() };
-            let mut pim = PimMvm::new(&arch, vec![AdcScheme::Ideal]);
+            let arch = ArchConfig::default().with_exec(exec);
+            let mut pim = PimMvm::new(arch, vec![AdcScheme::Ideal]);
             let got = pim.mvm(&info, &weights, &cols, n);
             prop_assert_eq!(
                 &got, &want,
@@ -139,8 +139,8 @@ proptest! {
                 .with_threads(threads)
                 .with_tile_outputs(tile_outputs)
                 .with_tile_windows(tile_windows);
-            let arch = ArchConfig { exec, ..ArchConfig::default() };
-            let mut pim = PimMvm::new(&arch, vec![AdcScheme::Trq(params)]);
+            let arch = ArchConfig::default().with_exec(exec);
+            let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
             let got = pim.mvm(&info, &weights, &cols, n);
             prop_assert_eq!(
                 &got, &want,
@@ -178,19 +178,9 @@ proptest! {
             })
             .collect();
         for threads in [1usize, 4] {
-            let pool_arch = ArchConfig {
-                exec: ExecConfig::serial()
-                    .with_threads(threads)
-                    .with_tile_outputs(tile_outputs)
-                    .with_tile_windows(tile_windows)
-                    .with_dispatch(Dispatch::Pool),
-                ..ArchConfig::default()
-            };
-            let scope_arch = ArchConfig {
-                exec: pool_arch.exec.with_dispatch(Dispatch::Scope),
-                ..ArchConfig::default()
-            };
-            let mut persistent = PimMvm::new(&pool_arch, plan.clone());
+            let pool_arch = ArchConfig::default().with_exec(ExecConfig::serial() .with_threads(threads) .with_tile_outputs(tile_outputs) .with_tile_windows(tile_windows) .with_dispatch(Dispatch::Pool));
+            let scope_arch = ArchConfig::default().with_exec(pool_arch.exec.with_dispatch(Dispatch::Scope));
+            let mut persistent = PimMvm::new(pool_arch, plan.clone());
             let (mut want_ops, mut want_conversions) = (0u64, 0u64);
             for &(which, n, seed) in &calls {
                 let (depth, outputs) = shapes[which];
@@ -202,7 +192,7 @@ proptest! {
                 let got = persistent.mvm(&info, weights, &cols, n);
 
                 // reference: a fresh engine per call, scoped dispatch
-                let mut fresh = PimMvm::new(&scope_arch, plan.clone());
+                let mut fresh = PimMvm::new(scope_arch, plan.clone());
                 let want = fresh.mvm(&info, weights, &cols, n);
                 prop_assert_eq!(
                     &got, &want,
@@ -244,18 +234,15 @@ fn pool_session_forward_batch_and_calibration_are_bit_stable() {
     let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
     let plan = vec![AdcScheme::Trq(params); qnet.layers().len()];
 
-    let pool_arch = ArchConfig {
-        exec: ExecConfig::serial().with_threads(4).with_tile_outputs(2).with_tile_windows(2),
-        ..ArchConfig::default()
-    };
-    let scope_arch =
-        ArchConfig { exec: pool_arch.exec.with_dispatch(Dispatch::Scope), ..ArchConfig::default() };
+    let pool_arch = ArchConfig::default()
+        .with_exec(ExecConfig::serial().with_threads(4).with_tile_outputs(2).with_tile_windows(2));
+    let scope_arch = ArchConfig::default().with_exec(pool_arch.exec.with_dispatch(Dispatch::Scope));
 
     // one engine, many batch sessions
-    let mut persistent = PimMvm::new(&pool_arch, plan.clone());
+    let mut persistent = PimMvm::new(pool_arch, plan.clone());
     for batch in [&images[..3], &images[3..8], &images[..8]] {
         let got = qnet.forward_batch(batch, &mut persistent).unwrap();
-        let mut fresh = PimMvm::new(&scope_arch, plan.clone());
+        let mut fresh = PimMvm::new(scope_arch, plan.clone());
         let want = qnet.forward_batch(batch, &mut fresh).unwrap();
         assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(want.iter()) {

@@ -1,14 +1,10 @@
 //! Facade-level serving test: `trq::serve` must produce bit-identical
 //! outputs and summed ledgers vs per-image `forward` for every batch
 //! policy the bench records ({1, 4, 16}), and resolve every ticket on
-//! shutdown.
+//! shutdown. Exercises the prelude import surface end to end.
 
 use std::time::Duration;
-use trq::core::arch::ArchConfig;
-use trq::core::pim::{AdcScheme, PimMvm};
-use trq::nn::{data, models, QuantizedNetwork};
-use trq::serve::{BatchPolicy, Server};
-use trq::tensor::Tensor;
+use trq::prelude::*;
 
 #[test]
 fn serving_matches_per_image_forward_for_all_bench_batch_sizes() {
@@ -20,7 +16,7 @@ fn serving_matches_per_image_forward_for_all_bench_batch_sizes() {
     let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
 
     // serial reference: one engine, one forward per image
-    let mut reference = PimMvm::new(&arch, plan.clone());
+    let mut reference = PimMvm::new(arch, plan.clone());
     let want: Vec<Vec<f32>> =
         images.iter().map(|x| qnet.forward(x, &mut reference).unwrap().data().to_vec()).collect();
     let want_stats = reference.stats().clone();
@@ -29,11 +25,16 @@ fn serving_matches_per_image_forward_for_all_bench_batch_sizes() {
         let policy = BatchPolicy::default()
             .with_max_batch(max_batch)
             .with_max_wait(Duration::from_micros(200));
-        let server = Server::start(qnet.clone(), arch, plan.clone(), policy);
-        let tickets: Vec<_> =
-            images.iter().map(|x| server.submit(x.clone()).expect("queue has room")).collect();
+        let mut registry = Registry::new();
+        let model = registry.insert(Model::program("mlp", qnet.clone(), arch, plan.clone()));
+        let server = Server::start(registry, policy);
+        let tickets: Vec<_> = images
+            .iter()
+            .map(|x| server.submit(model, x.clone()).expect("queue has room"))
+            .collect();
         for (ticket, want_out) in tickets.into_iter().zip(&want) {
             let response = ticket.wait().expect("served");
+            assert_eq!(response.model, model);
             assert!(response.batch_size <= max_batch, "batch cap violated at {max_batch}");
             assert_eq!(
                 response.output.data(),
@@ -48,5 +49,7 @@ fn serving_matches_per_image_forward_for_all_bench_batch_sizes() {
             report.stats, want_stats,
             "summed ledgers at max_batch={max_batch} must equal the serial ledger"
         );
+        let usage = report.model_usage(model).expect("model served");
+        assert_eq!(usage.stats, want_stats, "per-model ledger equals the global one");
     }
 }

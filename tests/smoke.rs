@@ -61,12 +61,12 @@ fn facade_path_end_to_end() -> Result<(), Box<dyn std::error::Error>> {
     let arch = ArchConfig::default();
     let input = &calibration[0];
 
-    let mut trq_engine = PimMvm::new(&arch, vec![AdcScheme::Trq(params); qnet.layers().len()]);
+    let mut trq_engine = PimMvm::new(arch, vec![AdcScheme::Trq(params); qnet.layers().len()]);
     let trq_logits = qnet.forward(input, &mut trq_engine)?;
     assert_eq!(trq_logits.data().len(), 4);
     assert!(trq_logits.data().iter().all(|v| v.is_finite()));
 
-    let mut uni_engine = PimMvm::new(&arch, vec![AdcScheme::uniform(8, 1.0); qnet.layers().len()]);
+    let mut uni_engine = PimMvm::new(arch, vec![AdcScheme::uniform(8, 1.0); qnet.layers().len()]);
     let _ = qnet.forward(input, &mut uni_engine)?;
 
     let (trq_stats, uni_stats) = (trq_engine.stats(), uni_engine.stats());
