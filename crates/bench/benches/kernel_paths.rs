@@ -1,12 +1,14 @@
 //! The specialised popcount kernel paths at the `trq-xbar` level: scalar
 //! reference (two `mvm_planes_tile_into` passes) vs the fused
-//! differential kernel, across the monomorphised column word counts
-//! (wpc 1/2/4 and the Harley–Seal generic path), plus the skip-enabled
-//! sparse case.
+//! differential kernel on every kernel tier this host can run (scalar
+//! plus AVX-512/AVX2/NEON lanes where detected), across the
+//! monomorphised column word counts (wpc 1/2/4 and the Harley–Seal
+//! generic path), plus the skip-enabled sparse cases at both plane and
+//! window-block granularity.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use trq_xbar::{mvm_diff_tile_into, BitMatrix, ColMask};
+use trq_xbar::{mvm_diff_tile_into, BitMatrix, ColMask, KernelTier, WindowOcc, WINDOW_BLOCK};
 
 fn matrix(rows: usize, cols: usize, seed: u64, density_pct: u64) -> BitMatrix {
     let mut m = BitMatrix::zeros(rows, cols);
@@ -20,6 +22,14 @@ fn matrix(rows: usize, cols: usize, seed: u64, density_pct: u64) -> BitMatrix {
         }
     }
     m
+}
+
+/// Every kernel tier available on this host, scalar first.
+fn host_tiers() -> Vec<KernelTier> {
+    [KernelTier::Scalar, KernelTier::Neon, KernelTier::Avx2, KernelTier::Avx512]
+        .into_iter()
+        .filter(|t| t.available())
+        .collect()
 }
 
 fn bench_kernel_paths(c: &mut Criterion) {
@@ -46,23 +56,27 @@ fn bench_kernel_paths(c: &mut Criterion) {
             })
         });
         let all = ColMask::all_live(cols);
-        group.bench_function(&format!("fused_{label}"), |b| {
-            b.iter(|| {
-                mvm_diff_tile_into(
-                    black_box(&pos),
-                    black_box(&neg),
-                    black_box(&planes),
-                    u32::MAX,
-                    &all,
-                    &all,
-                    0..cols,
-                    0..windows,
-                    &mut out_pos,
-                    &mut out_neg,
-                );
-                black_box((&out_pos, &out_neg));
-            })
-        });
+        let occ = WindowOcc::of_planes(&planes);
+        for tier in host_tiers() {
+            group.bench_function(&format!("fused_{}_{label}", tier.name()), |b| {
+                b.iter(|| {
+                    mvm_diff_tile_into(
+                        tier,
+                        black_box(&pos),
+                        black_box(&neg),
+                        black_box(&planes),
+                        &occ,
+                        &all,
+                        &all,
+                        0..cols,
+                        0..windows,
+                        &mut out_pos,
+                        &mut out_neg,
+                    );
+                    black_box((&out_pos, &out_neg));
+                })
+            });
+        }
     }
 
     // the skip showcase: ReLU-coded planes (high-order planes empty) on
@@ -79,33 +93,75 @@ fn bench_kernel_paths(c: &mut Criterion) {
             }
         })
         .collect();
-    let live: u32 = planes
-        .iter()
-        .enumerate()
-        .filter(|(_, pl)| (0..windows).any(|w| pl.column_count_ones(w) != 0))
-        .map(|(p, _)| 1u32 << p)
-        .sum();
+    let occ = WindowOcc::of_planes(&planes);
     let (pos_live, neg_live) = (ColMask::of(&pos), ColMask::of(&neg));
     let volume = n_planes * cols * windows;
     let mut out_pos = vec![0u32; volume];
     let mut out_neg = vec![0u32; volume];
-    group.bench_function("fused_skip_relu_r128", |b| {
-        b.iter(|| {
-            mvm_diff_tile_into(
-                black_box(&pos),
-                black_box(&neg),
-                black_box(&planes),
-                live,
-                &pos_live,
-                &neg_live,
-                0..cols,
-                0..windows,
-                &mut out_pos,
-                &mut out_neg,
-            );
-            black_box((&out_pos, &out_neg));
+    for tier in host_tiers() {
+        group.bench_function(&format!("fused_skip_relu_{}_r128", tier.name()), |b| {
+            b.iter(|| {
+                mvm_diff_tile_into(
+                    tier,
+                    black_box(&pos),
+                    black_box(&neg),
+                    black_box(&planes),
+                    &occ,
+                    &pos_live,
+                    &neg_live,
+                    0..cols,
+                    0..windows,
+                    &mut out_pos,
+                    &mut out_neg,
+                );
+                black_box((&out_pos, &out_neg));
+            })
+        });
+    }
+
+    // block-granular skipping: live planes with 3 of every 4 window
+    // blocks all-zero (block-structured activation sparsity) — compare
+    // block-honest occupancy against the same data with the blocks
+    // degraded to all-live (plane/subarray-level skipping only)
+    let planes_blocky: Vec<BitMatrix> = (0..n_planes)
+        .map(|p| {
+            let mut m = matrix(rows, windows, 21 + p as u64, 50);
+            for w in 0..windows {
+                if !(w / WINDOW_BLOCK).is_multiple_of(4) {
+                    for r in 0..rows {
+                        m.set(r, w, false);
+                    }
+                }
+            }
+            m
         })
-    });
+        .collect();
+    let occ_blocks = WindowOcc::of_planes(&planes_blocky);
+    let mut occ_flat = WindowOcc::of_planes(&planes_blocky);
+    occ_flat.fill_blocks_live();
+    let all = ColMask::all_live(cols);
+    for tier in host_tiers() {
+        for (mode, occ) in [("blockskip", &occ_blocks), ("noblockskip", &occ_flat)] {
+            group.bench_function(&format!("fused_blocky_{mode}_{}_r128", tier.name()), |b| {
+                b.iter(|| {
+                    mvm_diff_tile_into(
+                        tier,
+                        black_box(&pos),
+                        black_box(&neg),
+                        black_box(&planes_blocky),
+                        black_box(occ),
+                        &all,
+                        &all,
+                        0..cols,
+                        0..windows,
+                        &mut out_pos,
+                        &mut out_neg,
+                    );
+                    black_box((&out_pos, &out_neg));
+                })
+            });
+        }
+    }
     group.finish();
 }
 

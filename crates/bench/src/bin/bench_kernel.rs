@@ -1,23 +1,35 @@
 //! Measures the single-thread win of the specialised execution kernel:
 //! repeated `mvm_into` calls on fc-128 / conv-shaped layers, timed under
-//! the two datapaths the engine keeps live:
+//! the datapaths the engine keeps live:
 //!
 //! - **scalar** — [`Dispatch::Scope`] at threads = 1: the pre-kernel
 //!   reference (two scalar popcount passes per subarray, element-wise
 //!   two-array LUT decode, no skipping);
-//! - **kernel** — [`Dispatch::Pool`] at threads = 1: the fused
-//!   differential popcount (monomorphised per column word count, 4-wide
-//!   window unrolling), packed single-load LUT decode, and
-//!   sparsity-aware plane/column skipping.
+//! - **kernel** — [`Dispatch::Pool`] at threads = 1 forced to the
+//!   **scalar tier**: the fused differential popcount (monomorphised per
+//!   column word count, 4-wide window unrolling), packed single-load LUT
+//!   decode, and sparsity-aware plane/column/block skipping;
+//! - **simd** — the same fused kernel on the host's best SIMD tier
+//!   (AVX-512 ≻ AVX2 ≻ NEON), when one is available.
 //!
-//! Both paths run serially on the calling thread, so — unlike the
-//! dispatch benches — the speedup recorded here is honest even on the
-//! single-core CI container. The sparse workload uses ReLU-coded
-//! activations (mostly zero, survivors below 16) so the four high-order
-//! bit-planes of every window batch are dead: the regime the paper's
-//! Fig. 3a distribution says dominates real networks.
+//! A block-granular skipping pair rounds out the record: one
+//! block-structured sparse workload run with `block_skip` off (plane and
+//! column skipping only) vs on, on the same tier. All paths run serially
+//! on the calling thread, so — unlike the dispatch benches — the
+//! speedups recorded here are honest even on the single-core CI
+//! container. Before any pairing is timed, its outputs **and** event
+//! ledgers are checked bit-identical against the scalar reference; the
+//! binary aborts on divergence.
 //!
-//! Results land in `results/BENCH_kernel.json` with host metadata.
+//! The ReLU-sparse workload uses element-wise post-ReLU coding (mostly
+//! zero, survivors below 16) so the four high-order bit-planes of every
+//! window batch are dead — the regime the paper's Fig. 3a distribution
+//! says dominates real networks. The block-sparse workload clusters its
+//! zeros into whole 4-window blocks (structured batch sparsity), the
+//! shape only the block skipper can exploit.
+//!
+//! Results land in `results/BENCH_kernel.json` with host metadata
+//! (including detected CPU features and the auto-selected kernel tier).
 //!
 //! Environment knobs:
 //! - `TRQ_BENCH_CALLS` — timed calls per (workload, path) (default 48).
@@ -25,14 +37,26 @@
 //! Usage: `cargo run --release -p trq-bench --bin bench_kernel`
 
 use std::time::Instant;
-use trq_bench::{write_json, HostMeta, KernelBenchRecord, KernelWorkloadTiming};
-use trq_core::arch::{ArchConfig, Dispatch, ExecConfig};
-use trq_core::pim::{AdcScheme, PimMvm};
+use trq_bench::{write_json, BlockSkipTiming, HostMeta, KernelBenchRecord, KernelWorkloadTiming};
+use trq_core::arch::{ArchConfig, Dispatch, ExecConfig, KernelSelect};
+use trq_core::pim::{AdcScheme, PimMvm, PimStats};
 use trq_nn::{MvmEngine, MvmLayerInfo};
 use trq_quant::TrqParams;
+use trq_xbar::WINDOW_BLOCK;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Activation batch shapes the workloads draw from.
+enum Acts {
+    /// Dense full-range codes.
+    Dense,
+    /// Element-wise post-ReLU coding: ~70% exact zeros, survivors < 16.
+    Relu,
+    /// Block-structured: 3 of every 4 window blocks entirely zero, the
+    /// remaining block dense full-range.
+    Blocky,
 }
 
 struct Workload {
@@ -40,53 +64,74 @@ struct Workload {
     depth: usize,
     outputs: usize,
     windows: usize,
-    /// ReLU-coded activations: mostly zero, survivors < 16.
-    sparse: bool,
+    acts: Acts,
 }
 
 /// The benchmarked shapes: the paper's 128-row fully connected geometry
 /// (one subarray, `words_per_col = 2` — the specialised path), a
-/// 3×3×64 conv layer (ragged five-subarray split), and the fc shape again
-/// under ReLU-coded sparse activations (the skip-path showcase).
+/// 3×3×64 conv layer (ragged five-subarray split), the fc shape under
+/// ReLU-coded element-wise sparsity (the plane-skip showcase), and the
+/// fc shape under block-structured sparsity (the block-skip showcase).
 const WORKLOADS: &[Workload] = &[
-    Workload { name: "fc128-dense", depth: 128, outputs: 64, windows: 64, sparse: false },
-    Workload { name: "conv3x3x64", depth: 576, outputs: 32, windows: 49, sparse: false },
-    Workload { name: "fc128-relu-sparse", depth: 128, outputs: 64, windows: 64, sparse: true },
+    Workload { name: "fc128-dense", depth: 128, outputs: 64, windows: 64, acts: Acts::Dense },
+    Workload { name: "conv3x3x64", depth: 576, outputs: 32, windows: 49, acts: Acts::Dense },
+    Workload { name: "fc128-relu-sparse", depth: 128, outputs: 64, windows: 64, acts: Acts::Relu },
+    Workload {
+        name: "fc128-block-sparse",
+        depth: 128,
+        outputs: 64,
+        windows: 64,
+        acts: Acts::Blocky,
+    },
 ];
 
-fn vectors(w: &Workload) -> (Vec<i32>, Vec<u8>, f64) {
+/// Builds the weight and activation batches; returns them with the
+/// fraction of zero activation codes and of entirely-dead window blocks.
+fn vectors(w: &Workload) -> (Vec<i32>, Vec<u8>, f64, f64) {
     let mut state = 0x4B524E4Cu64; // "KRNL"
     let mut next = |m: i64| {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         ((state >> 33) as i64 % m) as i32
     };
     let weights: Vec<i32> = (0..w.depth * w.outputs).map(|_| next(255) - 127).collect();
-    let cols: Vec<u8> = (0..w.depth * w.windows)
-        .map(|_| {
-            if w.sparse {
-                // post-ReLU coding: ~70% exact zeros, survivors small
-                // enough that bit-planes 4..8 stay empty
-                if next(10) < 7 {
-                    0
-                } else {
-                    next(16) as u8
+    let mut cols = vec![0u8; w.depth * w.windows];
+    for d in 0..w.depth {
+        for win in 0..w.windows {
+            cols[d * w.windows + win] = match w.acts {
+                Acts::Dense => next(256) as u8,
+                Acts::Relu => {
+                    if next(10) < 7 {
+                        0
+                    } else {
+                        next(16) as u8
+                    }
                 }
-            } else {
-                next(256) as u8
-            }
-        })
-        .collect();
+                Acts::Blocky => {
+                    if (win / WINDOW_BLOCK).is_multiple_of(4) {
+                        next(256) as u8
+                    } else {
+                        0
+                    }
+                }
+            };
+        }
+    }
     let zeros = cols.iter().filter(|&&c| c == 0).count() as f64 / cols.len() as f64;
-    (weights, cols, zeros)
+    let n_blocks = w.windows.div_ceil(WINDOW_BLOCK);
+    let dead_blocks = (0..n_blocks)
+        .filter(|b| {
+            (b * WINDOW_BLOCK..((b + 1) * WINDOW_BLOCK).min(w.windows))
+                .all(|win| (0..w.depth).all(|d| cols[d * w.windows + win] == 0))
+        })
+        .count() as f64
+        / n_blocks as f64;
+    (weights, cols, zeros, dead_blocks)
 }
 
-/// Times `calls` warm single-thread `mvm_into` invocations under
-/// `dispatch` and returns mean ns per MVM window.
-fn measure(dispatch: Dispatch, calls: usize, w: &Workload, weights: &[i32], cols: &[u8]) -> f64 {
-    let exec = ExecConfig::serial().with_dispatch(dispatch);
+fn engine_for(w: &Workload, exec: ExecConfig) -> (PimMvm, MvmLayerInfo) {
     let arch = ArchConfig::default().with_exec(exec);
     let params = TrqParams::new(3, 7, 1, 1.0, 0).expect("static params");
-    let mut engine = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
+    let engine = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
     let info = MvmLayerInfo {
         node: 0,
         mvm_index: 0,
@@ -94,6 +139,36 @@ fn measure(dispatch: Dispatch, calls: usize, w: &Workload, weights: &[i32], cols
         depth: w.depth,
         outputs: w.outputs,
     };
+    (engine, info)
+}
+
+/// One warm call under `exec`; returns outputs and the accumulated stats
+/// for the bit-identity preamble.
+fn probe(exec: ExecConfig, w: &Workload, weights: &[i32], cols: &[u8]) -> (Vec<f64>, PimStats) {
+    let (mut engine, info) = engine_for(w, exec);
+    let mut out = vec![0.0f64; w.outputs * w.windows];
+    engine.mvm_into(&info, weights, cols, w.windows, &mut out);
+    (out, engine.stats().clone())
+}
+
+/// Asserts `exec`'s datapath is bit-identical (values + ledgers) to the
+/// scalar reference before it is timed.
+fn check_identity(exec: ExecConfig, label: &str, w: &Workload, weights: &[i32], cols: &[u8]) {
+    let reference = ExecConfig::serial().with_dispatch(Dispatch::Scope);
+    let (want, want_stats) = probe(reference, w, weights, cols);
+    let (got, got_stats) = probe(exec, w, weights, cols);
+    assert_eq!(got, want, "{}: {label} outputs diverged from the scalar reference", w.name);
+    assert_eq!(
+        got_stats, want_stats,
+        "{}: {label} event ledgers diverged from the scalar reference",
+        w.name
+    );
+}
+
+/// Times `calls` warm single-thread `mvm_into` invocations under `exec`
+/// and returns mean ns per MVM window.
+fn measure(exec: ExecConfig, calls: usize, w: &Workload, weights: &[i32], cols: &[u8]) -> f64 {
+    let (mut engine, info) = engine_for(w, exec);
     let mut out = vec![0.0f64; w.outputs * w.windows];
     engine.begin_session();
     for _ in 0..3 {
@@ -110,21 +185,41 @@ fn measure(dispatch: Dispatch, calls: usize, w: &Workload, weights: &[i32], cols
 
 fn main() {
     let calls = env_usize("TRQ_BENCH_CALLS", 48);
-    let host = HostMeta::capture(1, "scalar(scope) vs kernel(pool), serial");
-    println!("execution-kernel microbench: {calls} calls/path, {} cores", host.nproc);
+    let host = HostMeta::capture(1, "scalar(scope) vs kernel tiers(pool), serial");
+    let simd_select = trq_core::arch::resolve_kernel(KernelSelect::Simd).ok();
+    println!(
+        "execution-kernel microbench: {calls} calls/path, {} cores, features {}, simd tier {}",
+        host.nproc,
+        host.cpu_features.as_deref().unwrap_or("unknown"),
+        simd_select.map(|t| t.name()).unwrap_or("none"),
+    );
+
+    let scope = ExecConfig::serial().with_dispatch(Dispatch::Scope);
+    let scalar_kernel = ExecConfig::serial().with_kernel(KernelSelect::Scalar);
+    let simd_kernel = ExecConfig::serial().with_kernel(KernelSelect::Simd);
 
     let mut workloads = Vec::new();
     for w in WORKLOADS {
-        let (weights, cols, zeros) = vectors(w);
-        let scalar = measure(Dispatch::Scope, calls, w, &weights, &cols);
-        let kernel = measure(Dispatch::Pool, calls, w, &weights, &cols);
+        let (weights, cols, zeros, _) = vectors(w);
+        check_identity(scalar_kernel, "scalar-tier kernel", w, &weights, &cols);
+        if simd_select.is_some() {
+            check_identity(simd_kernel, "simd-tier kernel", w, &weights, &cols);
+        }
+        let scalar = measure(scope, calls, w, &weights, &cols);
+        let kernel = measure(scalar_kernel, calls, w, &weights, &cols);
         let speedup = scalar / kernel.max(1e-9);
+        let simd = simd_select.map(|_| measure(simd_kernel, calls, w, &weights, &cols));
+        let simd_speedup = simd.map(|s| scalar / s.max(1e-9));
+        let simd_vs_kernel = simd.map(|s| kernel / s.max(1e-9));
         println!(
-            "  {:<18} scalar {:>9.0} ns/win   kernel {:>9.0} ns/win   {:>5.2}x  ({:.0}% zero acts)",
+            "  {:<18} scalar {:>8.0} ns/win   kernel {:>8.0} ns/win ({:>5.2}x)   simd {} \
+             ({:.0}% zero acts)",
             w.name,
             scalar,
             kernel,
             speedup,
+            simd.map(|s| format!("{:>8.0} ns/win ({:>5.2}x)", s, simd_speedup.unwrap()))
+                .unwrap_or_else(|| "n/a".to_string()),
             zeros * 100.0
         );
         workloads.push(KernelWorkloadTiming {
@@ -136,9 +231,42 @@ fn main() {
             scalar_ns_per_window: scalar,
             kernel_ns_per_window: kernel,
             speedup,
+            simd_ns_per_window: simd,
+            simd_speedup,
+            simd_vs_scalar_kernel: simd_vs_kernel,
         });
     }
 
-    let record = KernelBenchRecord { calls, host, workloads };
+    // block-skip isolation: the block-structured workload on one tier,
+    // block granularity off vs on (plane/column skipping stays on)
+    let blocky = &WORKLOADS[3];
+    let (weights, cols, zeros, dead_blocks) = vectors(blocky);
+    let tier_select = if simd_select.is_some() { KernelSelect::Simd } else { KernelSelect::Scalar };
+    let tier_name = trq_core::arch::resolve_kernel(tier_select).expect("resolvable").name();
+    let off = ExecConfig::serial().with_kernel(tier_select).with_block_skip(false);
+    let on = ExecConfig::serial().with_kernel(tier_select).with_block_skip(true);
+    check_identity(off, "block_skip-off kernel", blocky, &weights, &cols);
+    let no_block = measure(off, calls, blocky, &weights, &cols);
+    let with_block = measure(on, calls, blocky, &weights, &cols);
+    let block_speedup = no_block / with_block.max(1e-9);
+    println!(
+        "  block skip on {:<6} {:>8.0} -> {:>8.0} ns/win   {:>5.2}x  ({:.0}% dead blocks)",
+        tier_name,
+        no_block,
+        with_block,
+        block_speedup,
+        dead_blocks * 100.0
+    );
+    let block_skip = vec![BlockSkipTiming {
+        workload: blocky.name.to_string(),
+        tier: tier_name.to_string(),
+        zero_activation_frac: zeros,
+        dead_block_frac: dead_blocks,
+        no_block_skip_ns_per_window: no_block,
+        block_skip_ns_per_window: with_block,
+        speedup: block_speedup,
+    }];
+
+    let record = KernelBenchRecord { calls, host, workloads, block_skip: Some(block_skip) };
     write_json("BENCH_kernel", &record);
 }

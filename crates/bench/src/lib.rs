@@ -28,14 +28,30 @@ pub struct HostMeta {
     /// Dispatch mode(s) the record's threaded runs cover, e.g. `"pool"`,
     /// `"scope"`, or `"pool+scope"` for side-by-side records.
     pub dispatch: String,
+    /// SIMD capabilities detected on the measuring host, e.g.
+    /// `"popcnt+avx2+avx512f+avx512vpopcntdq+avx512vl"` — what the
+    /// kernel tiers *could* use (absent in records written by builds
+    /// predating the SIMD tier).
+    pub cpu_features: Option<String>,
+    /// The kernel tier an `Auto` selection resolves to on this host
+    /// after the `TRQ_KERNEL` override — what a default-configured
+    /// engine *did* use, e.g. `"avx512"` (absent in records written by
+    /// builds predating the SIMD tier).
+    pub kernel_tier: Option<String>,
 }
 
 impl HostMeta {
     /// Captures the current host for `threads`-worker runs in `dispatch`
     /// mode(s). The effective thread count comes from the engine's own
-    /// auto-detection (`ExecConfig::effective_threads`), so the stamped
-    /// metadata always matches what the runs actually used.
+    /// auto-detection (`ExecConfig::effective_threads`), and the kernel
+    /// fields from the same detection/resolution the engine performs at
+    /// construction — the stamped metadata always matches what the runs
+    /// actually used.
     pub fn capture(threads: usize, dispatch: &str) -> Self {
+        use trq_core::arch::{cpu_feature_summary, resolve_kernel, KernelSelect};
+        let tier = resolve_kernel(KernelSelect::Auto)
+            .map(|t| t.name().to_string())
+            .unwrap_or_else(|e| format!("unresolvable: {e}"));
         HostMeta {
             nproc: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
             threads_requested: threads,
@@ -43,6 +59,8 @@ impl HostMeta {
                 .with_threads(threads)
                 .effective_threads(),
             dispatch: dispatch.to_string(),
+            cpu_features: Some(cpu_feature_summary()),
+            kernel_tier: Some(tier),
         }
     }
 }
@@ -131,19 +149,60 @@ pub struct KernelWorkloadTiming {
     /// Scalar reference path (`Dispatch::Scope`, threads = 1), ns per MVM
     /// window.
     pub scalar_ns_per_window: f64,
-    /// Specialised kernel path (`Dispatch::Pool`, threads = 1), ns per
-    /// MVM window.
+    /// Specialised kernel path forced to the **scalar tier**
+    /// (`Dispatch::Pool`, `TRQ_KERNEL`-equivalent `scalar`, threads = 1),
+    /// ns per MVM window.
     pub kernel_ns_per_window: f64,
-    /// `scalar / kernel` — single-thread speedup of the specialised path.
+    /// `scalar / kernel` — single-thread speedup of the specialised path
+    /// on its scalar tier (the PR 4 axis, kept comparable).
+    pub speedup: f64,
+    /// Specialised kernel path on the host's best **SIMD tier**, ns per
+    /// MVM window (`None` when the host has no SIMD tier).
+    pub simd_ns_per_window: Option<f64>,
+    /// `scalar_ns_per_window / simd_ns_per_window` (`None` without a
+    /// SIMD tier).
+    pub simd_speedup: Option<f64>,
+    /// `kernel_ns_per_window / simd_ns_per_window` — what the SIMD lanes
+    /// add on top of the fused scalar kernel (`None` without a SIMD
+    /// tier).
+    pub simd_vs_scalar_kernel: Option<f64>,
+}
+
+/// The block-granular skipping measurement inside [`KernelBenchRecord`]:
+/// one block-structured sparse workload run on the same tier with
+/// per-window-block skipping on vs off (plane/column skipping stays on
+/// in both — this isolates the block axis).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockSkipTiming {
+    /// Workload label (shape + sparsity structure in the name).
+    pub workload: String,
+    /// Kernel tier both runs used.
+    pub tier: String,
+    /// Fraction of activation codes that are exactly zero.
+    pub zero_activation_frac: f64,
+    /// Fraction of 4-window blocks that are entirely dead (the work the
+    /// block skipper can elide).
+    pub dead_block_frac: f64,
+    /// `block_skip = false` (subarray/plane-level skipping only), ns per
+    /// MVM window.
+    pub no_block_skip_ns_per_window: f64,
+    /// `block_skip = true` (default), ns per MVM window.
+    pub block_skip_ns_per_window: f64,
+    /// `no_block_skip / block_skip` — what block granularity adds over
+    /// plane-level skipping alone.
     pub speedup: f64,
 }
 
 /// The record `bench_kernel` writes to `results/BENCH_kernel.json`:
 /// single-thread ns-per-window of the scalar reference datapath vs the
 /// specialised kernel layer (fused differential popcount + packed LUT
-/// decode + sparsity-aware skipping) on fc/conv-shaped layers. Unlike the
-/// dispatch benches this axis is honestly measurable on a single-core
-/// host — both paths run serially on the calling thread.
+/// decode + sparsity-aware skipping), on its scalar tier and on the
+/// host's best SIMD tier, on fc/conv-shaped layers — plus the
+/// block-skip on/off comparison. Unlike the dispatch benches this axis
+/// is honestly measurable on a single-core host — all paths run
+/// serially on the calling thread. Every timed pairing is preceded by a
+/// bit-identity check (values and event ledgers) against the scalar
+/// reference.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelBenchRecord {
     /// Timed calls per (workload, path).
@@ -152,6 +211,9 @@ pub struct KernelBenchRecord {
     pub host: HostMeta,
     /// Per-workload timings.
     pub workloads: Vec<KernelWorkloadTiming>,
+    /// Block-granular skipping measurements (absent in records written
+    /// by builds predating the block skipper).
+    pub block_skip: Option<Vec<BlockSkipTiming>>,
 }
 
 /// One batch-size point inside [`ServeBenchRecord`].

@@ -7,6 +7,10 @@ pub use mapping::{map_network, LayerMapping, NetworkMapping};
 
 use serde::{Deserialize, Serialize};
 use trq_xbar::CrossbarConfig;
+pub use trq_xbar::{
+    cpu_feature_summary, resolve_kernel, resolve_kernel_with, KernelConfigError, KernelSelect,
+    KernelTier, KERNEL_ENV,
+};
 
 /// How tile rounds reach their worker threads.
 ///
@@ -54,11 +58,36 @@ pub struct ExecConfig {
     /// How tile rounds are handed to worker threads (persistent pool by
     /// default; per-call scoped threads as the benchmark baseline).
     pub dispatch: Dispatch,
+    /// Which popcount kernel tier to run ([`KernelSelect::Auto`] picks
+    /// the widest SIMD tier the host supports, falling back to scalar).
+    /// Resolved **once** at engine construction via [`resolve_kernel`];
+    /// the `TRQ_KERNEL` environment variable overrides this value, and a
+    /// forced tier the host cannot run is a construction-time
+    /// [`KernelConfigError`] — never a silent scalar fallback. Like every
+    /// other knob here this never changes simulated results: all tiers
+    /// are bit-identical.
+    pub kernel: KernelSelect,
+    /// Whether the kernel may skip dead window *blocks* inside a live
+    /// subarray using the per-block occupancy that
+    /// [`trq_xbar::pack_window_planes`] records (on by default). `false`
+    /// degrades skipping to the PR 4 plane/subarray granularity — the
+    /// baseline `bench_kernel` measures block skipping against. Results
+    /// and event ledgers are bit-identical either way: skipped windows
+    /// have count 0 by construction and their conversions are folded in
+    /// closed form.
+    pub block_skip: bool,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { threads: 1, tile_outputs: 0, tile_windows: 0, dispatch: Dispatch::Pool }
+        ExecConfig {
+            threads: 1,
+            tile_outputs: 0,
+            tile_windows: 0,
+            dispatch: Dispatch::Pool,
+            kernel: KernelSelect::Auto,
+            block_skip: true,
+        }
     }
 }
 
@@ -94,6 +123,22 @@ impl ExecConfig {
     #[must_use]
     pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Builder: sets the requested kernel tier (subject to the
+    /// `TRQ_KERNEL` environment override at engine construction).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelSelect) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder: enables or disables per-window-block skipping (on by
+    /// default; `false` is the subarray-granularity baseline).
+    #[must_use]
+    pub fn with_block_skip(mut self, block_skip: bool) -> Self {
+        self.block_skip = block_skip;
         self
     }
 
@@ -254,14 +299,30 @@ mod tests {
             .with_threads(4)
             .with_tile_outputs(8)
             .with_tile_windows(32)
-            .with_dispatch(Dispatch::Scope);
+            .with_dispatch(Dispatch::Scope)
+            .with_kernel(KernelSelect::Scalar)
+            .with_block_skip(false);
         assert_eq!(
             e,
-            ExecConfig { threads: 4, tile_outputs: 8, tile_windows: 32, dispatch: Dispatch::Scope }
+            ExecConfig {
+                threads: 4,
+                tile_outputs: 8,
+                tile_windows: 32,
+                dispatch: Dispatch::Scope,
+                kernel: KernelSelect::Scalar,
+                block_skip: false,
+            }
         );
         assert_eq!(e.effective_threads(), 4);
         assert_eq!(e.tile_outputs_for(100), 8);
         assert_eq!(e.tile_windows_for(5), 5);
+    }
+
+    #[test]
+    fn exec_default_kernel_is_auto_with_block_skip() {
+        let e = ExecConfig::default();
+        assert_eq!(e.kernel, KernelSelect::Auto);
+        assert!(e.block_skip);
     }
 
     #[test]

@@ -8,19 +8,23 @@
 //!    never rebuilt or cloned per call);
 //! 2. **execute** — pack all `input_bits` bit-planes of the window batch
 //!    in one pass over the activation codes (scratch `BitMatrix` buffers
-//!    reused across calls, live-plane occupancy recorded as a side
-//!    effect), then run (output-block × window-block) tiles through the
-//!    **specialised kernel layer** (`trq_xbar::mvm_diff_tile_into`): a
-//!    fused differential popcount — each plane word loaded once for both
-//!    subarray sides, monomorphised per column word count with 4-wide
-//!    window unrolling — plus sparsity-aware skipping of all-zero input
-//!    bit-planes and all-zero weight slice columns, whose count-0
-//!    conversions fold into the event ledger in closed form. The decode
-//!    reads one packed LUT entry per conversion. Subarrays and bit-planes
-//!    are looped *inside* each tile, so every tile owns a disjoint region
-//!    of the accumulator and tiles run on any number of worker threads
-//!    with bit-identical results. [`crate::arch::Dispatch::Scope`] keeps
-//!    the pre-kernel scalar datapath end to end as the pinned reference;
+//!    reused across calls, live-plane and per-window-block occupancy
+//!    recorded as a side effect), then run (output-block × window-block)
+//!    tiles through the **specialised kernel layer**
+//!    (`trq_xbar::mvm_diff_tile_into`): a fused differential popcount —
+//!    each plane word loaded once for both subarray sides, monomorphised
+//!    per column word count with 4-wide window unrolling, on the
+//!    [`KernelTier`] resolved once at engine construction (AVX-512 /
+//!    AVX2 / NEON popcount lanes or the portable scalar paths, all
+//!    bit-identical) — plus sparsity-aware skipping of all-zero input
+//!    bit-planes, all-zero weight slice columns, and dead window blocks
+//!    inside live subarrays, whose count-0 conversions fold into the
+//!    event ledger in closed form. The decode reads one packed LUT entry
+//!    per conversion. Subarrays and bit-planes are looped *inside* each
+//!    tile, so every tile owns a disjoint region of the accumulator and
+//!    tiles run on any number of worker threads with bit-identical
+//!    results. [`crate::arch::Dispatch::Scope`] keeps the pre-kernel
+//!    scalar datapath end to end as the pinned reference;
 //! 3. **account** — merge per-worker event tallies into the layer's
 //!    [`PimStats`] and scale the integer accumulator into code units.
 //!
@@ -43,7 +47,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use trq_nn::{MvmEngine, MvmLayerInfo};
 use trq_quant::Histogram;
-use trq_xbar::{mvm_diff_tile_into, pack_window_planes, BitMatrix, ColMask};
+use trq_xbar::{
+    mvm_diff_tile_into, pack_window_planes, resolve_kernel, BitMatrix, ColMask, KernelConfigError,
+    KernelTier, WindowOcc,
+};
 
 /// Configuration for bit-line sample collection during calibration runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -250,21 +257,27 @@ fn prepare_counts(scratch: &mut TileScratch, volume: usize) {
 
 /// Executes one tile on the **specialised kernel path**: one fused
 /// differential popcount pass per (subarray × live bit-plane) — each input
-/// plane word loaded once for both subarray sides — then a packed-LUT
-/// decode and shift-add into the tile-local accumulator `acc` (length
-/// `tile.len()`, zeroed by the caller).
+/// plane word loaded once for both subarray sides, on the engine's
+/// resolved [`KernelTier`] (scalar or SIMD lanes, bit-identical) — then a
+/// packed-LUT decode and shift-add into the tile-local accumulator `acc`
+/// (length `tile.len()`, zeroed by the caller).
 ///
-/// Sparsity-aware skipping: all-zero input bit-planes (`plane_live`) and
-/// all-zero weight slice columns (the subarray's [`ColMask`]s) are skipped
-/// arithmetically. Their counts are 0 by construction, so the accumulator
-/// contribution cancels exactly and the count-0 conversions fold into the
-/// event ledger in closed form — `PimStats` stays bit-identical to the
-/// dense path.
+/// Sparsity-aware skipping: all-zero input bit-planes, dead window
+/// *blocks* inside live planes (both from the subarray's [`WindowOcc`]),
+/// and all-zero weight slice columns (the subarray's [`ColMask`]s) are
+/// skipped arithmetically — in the kernel and in the decode alike. Their
+/// counts are 0 by construction, so the accumulator contribution cancels
+/// exactly and the count-0 conversions fold into the event ledger in
+/// closed form — `PimStats` stays bit-identical to the dense path. Rows
+/// whose tile window range is fully live (the common dense case, and
+/// everything when `block_skip` is off) take a no-segmentation fast path
+/// identical to the pre-block-skip decode.
 #[allow(clippy::too_many_arguments)]
 fn execute_tile(
     prog: &Programmed,
     planes: &[Vec<BitMatrix>],
-    plane_live: &[u32],
+    occ: &[WindowOcc],
+    tier: KernelTier,
     tile: Tile,
     wbits: usize,
     ibits: usize,
@@ -282,12 +295,13 @@ fn execute_tile(
     let lsb0 = (e0 & Lut::LSB_MASK) as i64;
     prepare_counts(scratch, volume);
     for (s, sub) in prog.subarrays.iter().enumerate() {
-        let live = plane_live[s];
+        let socc = &occ[s];
         mvm_diff_tile_into(
+            tier,
             &sub.pos,
             &sub.neg,
             &planes[s],
-            live,
+            socc,
             &sub.pos_live,
             &sub.neg_live,
             tile.o0 * wbits..tile.o1 * wbits,
@@ -296,7 +310,11 @@ fn execute_tile(
             &mut scratch.counts_neg,
         );
         for c in 0..ibits {
-            let plane_dead = live & (1 << c) == 0;
+            let plane_dead = !socc.plane_live(c);
+            // fully-live rows (the dense common case) skip segmentation
+            // entirely — one run over the whole window range, exactly the
+            // pre-block-skip decode
+            let fully = !plane_dead && socc.range_fully_live(c, tile.w0, tile.w1);
             for oc in 0..nc {
                 let col = tile.o0 * wbits + oc;
                 let (o_local, alpha) = (oc / wbits, oc % wbits);
@@ -311,45 +329,72 @@ fn execute_tile(
                 }
                 let base = (c * nc + oc) * nw;
                 let arow = &mut acc[o_local * nw..(o_local + 1) * nw];
-                match (pl, nl) {
-                    (true, true) => {
-                        let cps = &scratch.counts_pos[base..base + nw];
-                        let cns = &scratch.counts_neg[base..base + nw];
-                        for ((a, &cp), &cn) in arow.iter_mut().zip(cps).zip(cns) {
-                            debug_assert!(
-                                cp != COUNT_POISON && cn != COUNT_POISON,
-                                "kernel must write every live slot"
-                            );
-                            events.max_count = events.max_count.max(cp).max(cn);
-                            let (ep, en) = (entries[cp as usize], entries[cn as usize]);
-                            events.ops += ((ep >> Lut::OPS_SHIFT) + (en >> Lut::OPS_SHIFT)) as u64;
-                            *a += ((ep & Lut::LSB_MASK) as i64 - (en & Lut::LSB_MASK) as i64)
-                                << shift;
-                        }
+                // the dead differential side of a single-sided row costs
+                // `ops0` per window over the whole range, live blocks or
+                // not — its counts are 0 everywhere
+                if pl != nl {
+                    events.ops += ops0 * nw as u64;
+                }
+                // walk the row as maximal same-liveness window runs; a
+                // dead run's conversions fold in closed form (count 0 ⇒
+                // decoded contribution 0, `ops0` per conversion)
+                let mut w = tile.w0;
+                while w < tile.w1 {
+                    let (we, seg_live) =
+                        if fully { (tile.w1, true) } else { socc.next_segment(c, w, tile.w1) };
+                    let (lo, len) = (w - tile.w0, we - w);
+                    w = we;
+                    if !seg_live {
+                        let sides = if pl && nl { 2 } else { 1 };
+                        events.ops += sides * ops0 * len as u64;
+                        continue;
                     }
-                    (true, false) => {
-                        let cps = &scratch.counts_pos[base..base + nw];
-                        events.ops += ops0 * nw as u64;
-                        for (a, &cp) in arow.iter_mut().zip(cps) {
-                            debug_assert!(cp != COUNT_POISON, "kernel must write every live slot");
-                            events.max_count = events.max_count.max(cp);
-                            let ep = entries[cp as usize];
-                            events.ops += (ep >> Lut::OPS_SHIFT) as u64;
-                            *a += ((ep & Lut::LSB_MASK) as i64 - lsb0) << shift;
+                    let aseg = &mut arow[lo..lo + len];
+                    match (pl, nl) {
+                        (true, true) => {
+                            let cps = &scratch.counts_pos[base + lo..base + lo + len];
+                            let cns = &scratch.counts_neg[base + lo..base + lo + len];
+                            for ((a, &cp), &cn) in aseg.iter_mut().zip(cps).zip(cns) {
+                                debug_assert!(
+                                    cp != COUNT_POISON && cn != COUNT_POISON,
+                                    "kernel must write every live slot"
+                                );
+                                events.max_count = events.max_count.max(cp).max(cn);
+                                let (ep, en) = (entries[cp as usize], entries[cn as usize]);
+                                events.ops +=
+                                    ((ep >> Lut::OPS_SHIFT) + (en >> Lut::OPS_SHIFT)) as u64;
+                                *a += ((ep & Lut::LSB_MASK) as i64 - (en & Lut::LSB_MASK) as i64)
+                                    << shift;
+                            }
                         }
-                    }
-                    (false, true) => {
-                        let cns = &scratch.counts_neg[base..base + nw];
-                        events.ops += ops0 * nw as u64;
-                        for (a, &cn) in arow.iter_mut().zip(cns) {
-                            debug_assert!(cn != COUNT_POISON, "kernel must write every live slot");
-                            events.max_count = events.max_count.max(cn);
-                            let en = entries[cn as usize];
-                            events.ops += (en >> Lut::OPS_SHIFT) as u64;
-                            *a += (lsb0 - (en & Lut::LSB_MASK) as i64) << shift;
+                        (true, false) => {
+                            let cps = &scratch.counts_pos[base + lo..base + lo + len];
+                            for (a, &cp) in aseg.iter_mut().zip(cps) {
+                                debug_assert!(
+                                    cp != COUNT_POISON,
+                                    "kernel must write every live slot"
+                                );
+                                events.max_count = events.max_count.max(cp);
+                                let ep = entries[cp as usize];
+                                events.ops += (ep >> Lut::OPS_SHIFT) as u64;
+                                *a += ((ep & Lut::LSB_MASK) as i64 - lsb0) << shift;
+                            }
                         }
+                        (false, true) => {
+                            let cns = &scratch.counts_neg[base + lo..base + lo + len];
+                            for (a, &cn) in aseg.iter_mut().zip(cns) {
+                                debug_assert!(
+                                    cn != COUNT_POISON,
+                                    "kernel must write every live slot"
+                                );
+                                events.max_count = events.max_count.max(cn);
+                                let en = entries[cn as usize];
+                                events.ops += (en >> Lut::OPS_SHIFT) as u64;
+                                *a += (lsb0 - (en & Lut::LSB_MASK) as i64) << shift;
+                            }
+                        }
+                        (false, false) => unreachable!(),
                     }
-                    (false, false) => unreachable!(),
                 }
             }
         }
@@ -446,9 +491,12 @@ pub struct PimMvm {
     samples: HashMap<usize, LayerSamples>,
     /// Scratch bit-plane matrices per subarray, reused across calls.
     planes: Vec<Vec<BitMatrix>>,
-    /// Live-plane masks of the current call, one per subarray (bit `b`
-    /// set ⇔ input bit-plane `b` is non-zero); capacity reused.
-    plane_live: Vec<u32>,
+    /// Window occupancy of the current call, one record per subarray
+    /// (live-plane mask plus per-window-block liveness); capacity reused.
+    occ: Vec<WindowOcc>,
+    /// The execution kernel tier, resolved once at construction from
+    /// [`crate::arch::ExecConfig::kernel`] and the `TRQ_KERNEL` override.
+    tier: KernelTier,
     /// The executor tile rounds dispatch to (process-global by default).
     pool: &'static Pool,
     /// Tile list of the current call, capacity reused across calls.
@@ -468,8 +516,29 @@ impl PimMvm {
     /// no borrow. Tile rounds dispatch to the process-wide
     /// [`Pool::global`]; use [`PimMvm::with_pool`] to share a dedicated
     /// long-lived pool instead.
+    ///
+    /// The execution kernel tier is resolved **here**, once, from
+    /// [`crate::arch::ExecConfig::kernel`] and the `TRQ_KERNEL`
+    /// environment override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel selection is rejected — a forced SIMD tier on
+    /// a host without the feature, or an unrecognised `TRQ_KERNEL` value.
+    /// Use [`PimMvm::try_new`] for the non-panicking form.
     pub fn new(arch: ArchConfig, plan: Vec<AdcScheme>) -> Self {
-        PimMvm {
+        PimMvm::try_new(arch, plan).unwrap_or_else(|e| panic!("kernel configuration rejected: {e}"))
+    }
+
+    /// Fallible form of [`PimMvm::new`]: resolves the execution kernel
+    /// tier and returns a typed [`KernelConfigError`] instead of
+    /// panicking when the selection names a tier this host cannot run
+    /// (`TRQ_KERNEL=simd` without AVX2/AVX-512/NEON) or an unrecognised
+    /// override string. `KernelSelect::Auto` never fails — it degrades to
+    /// the scalar tier.
+    pub fn try_new(arch: ArchConfig, plan: Vec<AdcScheme>) -> Result<Self, KernelConfigError> {
+        let tier = resolve_kernel(arch.exec.kernel)?;
+        Ok(PimMvm {
             arch,
             plan,
             programmed: HashMap::new(),
@@ -477,12 +546,20 @@ impl PimMvm {
             collector: None,
             samples: HashMap::new(),
             planes: Vec::new(),
-            plane_live: Vec::new(),
+            occ: Vec::new(),
+            tier,
             pool: Pool::global(),
             tiles: Vec::new(),
             acc: Vec::new(),
             arenas: Vec::new(),
-        }
+        })
+    }
+
+    /// The execution kernel tier this engine resolved at construction
+    /// (after the `TRQ_KERNEL` override and `Auto` detection).
+    #[must_use]
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// Builder: dispatches this engine's tile rounds to `pool` instead of
@@ -508,9 +585,10 @@ impl PimMvm {
             .flat_map(|per_sub| per_sub.iter())
             .map(|m| m.word_capacity() * size_of::<u64>())
             .sum();
+        let occ: usize = self.occ.iter().map(|o| o.footprint_bytes()).sum();
         arenas
             + planes
-            + self.plane_live.capacity() * size_of::<u32>()
+            + occ
             + self.tiles.capacity() * size_of::<Tile>()
             + self.acc.capacity() * size_of::<i64>()
     }
@@ -784,16 +862,25 @@ impl MvmEngine for PimMvm {
 
         // batched bit-plane packing: all `input_bits` planes of every
         // subarray in one pass over `cols` each, into reused scratch;
-        // the returned live-plane masks drive sparsity-aware skipping
+        // the window-occupancy records filled alongside (live planes +
+        // live window blocks) drive sparsity-aware skipping
         let n_sub = self.arch.subarrays_for_depth(info.depth);
         while self.planes.len() < n_sub {
             self.planes.push(Vec::new());
         }
-        self.plane_live.clear();
-        for (s, planes) in self.planes.iter_mut().enumerate().take(n_sub) {
+        while self.occ.len() < n_sub {
+            self.occ.push(WindowOcc::default());
+        }
+        for (s, (planes, occ)) in
+            self.planes.iter_mut().zip(self.occ.iter_mut()).enumerate().take(n_sub)
+        {
             let d0 = s * rows;
             let d1 = ((s + 1) * rows).min(info.depth);
-            self.plane_live.push(pack_window_planes(cols, n, d0, d1, rows, ibits as u32, planes));
+            pack_window_planes(cols, n, d0, d1, rows, ibits as u32, planes, occ);
+            if !exec.block_skip {
+                // keep plane-level skipping, degrade block granularity
+                occ.fill_blocks_live();
+            }
         }
 
         // ── execute ───────────────────────────────────────────────────
@@ -825,7 +912,8 @@ impl MvmEngine for PimMvm {
 
         let prog = &self.programmed[&info.mvm_index];
         let planes = &self.planes[..n_sub];
-        let plane_live = &self.plane_live[..n_sub];
+        let occ = &self.occ[..n_sub];
+        let tier = self.tier;
         let tiles = &self.tiles;
         // Dispatch::Scope keeps the scalar reference datapath end to end
         // (the baseline the specialised kernels are benchmarked and
@@ -860,7 +948,8 @@ impl MvmEngine for PimMvm {
                     execute_tile(
                         prog,
                         planes,
-                        plane_live,
+                        occ,
+                        tier,
                         tile,
                         wbits,
                         ibits,
@@ -914,7 +1003,8 @@ impl MvmEngine for PimMvm {
                         execute_tile(
                             prog,
                             planes,
-                            plane_live,
+                            occ,
+                            tier,
                             tile,
                             wbits,
                             ibits,

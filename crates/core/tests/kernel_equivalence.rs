@@ -1,18 +1,25 @@
 //! Kernel-path equivalence: the specialised execute stage — fused
 //! differential popcount kernels monomorphised per column word count
-//! (`words_per_col ∈ {1, 2, 4}` plus the Harley–Seal generic path),
-//! packed-LUT decode, and sparsity-aware plane/column skipping — must be
-//! **bit-identical** to the scalar reference datapath kept live on
-//! [`Dispatch::Scope`]: output values *and* the full `PimStats` event
-//! ledger (ops, conversions, max count, max accumulator), across thread
-//! counts.
+//! (`words_per_col ∈ {1, 2, 4}` plus the Harley–Seal generic path) on
+//! **every kernel tier this host can run** (scalar plus the
+//! AVX-512/AVX2/NEON SIMD lanes), packed-LUT decode, and sparsity-aware
+//! plane/column/window-block skipping — must be **bit-identical** to the
+//! scalar reference datapath kept live on [`Dispatch::Scope`]: output
+//! values *and* the full `PimStats` event ledger (ops, conversions, max
+//! count, max accumulator), across thread counts.
 //!
 //! The thread count for the multi-threaded runs follows `TRQ_THREADS`
-//! (default 4), so CI can pin e.g. `TRQ_THREADS=2` to exercise skip-path
-//! + pool interactions under overflow checks.
+//! (default 4), so CI can pin e.g. `TRQ_THREADS=2` to exercise the
+//! skip-path/pool interactions under overflow checks. The kernel tier
+//! follows `TRQ_KERNEL` when set (CI's forced-dispatch matrix runs the
+//! suite once per tier); when unset, the sweep covers the scalar
+//! selection plus every SIMD tier the host supports.
 
 use proptest::prelude::*;
-use trq_core::arch::{ArchConfig, Dispatch, ExecConfig};
+use trq_core::arch::{
+    resolve_kernel_with, ArchConfig, Dispatch, ExecConfig, KernelConfigError, KernelSelect,
+    KernelTier, KERNEL_ENV,
+};
 use trq_core::pim::{AdcScheme, PimMvm};
 use trq_nn::{ExactMvm, MvmEngine, MvmLayerInfo};
 use trq_quant::TrqParams;
@@ -20,6 +27,26 @@ use trq_xbar::CrossbarConfig;
 
 fn env_threads() -> usize {
     std::env::var("TRQ_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4).max(2)
+}
+
+/// Whether `TRQ_KERNEL` pins the tier for this test process.
+fn kernel_env_pinned() -> bool {
+    std::env::var(KERNEL_ENV).map(|v| !v.trim().is_empty()).unwrap_or(false)
+}
+
+/// The kernel selections to sweep. When `TRQ_KERNEL` is set, the
+/// environment override beats any configured selection, so the sweep
+/// collapses to `Auto` (the env decides — CI's forced matrix relies on
+/// this). Otherwise: the scalar tier plus every SIMD tier available on
+/// this host.
+fn kernel_selects() -> Vec<KernelSelect> {
+    if kernel_env_pinned() {
+        return vec![KernelSelect::Auto];
+    }
+    [KernelSelect::Scalar, KernelSelect::Neon, KernelSelect::Avx2, KernelSelect::Avx512]
+        .into_iter()
+        .filter(|&s| resolve_kernel_with(s, None).is_ok())
+        .collect()
 }
 
 fn lcg(seed: u64) -> impl FnMut(i64) -> i32 {
@@ -118,23 +145,27 @@ proptest! {
         let mut reference = PimMvm::new(ref_arch, vec![scheme]);
         let want = reference.mvm(&info, &weights, &cols, n);
 
-        for threads in [1usize, env_threads()] {
-            let arch = arch_with_rows(
-                rows,
-                exec.with_threads(threads).with_dispatch(Dispatch::Pool),
-            );
-            let mut pim = PimMvm::new(arch, vec![scheme]);
-            let got = pim.mvm(&info, &weights, &cols, n);
-            prop_assert_eq!(
-                &got, &want,
-                "kernel path diverged: rows {} threads {} wmode {} amode {} shape ({}, {}, {})",
-                rows, threads, weight_mode, act_mode, depth, outputs, n
-            );
-            prop_assert_eq!(
-                pim.stats(), reference.stats(),
-                "event ledgers diverged: rows {} threads {} wmode {} amode {}",
-                rows, threads, weight_mode, act_mode
-            );
+        for select in kernel_selects() {
+            for threads in [1usize, env_threads()] {
+                let arch = arch_with_rows(
+                    rows,
+                    exec.with_threads(threads).with_dispatch(Dispatch::Pool).with_kernel(select),
+                );
+                let mut pim = PimMvm::new(arch, vec![scheme]);
+                let tier = pim.kernel_tier();
+                let got = pim.mvm(&info, &weights, &cols, n);
+                prop_assert_eq!(
+                    &got, &want,
+                    "kernel path diverged: rows {} tier {} threads {} wmode {} amode {} \
+                     shape ({}, {}, {})",
+                    rows, tier.name(), threads, weight_mode, act_mode, depth, outputs, n
+                );
+                prop_assert_eq!(
+                    pim.stats(), reference.stats(),
+                    "event ledgers diverged: rows {} tier {} threads {} wmode {} amode {}",
+                    rows, tier.name(), threads, weight_mode, act_mode
+                );
+            }
         }
         if ideal {
             let exact = ExactMvm.mvm(&info, &weights, &cols, n);
@@ -209,16 +240,140 @@ fn skip_corners_match_scalar_reference() {
         let ref_arch = arch_with_rows(128, exec.with_dispatch(Dispatch::Scope));
         let mut reference = PimMvm::new(ref_arch, vec![AdcScheme::Trq(params)]);
         let want = reference.mvm(&info, weights, cols, *n);
-        for threads in [1usize, env_threads()] {
-            let arch = arch_with_rows(128, exec.with_threads(threads));
-            let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
-            let got = pim.mvm(&info, weights, cols, *n);
-            assert_eq!(got, want, "{name}: values diverged at {threads} threads");
-            assert_eq!(
-                pim.stats(),
-                reference.stats(),
-                "{name}: ledgers diverged at {threads} threads"
-            );
+        for select in kernel_selects() {
+            for threads in [1usize, env_threads()] {
+                let arch = arch_with_rows(128, exec.with_threads(threads).with_kernel(select));
+                let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
+                let tier = pim.kernel_tier();
+                let got = pim.mvm(&info, weights, cols, *n);
+                assert_eq!(
+                    got,
+                    want,
+                    "{name}: values diverged at {threads} threads on tier {}",
+                    tier.name()
+                );
+                assert_eq!(
+                    pim.stats(),
+                    reference.stats(),
+                    "{name}: ledgers diverged at {threads} threads on tier {}",
+                    tier.name()
+                );
+            }
+        }
+    }
+}
+
+/// Block-granular skip corners: activation batches whose zero windows
+/// cluster in whole 4-window blocks (the shape `WindowOcc` block skipping
+/// targets), at both a block-aligned window count with block-aligned
+/// tiles and a ragged count with tiles that straddle block boundaries —
+/// plus `block_skip` disabled, which must change nothing but the speed.
+#[test]
+fn block_skip_corners_match_scalar_reference() {
+    /// `(name, depth, outputs, n, tile_windows, live window selector)`.
+    type Case = (&'static str, usize, usize, usize, usize, fn(usize) -> bool);
+    let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let cases: &[Case] = &[
+        // 8 windows = 2 whole blocks, tiles aligned to block boundaries;
+        // the second block of every batch row is entirely zero
+        ("block-aligned cold half", 130, 3, 8, 4, |w| w < 4),
+        // 7 windows (ragged final block), 3-wide tiles straddling blocks;
+        // only the middle block carries activations
+        ("ragged hot middle", 200, 4, 7, 3, |w| (4..6).contains(&w)),
+        // every block dead except the ragged tail window
+        ("hot tail window", 128, 2, 9, 4, |w| w == 8),
+    ];
+    for &(name, depth, outputs, n, tile_windows, live) in cases {
+        let info = layer(depth, outputs);
+        let weights = weights_for(0, depth, outputs, 53);
+        let mut next = lcg(61);
+        let mut cols = vec![0u8; depth * n];
+        for d in 0..depth {
+            for w in 0..n {
+                if live(w) {
+                    cols[d * n + w] = next(256) as u8;
+                }
+            }
+        }
+        let exec = ExecConfig::serial().with_tile_outputs(2).with_tile_windows(tile_windows);
+        let ref_arch = arch_with_rows(128, exec.with_dispatch(Dispatch::Scope));
+        let mut reference = PimMvm::new(ref_arch, vec![AdcScheme::Trq(params)]);
+        let want = reference.mvm(&info, &weights, &cols, n);
+        assert!(want.iter().any(|&v| v != 0.0), "{name}: degenerate case, nothing live");
+        for select in kernel_selects() {
+            for block_skip in [true, false] {
+                for threads in [1usize, env_threads()] {
+                    let arch = arch_with_rows(
+                        128,
+                        exec.with_threads(threads).with_kernel(select).with_block_skip(block_skip),
+                    );
+                    let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
+                    let tier = pim.kernel_tier();
+                    let got = pim.mvm(&info, &weights, &cols, n);
+                    assert_eq!(
+                        got,
+                        want,
+                        "{name}: values diverged (tier {}, block_skip {block_skip}, \
+                         {threads} threads)",
+                        tier.name()
+                    );
+                    assert_eq!(
+                        pim.stats(),
+                        reference.stats(),
+                        "{name}: ledgers diverged (tier {}, block_skip {block_skip}, \
+                         {threads} threads)",
+                        tier.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Forcing a kernel tier the host cannot run is a typed construction
+/// error, never a silent scalar fallback. `resolve_kernel_with` takes
+/// the would-be environment value explicitly, so this is deterministic
+/// regardless of the real `TRQ_KERNEL`.
+#[test]
+fn forced_unavailable_tier_is_a_typed_error() {
+    // some SIMD tier is foreign everywhere: NEON on x86, AVX2 elsewhere
+    let foreign =
+        if cfg!(target_arch = "x86_64") { KernelSelect::Neon } else { KernelSelect::Avx2 };
+    match resolve_kernel_with(foreign, None) {
+        Err(KernelConfigError::Unavailable { .. }) => {}
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+    // the env override loses nothing in type safety: junk strings are
+    // `Unrecognized`, a forced foreign tier is `Unavailable`
+    match resolve_kernel_with(KernelSelect::Auto, Some("warp-drive")) {
+        Err(KernelConfigError::Unrecognized(v)) => assert_eq!(v, "warp-drive"),
+        other => panic!("expected Unrecognized, got {other:?}"),
+    }
+    // Auto and Scalar always resolve; Auto picks scalar only as last resort
+    assert!(matches!(resolve_kernel_with(KernelSelect::Scalar, None), Ok(KernelTier::Scalar)));
+    let auto = resolve_kernel_with(KernelSelect::Auto, None).unwrap();
+    assert!(auto.available());
+}
+
+/// The same contract through the engine: `PimMvm::try_new` rejects an
+/// impossible selection instead of quietly running scalar. Skipped when
+/// `TRQ_KERNEL` pins the tier (the env override legitimately beats the
+/// configured selection — that precedence is asserted too).
+#[test]
+fn engine_construction_rejects_unavailable_tier() {
+    let foreign =
+        if cfg!(target_arch = "x86_64") { KernelSelect::Neon } else { KernelSelect::Avx2 };
+    let arch = arch_with_rows(128, ExecConfig::serial().with_kernel(foreign));
+    let result = PimMvm::try_new(arch, vec![AdcScheme::Ideal]);
+    if kernel_env_pinned() {
+        // env wins over the configured selection — construction succeeds
+        // and the engine runs the env-chosen tier
+        assert!(result.is_ok(), "TRQ_KERNEL override must beat the configured selection");
+    } else {
+        match result {
+            Err(KernelConfigError::Unavailable { .. }) => {}
+            Ok(_) => panic!("expected construction to fail on a foreign tier"),
+            Err(other) => panic!("expected Unavailable, got {other:?}"),
         }
     }
 }

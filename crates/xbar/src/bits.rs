@@ -281,16 +281,24 @@ impl BitMatrix {
 /// already in `planes` are reused (reset in place), so steady-state packing
 /// performs no allocation.
 ///
-/// Returns the **live-plane mask**: bit `b` is set iff plane `b` holds at
-/// least one set bit. This is the dynamic side of sparsity-aware skipping
-/// — after ReLU the high-order bit-planes of a window batch are
-/// ubiquitously all-zero, and the fused kernel
-/// ([`crate::kernel::mvm_diff_tile_into`]) skips dead planes outright.
+/// Fills `occ` with the batch's **window occupancy** and returns its
+/// live-plane mask: bit `b` is set iff plane `b` holds at least one set
+/// bit, and per plane one bit per [`crate::kernel::WINDOW_BLOCK`]
+/// consecutive windows records which window blocks are non-zero. This is
+/// the dynamic side of sparsity-aware skipping — after ReLU the
+/// high-order bit-planes of a window batch are ubiquitously all-zero and
+/// zero activations cluster in spatially correlated runs, and the fused
+/// kernel ([`crate::kernel::mvm_diff_tile_into`]) skips dead planes and
+/// dead window blocks outright. The occupancy is recorded in the same
+/// single pass that packs the planes, so skipping costs no extra sweep.
 ///
 /// # Panics
 ///
 /// Panics when the row window exceeds `rows`, `cols` is too short, or
 /// `bits` exceeds the 8-bit activation-code width.
+// the argument list is the packing geometry itself; bundling it into a
+// struct would just move the same eight names one level down
+#[allow(clippy::too_many_arguments)]
 pub fn pack_window_planes(
     cols: &[u8],
     n: usize,
@@ -299,6 +307,7 @@ pub fn pack_window_planes(
     rows: usize,
     bits: u32,
     planes: &mut Vec<BitMatrix>,
+    occ: &mut crate::kernel::WindowOcc,
 ) -> u32 {
     assert!(d0 <= d1 && d1 - d0 <= rows, "subarray row window exceeds array rows");
     assert!(cols.len() >= d1 * n, "activation matrix too short for row window");
@@ -310,15 +319,15 @@ pub fn pack_window_planes(
     while planes.len() < bits as usize {
         planes.push(BitMatrix::zeros(rows, n));
     }
+    occ.reset(bits as usize, n);
     let wpc = rows.div_ceil(64).max(1);
-    let mut live = 0u32;
     for d in d0..d1 {
         let r = d - d0;
         let word_in_col = r / 64;
         let mask = 1u64 << (r % 64);
         let crow = &cols[d * n..(d + 1) * n];
         for (w, &code) in crow.iter().enumerate() {
-            live |= code as u32;
+            occ.note(w, code);
             let mut remaining = code;
             while remaining != 0 {
                 let b = remaining.trailing_zeros() as usize;
@@ -327,7 +336,7 @@ pub fn pack_window_planes(
             }
         }
     }
-    live
+    occ.finish()
 }
 
 #[cfg(test)]
@@ -451,12 +460,18 @@ mod tests {
             let cols: Vec<u8> = (0..depth * n).map(|_| next()).collect();
             let rows = 128usize;
             let mut planes = Vec::new();
+            let mut occ = crate::kernel::WindowOcc::default();
             let d1 = depth.min(rows);
-            let live = pack_window_planes(&cols, n, 0, d1, rows, 8, &mut planes);
+            let live = pack_window_planes(&cols, n, 0, d1, rows, 8, &mut planes, &mut occ);
             prop_assert_eq!(planes.len(), 8);
             let want_live: u32 =
                 cols[..d1 * n].iter().fold(0u32, |acc, &code| acc | code as u32);
             prop_assert_eq!(live, want_live, "live-plane mask must OR the packed codes");
+            prop_assert_eq!(occ.live_planes(), want_live);
+            // the packed occupancy must equal what a scan of the packed
+            // planes would record, at both granularities
+            let want_occ = crate::kernel::WindowOcc::of_planes(&planes);
+            prop_assert_eq!(&occ, &want_occ, "packed occupancy must match plane contents");
             for (b, plane) in planes.iter().enumerate() {
                 prop_assert_eq!((plane.rows(), plane.cols()), (rows, n));
                 for d in 0..d1 {
@@ -548,7 +563,7 @@ mod tests {
         fn popcount_bounded_by_rows(rows in 1usize..300, seed in 0u64..50) {
             let mut m = BitMatrix::zeros(rows, 1);
             for r in 0..rows {
-                if (seed + r as u64) % 3 != 0 {
+                if !(seed + r as u64).is_multiple_of(3) {
                     m.set(r, 0, true);
                 }
             }

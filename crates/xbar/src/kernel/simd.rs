@@ -1,0 +1,1128 @@
+//! The SIMD kernel tier: tier selection, runtime CPU-feature detection,
+//! and the `target_feature`-gated row kernels behind
+//! [`mvm_diff_tile_into`](super::mvm_diff_tile_into).
+//!
+//! Three vector implementations exist, each bit-identical to the scalar
+//! reference paths:
+//!
+//! - **AVX-512** (`avx512f` + `avx512vpopcntdq` + `avx512vl`) — hardware
+//!   per-qword popcount (`vpopcntq`); the 128-row paper-default word
+//!   count processes 4 windows per 512-bit load.
+//! - **AVX2** — the classic nibble-LUT popcount (`vpshufb` against a
+//!   16-entry bit-count table, horizontal byte sums via `vpsadbw`);
+//!   4 windows per iteration on the common word counts.
+//! - **NEON** (aarch64) — `cnt.16b` byte popcounts with widening
+//!   horizontal adds. NEON is part of the aarch64 base ABI, so no
+//!   runtime detection is needed on that architecture.
+//!
+//! Selection is a two-step affair: configuration carries a
+//! [`KernelSelect`] *request* (`auto` by default), and the engine
+//! resolves it **once** at construction into a concrete [`KernelTier`]
+//! via [`resolve_kernel`] — runtime feature detection picks the widest
+//! available tier in `auto`/`simd` mode, and a forced tier the host
+//! cannot run is a typed [`KernelConfigError`], never a silent scalar
+//! fallback. The `TRQ_KERNEL` environment variable overrides the
+//! configured request so benches and CI can force either tier.
+//!
+//! # Safety
+//!
+//! This module is the workspace's documented exception to the
+//! `unsafe_code = deny` lint (see the workspace `Cargo.toml`): every
+//! `unsafe` block here wraps `target_feature`-gated intrinsic calls and
+//! nothing else. Soundness argument: the only callers are the tier
+//! dispatchers ([`super::mvm_diff_tile_into`],
+//! [`and_popcount_words_tier`], [`popcount_words_tier`]), each of which
+//! asserts [`KernelTier::available`] — i.e. the live CPU reports the
+//! required features — before dispatching, so a feature-gated function
+//! is never entered on a host lacking its features. All loads and
+//! stores are unaligned-tolerant (`loadu`/`storeu`) against slices whose
+//! bounds the safe callers have already established.
+
+use serde::{Deserialize, Serialize};
+
+use super::RowKernels;
+
+/// A *requested* kernel implementation, as carried by configuration —
+/// resolved against the host CPU (and the `TRQ_KERNEL` environment
+/// override) into a concrete [`KernelTier`] by [`resolve_kernel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelSelect {
+    /// Pick the widest tier the host supports, falling back to scalar on
+    /// hosts with no usable vector extension. The default.
+    #[default]
+    Auto,
+    /// Force the portable scalar paths.
+    Scalar,
+    /// Require *some* SIMD tier (the widest available); hosts with no
+    /// vector extension are a configuration error, not a silent scalar
+    /// fallback.
+    Simd,
+    /// Require the AVX2 nibble-LUT tier specifically.
+    Avx2,
+    /// Require the AVX-512 `vpopcntq` tier specifically.
+    Avx512,
+    /// Require the NEON tier specifically (aarch64 only).
+    Neon,
+}
+
+impl KernelSelect {
+    /// The spelling accepted by the `TRQ_KERNEL` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelSelect::Auto => "auto",
+            KernelSelect::Scalar => "scalar",
+            KernelSelect::Simd => "simd",
+            KernelSelect::Avx2 => "avx2",
+            KernelSelect::Avx512 => "avx512",
+            KernelSelect::Neon => "neon",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, KernelConfigError> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(KernelSelect::Auto),
+            "scalar" => Ok(KernelSelect::Scalar),
+            "simd" => Ok(KernelSelect::Simd),
+            "avx2" => Ok(KernelSelect::Avx2),
+            "avx512" => Ok(KernelSelect::Avx512),
+            "neon" => Ok(KernelSelect::Neon),
+            _ => Err(KernelConfigError::Unrecognized(s.to_string())),
+        }
+    }
+}
+
+/// A *resolved* kernel implementation — what actually runs. Produced
+/// from a [`KernelSelect`] by [`resolve_kernel`]; every variant exists on
+/// every architecture (so records and error messages stay portable), but
+/// [`KernelTier::available`] is `false` for foreign tiers and the
+/// dispatchers refuse to run an unavailable tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelTier {
+    /// The portable monomorphised scalar paths — the pinned reference.
+    Scalar,
+    /// AVX2 nibble-LUT popcount lanes.
+    Avx2,
+    /// AVX-512 hardware popcount lanes (`avx512f` + `avx512vpopcntdq` +
+    /// `avx512vl`).
+    Avx512,
+    /// NEON byte-popcount lanes (aarch64).
+    Neon,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_detected() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx512_detected() -> bool {
+    is_x86_feature_detected!("avx512f")
+        && is_x86_feature_detected!("avx512vpopcntdq")
+        && is_x86_feature_detected!("avx512vl")
+}
+
+impl KernelTier {
+    /// The tier's stable lowercase name, as recorded in bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
+            KernelTier::Neon => "neon",
+        }
+    }
+
+    /// True when the live CPU can run this tier. Scalar is always
+    /// available; the x86 tiers use (cached) runtime feature detection;
+    /// NEON is part of the aarch64 base ABI.
+    pub fn available(self) -> bool {
+        match self {
+            KernelTier::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => avx2_detected(),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => avx512_detected(),
+            KernelTier::Neon => cfg!(target_arch = "aarch64"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// A kernel selection the host cannot honour. Returned by
+/// [`resolve_kernel`] so a forced `TRQ_KERNEL=simd` on a scalar-only host
+/// fails loudly instead of quietly running the wrong tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelConfigError {
+    /// A specific tier (or `simd`) was requested but the host CPU lacks
+    /// the features to run any matching tier.
+    Unavailable {
+        /// The requested selection's name (`simd`, `avx2`, …).
+        requested: &'static str,
+        /// The host's detected feature summary at resolution time.
+        host: String,
+    },
+    /// The `TRQ_KERNEL` value (or other textual selection) did not parse.
+    Unrecognized(String),
+}
+
+impl std::fmt::Display for KernelConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelConfigError::Unavailable { requested, host } => write!(
+                f,
+                "kernel tier '{requested}' was requested but this host cannot run it \
+                 (detected features: {host}); use TRQ_KERNEL=auto or TRQ_KERNEL=scalar"
+            ),
+            KernelConfigError::Unrecognized(s) => write!(
+                f,
+                "unrecognised kernel selection '{s}' \
+                 (expected auto | scalar | simd | avx2 | avx512 | neon)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelConfigError {}
+
+/// The environment variable that overrides the configured
+/// [`KernelSelect`] (`TRQ_KERNEL=scalar|simd|auto|avx2|avx512|neon`).
+pub const KERNEL_ENV: &str = "TRQ_KERNEL";
+
+/// A comma-joined summary of the popcount-relevant CPU features the live
+/// host reports (`popcnt`/`avx2`/`avx512f`/…; `neon` on aarch64;
+/// `"none"` when nothing relevant is detected) — stamped into bench
+/// records and error messages.
+pub fn cpu_feature_summary() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("popcnt") {
+            feats.push("popcnt");
+        }
+        if is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if is_x86_feature_detected!("avx512f") {
+            feats.push("avx512f");
+        }
+        if is_x86_feature_detected!("avx512vpopcntdq") {
+            feats.push("avx512vpopcntdq");
+        }
+        if is_x86_feature_detected!("avx512vl") {
+            feats.push("avx512vl");
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    feats.push("neon");
+    if feats.is_empty() {
+        "none".to_string()
+    } else {
+        feats.join(",")
+    }
+}
+
+/// The widest SIMD tier the host supports, if any (AVX-512 ≻ AVX2 ≻
+/// NEON).
+fn best_simd() -> Option<KernelTier> {
+    [KernelTier::Avx512, KernelTier::Avx2, KernelTier::Neon].into_iter().find(|t| t.available())
+}
+
+/// Resolves a configured [`KernelSelect`] against the live CPU and the
+/// `TRQ_KERNEL` environment variable into the concrete [`KernelTier`] to
+/// run. The environment wins over the configured value (so CI can force
+/// a tier without touching configs); an empty/whitespace variable counts
+/// as unset.
+///
+/// `Auto` falls back to scalar on hosts with no vector extension; every
+/// *forced* selection (`simd`, `avx2`, `avx512`, `neon`) the host cannot
+/// honour is a typed [`KernelConfigError`] — never a silent fallback.
+pub fn resolve_kernel(select: KernelSelect) -> Result<KernelTier, KernelConfigError> {
+    let env = std::env::var(KERNEL_ENV).ok();
+    resolve_kernel_with(select, env.as_deref())
+}
+
+/// [`resolve_kernel`] with the environment override passed explicitly —
+/// the deterministic entry point tests use to pin selection semantics
+/// without mutating process environment.
+pub fn resolve_kernel_with(
+    select: KernelSelect,
+    env: Option<&str>,
+) -> Result<KernelTier, KernelConfigError> {
+    let effective = match env.map(str::trim).filter(|s| !s.is_empty()) {
+        Some(s) => KernelSelect::parse(s)?,
+        None => select,
+    };
+    let unavailable = |requested: &'static str| KernelConfigError::Unavailable {
+        requested,
+        host: cpu_feature_summary(),
+    };
+    let forced = |tier: KernelTier, requested: &'static str| {
+        if tier.available() {
+            Ok(tier)
+        } else {
+            Err(unavailable(requested))
+        }
+    };
+    match effective {
+        KernelSelect::Scalar => Ok(KernelTier::Scalar),
+        KernelSelect::Auto => Ok(best_simd().unwrap_or(KernelTier::Scalar)),
+        KernelSelect::Simd => best_simd().ok_or_else(|| unavailable("simd")),
+        KernelSelect::Avx2 => forced(KernelTier::Avx2, "avx2"),
+        KernelSelect::Avx512 => forced(KernelTier::Avx512, "avx512"),
+        KernelSelect::Neon => forced(KernelTier::Neon, "neon"),
+    }
+}
+
+/// Tier-dispatched [`and_popcount_words`](super::and_popcount_words):
+/// `popcount(a & b)` using `tier`'s vector lanes (scalar-tailed), bit
+/// identical to the scalar primitive on every tier.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ or the host lacks `tier`'s CPU
+/// features.
+#[allow(unsafe_code)]
+pub fn and_popcount_words_tier(tier: KernelTier, a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "word slice length mismatch");
+    assert!(
+        tier.available(),
+        "kernel tier {} forced on a host without its CPU features (host: {})",
+        tier.name(),
+        cpu_feature_summary()
+    );
+    match tier {
+        KernelTier::Scalar => super::and_popcount_words(a, b),
+        // SAFETY: `tier.available()` asserted above — the live CPU
+        // reports every feature the gated function enables.
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { avx2::and_popcount(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx512 => unsafe { avx512::and_popcount(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => neon::and_popcount(a, b),
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("tier availability checked above"),
+    }
+}
+
+/// Tier-dispatched [`popcount_words`](super::popcount_words).
+///
+/// # Panics
+///
+/// Panics when the host lacks `tier`'s CPU features.
+#[allow(unsafe_code)]
+pub fn popcount_words_tier(tier: KernelTier, a: &[u64]) -> u32 {
+    assert!(
+        tier.available(),
+        "kernel tier {} forced on a host without its CPU features (host: {})",
+        tier.name(),
+        cpu_feature_summary()
+    );
+    match tier {
+        KernelTier::Scalar => super::popcount_words(a),
+        // SAFETY: `tier.available()` asserted above — the live CPU
+        // reports every feature the gated function enables.
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { avx2::popcount(a) },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx512 => unsafe { avx512::popcount(a) },
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => neon::popcount(a),
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("tier availability checked above"),
+    }
+}
+
+/// The AVX2 nibble-LUT row kernels (see [`avx2`]).
+#[cfg(target_arch = "x86_64")]
+pub(crate) struct Avx2Rows;
+
+#[cfg(target_arch = "x86_64")]
+impl RowKernels for Avx2Rows {
+    #[allow(unsafe_code)]
+    #[inline]
+    fn diff_row<const WPC: usize>(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        wpc: usize,
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        // SAFETY: this kernel is only dispatched after
+        // `KernelTier::Avx2.available()` was asserted, so the CPU
+        // supports AVX2; slice bounds are established by the safe caller.
+        unsafe {
+            match WPC {
+                1 => avx2::diff_w1(ap, an, pw, out_p, out_n),
+                2 => avx2::diff_w2(ap, an, pw, out_p, out_n),
+                4 => avx2::diff_w4(ap, an, pw, out_p, out_n),
+                _ => avx2::diff_generic(ap, an, pw, wpc, out_p, out_n),
+            }
+        }
+    }
+
+    #[allow(unsafe_code)]
+    #[inline]
+    fn single_row<const WPC: usize>(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
+        // SAFETY: as for `diff_row` — AVX2 availability asserted by the
+        // dispatching caller.
+        unsafe {
+            match WPC {
+                1 => avx2::single_w1(a, pw, out),
+                2 => avx2::single_w2(a, pw, out),
+                4 => avx2::single_w4(a, pw, out),
+                _ => avx2::single_generic(a, pw, wpc, out),
+            }
+        }
+    }
+}
+
+/// The AVX-512 `vpopcntq` row kernels (see [`avx512`]).
+#[cfg(target_arch = "x86_64")]
+pub(crate) struct Avx512Rows;
+
+#[cfg(target_arch = "x86_64")]
+impl RowKernels for Avx512Rows {
+    #[allow(unsafe_code)]
+    #[inline]
+    fn diff_row<const WPC: usize>(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        wpc: usize,
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        // SAFETY: this kernel is only dispatched after
+        // `KernelTier::Avx512.available()` was asserted (avx512f +
+        // avx512vpopcntdq + avx512vl all detected); slice bounds are
+        // established by the safe caller.
+        unsafe {
+            match WPC {
+                1 => avx512::diff_w1(ap, an, pw, out_p, out_n),
+                2 => avx512::diff_w2(ap, an, pw, out_p, out_n),
+                4 => avx512::diff_w4(ap, an, pw, out_p, out_n),
+                _ => avx512::diff_generic(ap, an, pw, wpc, out_p, out_n),
+            }
+        }
+    }
+
+    #[allow(unsafe_code)]
+    #[inline]
+    fn single_row<const WPC: usize>(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
+        // SAFETY: as for `diff_row` — AVX-512 availability asserted by
+        // the dispatching caller.
+        unsafe {
+            match WPC {
+                1 => avx512::single_w1(a, pw, out),
+                2 => avx512::single_w2(a, pw, out),
+                4 => avx512::single_w4(a, pw, out),
+                _ => avx512::single_generic(a, pw, wpc, out),
+            }
+        }
+    }
+}
+
+/// The NEON row kernels (see [`neon`]).
+#[cfg(target_arch = "aarch64")]
+pub(crate) struct NeonRows;
+
+#[cfg(target_arch = "aarch64")]
+impl RowKernels for NeonRows {
+    #[inline]
+    fn diff_row<const WPC: usize>(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        wpc: usize,
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        let w = if WPC == 0 { wpc } else { WPC };
+        for i in 0..out_p.len() {
+            let b = &pw[i * w..(i + 1) * w];
+            out_p[i] = neon::and_popcount(&ap[..w], b);
+            out_n[i] = neon::and_popcount(&an[..w], b);
+        }
+    }
+
+    #[inline]
+    fn single_row<const WPC: usize>(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
+        let w = if WPC == 0 { wpc } else { WPC };
+        for i in 0..out.len() {
+            out[i] = neon::and_popcount(&a[..w], &pw[i * w..(i + 1) * w]);
+        }
+    }
+}
+
+/// AVX2 popcount lanes: the nibble-LUT technique — `vpshufb` against a
+/// 16-entry bit-count table for each nibble, `vpsadbw` to horizontally
+/// sum bytes into per-qword counts. 4 windows per iteration on the
+/// monomorphised word counts.
+///
+/// Every function is `#[target_feature(enable = "avx2")]` and therefore
+/// `unsafe` to call; the only callers are the tier dispatchers, which
+/// assert AVX2 availability first (see the module-level safety note).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// Per-qword popcounts of `v` (as 4 u64 lanes).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn sad_popcnt(v: __m256i) -> __m256i {
+        // Value intrinsics are safe to call here: the enclosing function
+        // is gated on `avx2`, which the dispatcher verified the CPU
+        // supports. The unsafe surface of this module is confined to the
+        // pointer loads/stores in the row kernels below.
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+            3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    /// Sum of the 4 u64 lanes (fits u32: counts are bounded by bits
+    /// processed per call).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn hsum_epi64(v: __m256i) -> u32 {
+        let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+        let s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+        _mm_cvtsi128_si64(s) as u32
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
+        unsafe {
+            let n = a.len();
+            let mut acc = _mm256_setzero_si256();
+            let mut i = 0;
+            while i + 4 <= n {
+                let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+                acc = _mm256_add_epi64(acc, sad_popcnt(_mm256_and_si256(va, vb)));
+                i += 4;
+            }
+            let mut total = hsum_epi64(acc);
+            while i < n {
+                total += (a[i] & b[i]).count_ones();
+                i += 1;
+            }
+            total
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn popcount(a: &[u64]) -> u32 {
+        unsafe {
+            let n = a.len();
+            let mut acc = _mm256_setzero_si256();
+            let mut i = 0;
+            while i + 4 <= n {
+                let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                acc = _mm256_add_epi64(acc, sad_popcnt(va));
+                i += 4;
+            }
+            let mut total = hsum_epi64(acc);
+            while i < n {
+                total += a[i].count_ones();
+                i += 1;
+            }
+            total
+        }
+    }
+
+    /// 1 word per column: 4 windows per 256-bit load.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn diff_w1(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        unsafe {
+            let nw = out_p.len();
+            let a_p = _mm256_set1_epi64x(ap[0] as i64);
+            let a_n = _mm256_set1_epi64x(an[0] as i64);
+            // qword k's count sits in dword 2k after vpsadbw
+            let idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+            let mut w = 0;
+            while w + 4 <= nw {
+                let v = _mm256_loadu_si256(pw.as_ptr().add(w) as *const __m256i);
+                let sp = sad_popcnt(_mm256_and_si256(v, a_p));
+                let sn = sad_popcnt(_mm256_and_si256(v, a_n));
+                _mm_storeu_si128(
+                    out_p.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(sp, idx)),
+                );
+                _mm_storeu_si128(
+                    out_n.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(sn, idx)),
+                );
+                w += 4;
+            }
+            while w < nw {
+                out_p[w] = (ap[0] & pw[w]).count_ones();
+                out_n[w] = (an[0] & pw[w]).count_ones();
+                w += 1;
+            }
+        }
+    }
+
+    /// 2 words per column (the 128-row paper default): 4 windows per
+    /// iteration via two 256-bit loads against a broadcast column pair.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn diff_w2(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        unsafe {
+            let nw = out_p.len();
+            let a_p = _mm256_broadcastsi128_si256(_mm_loadu_si128(ap.as_ptr() as *const __m128i));
+            let a_n = _mm256_broadcastsi128_si256(_mm_loadu_si128(an.as_ptr() as *const __m128i));
+            // after the unpack/add below the window sums land in qwords
+            // [w, w+2, w+1, w+3] → dwords [0, 4, 2, 6]
+            let idx = _mm256_setr_epi32(0, 4, 2, 6, 0, 0, 0, 0);
+            let mut w = 0;
+            while w + 4 <= nw {
+                let va = _mm256_loadu_si256(pw.as_ptr().add(w * 2) as *const __m256i);
+                let vb = _mm256_loadu_si256(pw.as_ptr().add(w * 2 + 4) as *const __m256i);
+                let sap = sad_popcnt(_mm256_and_si256(va, a_p));
+                let sbp = sad_popcnt(_mm256_and_si256(vb, a_p));
+                let tp = _mm256_add_epi64(
+                    _mm256_unpacklo_epi64(sap, sbp),
+                    _mm256_unpackhi_epi64(sap, sbp),
+                );
+                _mm_storeu_si128(
+                    out_p.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(tp, idx)),
+                );
+                let san = sad_popcnt(_mm256_and_si256(va, a_n));
+                let sbn = sad_popcnt(_mm256_and_si256(vb, a_n));
+                let tn = _mm256_add_epi64(
+                    _mm256_unpacklo_epi64(san, sbn),
+                    _mm256_unpackhi_epi64(san, sbn),
+                );
+                _mm_storeu_si128(
+                    out_n.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(tn, idx)),
+                );
+                w += 4;
+            }
+            while w < nw {
+                let (b0, b1) = (pw[w * 2], pw[w * 2 + 1]);
+                out_p[w] = (ap[0] & b0).count_ones() + (ap[1] & b1).count_ones();
+                out_n[w] = (an[0] & b0).count_ones() + (an[1] & b1).count_ones();
+                w += 1;
+            }
+        }
+    }
+
+    /// 4 words per column: one window per 256-bit load.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn diff_w4(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        unsafe {
+            let a_p = _mm256_loadu_si256(ap.as_ptr() as *const __m256i);
+            let a_n = _mm256_loadu_si256(an.as_ptr() as *const __m256i);
+            for w in 0..out_p.len() {
+                let v = _mm256_loadu_si256(pw.as_ptr().add(w * 4) as *const __m256i);
+                out_p[w] = hsum_epi64(sad_popcnt(_mm256_and_si256(v, a_p)));
+                out_n[w] = hsum_epi64(sad_popcnt(_mm256_and_si256(v, a_n)));
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn diff_generic(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        wpc: usize,
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        unsafe {
+            for w in 0..out_p.len() {
+                let b = &pw[w * wpc..(w + 1) * wpc];
+                out_p[w] = and_popcount(ap, b);
+                out_n[w] = and_popcount(an, b);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn single_w1(a: &[u64], pw: &[u64], out: &mut [u32]) {
+        unsafe {
+            let nw = out.len();
+            let av = _mm256_set1_epi64x(a[0] as i64);
+            let idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+            let mut w = 0;
+            while w + 4 <= nw {
+                let v = _mm256_loadu_si256(pw.as_ptr().add(w) as *const __m256i);
+                let s = sad_popcnt(_mm256_and_si256(v, av));
+                _mm_storeu_si128(
+                    out.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(s, idx)),
+                );
+                w += 4;
+            }
+            while w < nw {
+                out[w] = (a[0] & pw[w]).count_ones();
+                w += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn single_w2(a: &[u64], pw: &[u64], out: &mut [u32]) {
+        unsafe {
+            let nw = out.len();
+            let av = _mm256_broadcastsi128_si256(_mm_loadu_si128(a.as_ptr() as *const __m128i));
+            let idx = _mm256_setr_epi32(0, 4, 2, 6, 0, 0, 0, 0);
+            let mut w = 0;
+            while w + 4 <= nw {
+                let va = _mm256_loadu_si256(pw.as_ptr().add(w * 2) as *const __m256i);
+                let vb = _mm256_loadu_si256(pw.as_ptr().add(w * 2 + 4) as *const __m256i);
+                let sa = sad_popcnt(_mm256_and_si256(va, av));
+                let sb = sad_popcnt(_mm256_and_si256(vb, av));
+                let t =
+                    _mm256_add_epi64(_mm256_unpacklo_epi64(sa, sb), _mm256_unpackhi_epi64(sa, sb));
+                _mm_storeu_si128(
+                    out.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(t, idx)),
+                );
+                w += 4;
+            }
+            while w < nw {
+                out[w] = (a[0] & pw[w * 2]).count_ones() + (a[1] & pw[w * 2 + 1]).count_ones();
+                w += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn single_w4(a: &[u64], pw: &[u64], out: &mut [u32]) {
+        unsafe {
+            let av = _mm256_loadu_si256(a.as_ptr() as *const __m256i);
+            for (w, o) in out.iter_mut().enumerate() {
+                let v = _mm256_loadu_si256(pw.as_ptr().add(w * 4) as *const __m256i);
+                *o = hsum_epi64(sad_popcnt(_mm256_and_si256(v, av)));
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn single_generic(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
+        unsafe {
+            for w in 0..out.len() {
+                out[w] = and_popcount(a, &pw[w * wpc..(w + 1) * wpc]);
+            }
+        }
+    }
+}
+
+/// AVX-512 popcount lanes: hardware per-qword popcount (`vpopcntq` from
+/// `avx512vpopcntdq`; the 256-bit form additionally needs `avx512vl`).
+/// The 128-row paper-default word count processes 4 windows per 512-bit
+/// load.
+///
+/// Every function is gated on
+/// `avx512f,avx512vpopcntdq,avx512vl` and therefore `unsafe` to call;
+/// the only callers are the tier dispatchers, which assert AVX-512
+/// availability first (see the module-level safety note).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx512 {
+    use core::arch::x86_64::*;
+
+    /// Sum of the 4 u64 lanes of a 256-bit vector.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn hsum_epi64(v: __m256i) -> u32 {
+        // Value intrinsics are safe to call here: the enclosing functions
+        // are gated on avx512f/avx512vpopcntdq/avx512vl (this helper on
+        // the implied avx2), which the dispatcher verified the CPU
+        // supports. The unsafe surface of this module is confined to the
+        // pointer loads/stores in the row kernels below.
+        let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+        let s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+        _mm_cvtsi128_si64(s) as u32
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
+        unsafe {
+            let n = a.len();
+            let mut acc = _mm512_setzero_si512();
+            let mut i = 0;
+            while i + 8 <= n {
+                let va = _mm512_loadu_si512(a.as_ptr().add(i) as *const _);
+                let vb = _mm512_loadu_si512(b.as_ptr().add(i) as *const _);
+                acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+                i += 8;
+            }
+            let folded =
+                _mm256_add_epi64(_mm512_castsi512_si256(acc), _mm512_extracti64x4_epi64::<1>(acc));
+            let mut total = hsum_epi64(folded);
+            while i < n {
+                total += (a[i] & b[i]).count_ones();
+                i += 1;
+            }
+            total
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn popcount(a: &[u64]) -> u32 {
+        unsafe {
+            let n = a.len();
+            let mut acc = _mm512_setzero_si512();
+            let mut i = 0;
+            while i + 8 <= n {
+                let va = _mm512_loadu_si512(a.as_ptr().add(i) as *const _);
+                acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(va));
+                i += 8;
+            }
+            let folded =
+                _mm256_add_epi64(_mm512_castsi512_si256(acc), _mm512_extracti64x4_epi64::<1>(acc));
+            let mut total = hsum_epi64(folded);
+            while i < n {
+                total += a[i].count_ones();
+                i += 1;
+            }
+            total
+        }
+    }
+
+    /// 1 word per column: 8 windows per 512-bit load, counts narrowed to
+    /// u32 with one `vpmovqd`.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn diff_w1(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        unsafe {
+            let nw = out_p.len();
+            let a_p = _mm512_set1_epi64(ap[0] as i64);
+            let a_n = _mm512_set1_epi64(an[0] as i64);
+            let mut w = 0;
+            while w + 8 <= nw {
+                let v = _mm512_loadu_si512(pw.as_ptr().add(w) as *const _);
+                let cp = _mm512_popcnt_epi64(_mm512_and_si512(v, a_p));
+                let cn = _mm512_popcnt_epi64(_mm512_and_si512(v, a_n));
+                _mm256_storeu_si256(
+                    out_p.as_mut_ptr().add(w) as *mut __m256i,
+                    _mm512_cvtepi64_epi32(cp),
+                );
+                _mm256_storeu_si256(
+                    out_n.as_mut_ptr().add(w) as *mut __m256i,
+                    _mm512_cvtepi64_epi32(cn),
+                );
+                w += 8;
+            }
+            while w < nw {
+                out_p[w] = (ap[0] & pw[w]).count_ones();
+                out_n[w] = (an[0] & pw[w]).count_ones();
+                w += 1;
+            }
+        }
+    }
+
+    /// 2 words per column (the 128-row paper default): 4 windows per
+    /// 512-bit load against a lane-broadcast column pair; per-128-lane
+    /// pair sums are compacted to 4 u32 with one `vpermd`.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn diff_w2(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        unsafe {
+            let nw = out_p.len();
+            let a_p = _mm512_broadcast_i32x4(_mm_loadu_si128(ap.as_ptr() as *const __m128i));
+            let a_n = _mm512_broadcast_i32x4(_mm_loadu_si128(an.as_ptr() as *const __m128i));
+            // after the per-lane pair sum, window w+k's count sits in
+            // qword 2k → dword 4k
+            let idx = _mm512_setr_epi32(0, 4, 8, 12, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0);
+            let mut w = 0;
+            while w + 4 <= nw {
+                let v = _mm512_loadu_si512(pw.as_ptr().add(w * 2) as *const _);
+                let cp = _mm512_popcnt_epi64(_mm512_and_si512(v, a_p));
+                let cn = _mm512_popcnt_epi64(_mm512_and_si512(v, a_n));
+                let sp = _mm512_add_epi64(cp, _mm512_unpackhi_epi64(cp, cp));
+                let sn = _mm512_add_epi64(cn, _mm512_unpackhi_epi64(cn, cn));
+                _mm_storeu_si128(
+                    out_p.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm512_castsi512_si128(_mm512_permutexvar_epi32(idx, sp)),
+                );
+                _mm_storeu_si128(
+                    out_n.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm512_castsi512_si128(_mm512_permutexvar_epi32(idx, sn)),
+                );
+                w += 4;
+            }
+            while w < nw {
+                let (b0, b1) = (pw[w * 2], pw[w * 2 + 1]);
+                out_p[w] = (ap[0] & b0).count_ones() + (ap[1] & b1).count_ones();
+                out_n[w] = (an[0] & b0).count_ones() + (an[1] & b1).count_ones();
+                w += 1;
+            }
+        }
+    }
+
+    /// 4 words per column: one window per 256-bit `vpopcntq` (the
+    /// `avx512vl` form).
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn diff_w4(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        unsafe {
+            let a_p = _mm256_loadu_si256(ap.as_ptr() as *const __m256i);
+            let a_n = _mm256_loadu_si256(an.as_ptr() as *const __m256i);
+            for w in 0..out_p.len() {
+                let v = _mm256_loadu_si256(pw.as_ptr().add(w * 4) as *const __m256i);
+                out_p[w] = hsum_epi64(_mm256_popcnt_epi64(_mm256_and_si256(v, a_p)));
+                out_n[w] = hsum_epi64(_mm256_popcnt_epi64(_mm256_and_si256(v, a_n)));
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn diff_generic(
+        ap: &[u64],
+        an: &[u64],
+        pw: &[u64],
+        wpc: usize,
+        out_p: &mut [u32],
+        out_n: &mut [u32],
+    ) {
+        unsafe {
+            for w in 0..out_p.len() {
+                let b = &pw[w * wpc..(w + 1) * wpc];
+                out_p[w] = and_popcount(ap, b);
+                out_n[w] = and_popcount(an, b);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn single_w1(a: &[u64], pw: &[u64], out: &mut [u32]) {
+        unsafe {
+            let nw = out.len();
+            let av = _mm512_set1_epi64(a[0] as i64);
+            let mut w = 0;
+            while w + 8 <= nw {
+                let v = _mm512_loadu_si512(pw.as_ptr().add(w) as *const _);
+                let c = _mm512_popcnt_epi64(_mm512_and_si512(v, av));
+                _mm256_storeu_si256(
+                    out.as_mut_ptr().add(w) as *mut __m256i,
+                    _mm512_cvtepi64_epi32(c),
+                );
+                w += 8;
+            }
+            while w < nw {
+                out[w] = (a[0] & pw[w]).count_ones();
+                w += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn single_w2(a: &[u64], pw: &[u64], out: &mut [u32]) {
+        unsafe {
+            let nw = out.len();
+            let av = _mm512_broadcast_i32x4(_mm_loadu_si128(a.as_ptr() as *const __m128i));
+            let idx = _mm512_setr_epi32(0, 4, 8, 12, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0);
+            let mut w = 0;
+            while w + 4 <= nw {
+                let v = _mm512_loadu_si512(pw.as_ptr().add(w * 2) as *const _);
+                let c = _mm512_popcnt_epi64(_mm512_and_si512(v, av));
+                let s = _mm512_add_epi64(c, _mm512_unpackhi_epi64(c, c));
+                _mm_storeu_si128(
+                    out.as_mut_ptr().add(w) as *mut __m128i,
+                    _mm512_castsi512_si128(_mm512_permutexvar_epi32(idx, s)),
+                );
+                w += 4;
+            }
+            while w < nw {
+                out[w] = (a[0] & pw[w * 2]).count_ones() + (a[1] & pw[w * 2 + 1]).count_ones();
+                w += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn single_w4(a: &[u64], pw: &[u64], out: &mut [u32]) {
+        unsafe {
+            let av = _mm256_loadu_si256(a.as_ptr() as *const __m256i);
+            for (w, o) in out.iter_mut().enumerate() {
+                let v = _mm256_loadu_si256(pw.as_ptr().add(w * 4) as *const __m256i);
+                *o = hsum_epi64(_mm256_popcnt_epi64(_mm256_and_si256(v, av)));
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
+    pub(super) unsafe fn single_generic(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
+        unsafe {
+            for w in 0..out.len() {
+                out[w] = and_popcount(a, &pw[w * wpc..(w + 1) * wpc]);
+            }
+        }
+    }
+}
+
+/// NEON popcount lanes: `cnt.16b` byte popcounts with widening
+/// horizontal adds (`uaddlv`). NEON is part of the aarch64 base ABI, so
+/// these functions are gated only by `cfg(target_arch = "aarch64")` and
+/// need no runtime detection; the intrinsic calls are still the
+/// workspace's documented `unsafe` exception (see the module-level
+/// safety note).
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    use core::arch::aarch64::*;
+
+    /// `popcount(a & b)` over equal-length word slices.
+    #[inline]
+    pub(super) fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
+        let n = a.len().min(b.len());
+        let mut total = 0u32;
+        let mut i = 0;
+        // SAFETY: NEON is mandatory in the aarch64 base ABI; loads stay
+        // inside the slice bounds checked by the loop condition.
+        unsafe {
+            while i + 2 <= n {
+                let va = vld1q_u64(a.as_ptr().add(i));
+                let vb = vld1q_u64(b.as_ptr().add(i));
+                let cnt = vcntq_u8(vreinterpretq_u8_u64(vandq_u64(va, vb)));
+                total += vaddlvq_u8(cnt) as u32;
+                i += 2;
+            }
+        }
+        while i < n {
+            total += (a[i] & b[i]).count_ones();
+            i += 1;
+        }
+        total
+    }
+
+    /// `popcount` over a word slice.
+    #[inline]
+    pub(super) fn popcount(a: &[u64]) -> u32 {
+        let n = a.len();
+        let mut total = 0u32;
+        let mut i = 0;
+        // SAFETY: as for `and_popcount`.
+        unsafe {
+            while i + 2 <= n {
+                let va = vld1q_u64(a.as_ptr().add(i));
+                total += vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(va))) as u32;
+                i += 2;
+            }
+        }
+        while i < n {
+            total += a[i].count_ones();
+            i += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_parses_and_env_wins() {
+        assert_eq!(KernelSelect::default(), KernelSelect::Auto);
+        assert_eq!(resolve_kernel_with(KernelSelect::Scalar, None), Ok(KernelTier::Scalar));
+        // env overrides the configured selection
+        assert_eq!(resolve_kernel_with(KernelSelect::Auto, Some("scalar")), Ok(KernelTier::Scalar));
+        assert_eq!(
+            resolve_kernel_with(KernelSelect::Simd, Some("SCALAR")),
+            Ok(KernelTier::Scalar),
+            "parsing is case-insensitive"
+        );
+        // empty / whitespace env counts as unset
+        assert_eq!(resolve_kernel_with(KernelSelect::Scalar, Some("")), Ok(KernelTier::Scalar));
+        assert_eq!(resolve_kernel_with(KernelSelect::Scalar, Some("  ")), Ok(KernelTier::Scalar));
+        // junk is a typed error, not a fallback
+        assert!(matches!(
+            resolve_kernel_with(KernelSelect::Auto, Some("sse9")),
+            Err(KernelConfigError::Unrecognized(s)) if s == "sse9"
+        ));
+    }
+
+    #[test]
+    fn auto_resolves_to_an_available_tier() {
+        let tier = resolve_kernel_with(KernelSelect::Auto, None).expect("auto never errors");
+        assert!(tier.available(), "auto must resolve to a runnable tier");
+        // simd either matches auto's SIMD pick or errors out typed
+        match resolve_kernel_with(KernelSelect::Simd, None) {
+            Ok(t) => {
+                assert!(t.available());
+                assert_ne!(t, KernelTier::Scalar, "simd may not resolve to scalar");
+            }
+            Err(KernelConfigError::Unavailable { requested, .. }) => {
+                assert_eq!(requested, "simd");
+                assert_eq!(tier, KernelTier::Scalar, "no SIMD ⇒ auto fell back to scalar");
+            }
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    }
+
+    #[test]
+    fn forced_foreign_tier_is_a_typed_error() {
+        // Neon on x86 / AVX on aarch64: exactly one of these is foreign
+        // everywhere we build, so at least one must produce the typed
+        // unavailability error with the host summary attached.
+        let foreign =
+            if cfg!(target_arch = "x86_64") { KernelSelect::Neon } else { KernelSelect::Avx2 };
+        match resolve_kernel_with(foreign, None) {
+            Err(KernelConfigError::Unavailable { requested, host }) => {
+                assert_eq!(requested, foreign.name());
+                assert!(!host.is_empty());
+            }
+            other => panic!("foreign tier must be rejected, got {other:?}"),
+        }
+        // and the error renders a hint
+        let msg =
+            KernelConfigError::Unavailable { requested: "simd", host: "none".into() }.to_string();
+        assert!(msg.contains("TRQ_KERNEL=auto"));
+    }
+
+    #[test]
+    fn feature_summary_is_stable_and_nonempty() {
+        let s = cpu_feature_summary();
+        assert!(!s.is_empty());
+        assert_eq!(s, cpu_feature_summary(), "summary must be deterministic");
+    }
+}

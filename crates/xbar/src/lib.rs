@@ -21,8 +21,12 @@
 //! - the `kernel` layer — shape-specialised popcount primitives
 //!   ([`and_popcount_words`]), the fused differential tile kernel
 //!   [`mvm_diff_tile_into`] (one plane-word load serves both subarray
-//!   sides), and sparsity-aware skipping via [`ColMask`] column occupancy
-//!   plus the live-plane mask `pack_window_planes` returns;
+//!   sides), an explicit SIMD tier (AVX-512/AVX2/NEON popcount lanes,
+//!   resolved once at engine construction by [`resolve_kernel`] from a
+//!   configured [`KernelSelect`] and the `TRQ_KERNEL` environment
+//!   override), and sparsity-aware skipping via [`ColMask`] column
+//!   occupancy plus the [`WindowOcc`] live-plane/window-block record
+//!   `pack_window_planes` fills;
 //! - [`WeightSlicer`] / input bit-plane helpers — the spatial (weight) and
 //!   temporal (input) bit slicing of Fig. 1;
 //! - [`Crossbar`] and [`DiffPair`] — programmed arrays with optional device
@@ -63,7 +67,11 @@ pub use config::CrossbarConfig;
 pub use crossbar::Crossbar;
 pub use error::XbarError;
 pub use frontend::{SampleHold, Tia};
-pub use kernel::{and_popcount_words, mvm_diff_tile_into, popcount_words, ColMask};
+pub use kernel::{
+    and_popcount_words, and_popcount_words_tier, cpu_feature_summary, mvm_diff_tile_into,
+    popcount_words, popcount_words_tier, resolve_kernel, resolve_kernel_with, ColMask,
+    KernelConfigError, KernelSelect, KernelTier, WindowOcc, KERNEL_ENV, WINDOW_BLOCK,
+};
 pub use noise::NoiseModel;
 pub use pair::DiffPair;
 pub use slicing::{bit_plane, unsigned_bit_planes, WeightSlicer};
