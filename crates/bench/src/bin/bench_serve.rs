@@ -23,11 +23,13 @@
 //! Usage: `cargo run --release -p trq-bench --bin bench_serve`
 
 use std::time::{Duration, Instant};
-use trq_bench::{write_json, HostMeta, MixedModelTiming, ServeBenchRecord, ServePointTiming};
+use trq_bench::{
+    write_json, HostMeta, MixedModelTiming, OverloadTiming, ServeBenchRecord, ServePointTiming,
+};
 use trq_core::arch::{ArchConfig, ExecConfig};
 use trq_core::pim::{AdcScheme, PimMvm};
 use trq_nn::{data, models, QuantizedNetwork};
-use trq_serve::{BatchPolicy, Model, ModelId, Registry, Server};
+use trq_serve::{BatchPolicy, Model, ModelId, Registry, ServeError, Server, ShedPolicy};
 use trq_tensor::Tensor;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -202,6 +204,84 @@ fn main() {
         mixed.mean_batch, mixed.requests_per_sec, mixed.p50_latency_us, mixed.p99_latency_us
     );
 
+    // overload: an open-loop burst into a queue far smaller than the
+    // burst, once per shed policy. Block is the flow-control baseline
+    // (no shedding, submits absorb the backpressure); the reject
+    // policies trade offered load for fast typed rejections. Admitted
+    // outputs still verify bit-identical to the per-image reference.
+    let overload_cap = (requests / 8).max(4);
+    println!("  overload: {requests} offered into a {overload_cap}-deep queue, max_batch 4");
+    println!(
+        "  {:>15}  {:>9}  {:>6}  {:>10}  {:>12}  {:>12}",
+        "shed_policy", "admitted", "shed", "shed_rate", "goodput r/s", "p99 adm us"
+    );
+    let mut overload = Vec::new();
+    for shed_policy in [ShedPolicy::Block, ShedPolicy::RejectNewest, ShedPolicy::RejectOldest] {
+        let policy = BatchPolicy::default()
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_micros(MAX_WAIT_US))
+            .with_queue_cap(overload_cap)
+            .with_shed(shed_policy);
+        let mut registry = Registry::new();
+        let model = registry.insert(Model::program("mlp-a", qnet.clone(), arch, plan.clone()));
+        let server = Server::start(registry, policy);
+        let t0 = Instant::now();
+        let mut tickets: Vec<(usize, trq_serve::Ticket)> = Vec::with_capacity(requests);
+        let mut shed = 0u64;
+        for (i, x) in images.iter().enumerate() {
+            match server.submit(model, x.clone()) {
+                Ok(t) => tickets.push((i, t)),
+                Err(ServeError::Shed(_)) => shed += 1,
+                Err(e) => panic!("unexpected submit refusal under {shed_policy}: {e}"),
+            }
+        }
+        let mut latencies_us: Vec<f64> = Vec::new();
+        let mut served: Vec<(usize, Tensor)> = Vec::new();
+        for (i, ticket) in tickets {
+            match ticket.wait() {
+                Ok(response) => {
+                    latencies_us.push(response.latency.as_secs_f64() * 1e6);
+                    served.push((i, response.output));
+                }
+                Err(ServeError::Shed(_)) => shed += 1,
+                Err(e) => panic!("unexpected outcome under {shed_policy}: {e}"),
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let report = server.shutdown();
+        assert_eq!(report.shed, shed, "report must count every shed request");
+        assert_eq!(report.requests, served.len() as u64);
+        for (i, output) in &served {
+            assert_eq!(
+                output.data(),
+                &want[*i][..],
+                "admitted requests must stay bit-identical under overload"
+            );
+        }
+        latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let point = OverloadTiming {
+            shed_policy: shed_policy.to_string(),
+            queue_cap: overload_cap,
+            offered: requests,
+            admitted: served.len(),
+            shed,
+            shed_rate: shed as f64 / requests as f64,
+            goodput_rps: served.len() as f64 / elapsed.max(1e-9),
+            p50_admitted_us: percentile(&latencies_us, 0.50),
+            p99_admitted_us: percentile(&latencies_us, 0.99),
+        };
+        println!(
+            "  {:>15}  {:>9}  {:>6}  {:>10.3}  {:>12.0}  {:>12.0}",
+            point.shed_policy,
+            point.admitted,
+            point.shed,
+            point.shed_rate,
+            point.goodput_rps,
+            point.p99_admitted_us
+        );
+        overload.push(point);
+    }
+
     let record = ServeBenchRecord {
         workload: format!("mlp784x{HIDDEN}x10"),
         host,
@@ -209,6 +289,7 @@ fn main() {
         max_wait_us: MAX_WAIT_US,
         points,
         mixed: Some(mixed),
+        overload: Some(overload),
     };
     write_json("BENCH_serve", &record);
 }

@@ -1,0 +1,81 @@
+//! Device-fault robustness sweep: accuracy vs ADC energy per scheme as
+//! stuck-at rate, programming variation, and read noise grow.
+//!
+//! Usage: `cargo run -p trq-bench --release --bin fig_fault`
+//!
+//! - `TRQ_SUITE=paper` for the paper-sized workloads (default: quick)
+//! - `TRQ_FAULT_GRID=paper` for the full 5-level sweep grid (default:
+//!   quick 2-level grid)
+//! - `TRQ_FAULT_WORKLOADS=lenet5,resnet18` to sweep only the named
+//!   workloads (default: the whole suite) — used by the CI smoke job
+
+use trq_bench::{row, suite_from_env, write_json};
+use trq_core::arch::ArchConfig;
+use trq_core::calib::CalibSettings;
+use trq_core::energy::EnergyParams;
+use trq_core::experiments::{fig_fault, FaultGrid, FigFaultReport, Workload};
+
+fn main() {
+    let cfg = suite_from_env();
+    let grid = match std::env::var("TRQ_FAULT_GRID").as_deref() {
+        Ok("paper") => FaultGrid::paper(),
+        _ => FaultGrid::quick(),
+    };
+    let arch = ArchConfig::default();
+    let settings = CalibSettings::default();
+    let energy = EnergyParams::default();
+
+    let only: Option<Vec<String>> = std::env::var("TRQ_FAULT_WORKLOADS")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+
+    let mut reports: Vec<FigFaultReport> = Vec::new();
+    for workload in Workload::paper_suite(&cfg) {
+        if let Some(names) = &only {
+            if !names.iter().any(|n| workload.name.contains(n.as_str())) {
+                continue;
+            }
+        }
+        let report =
+            fig_fault(&workload, &arch, &settings, &energy, &grid).expect("fault sweep evaluation");
+
+        println!("Device-fault sweep — {}", report.workload);
+        let widths = [10usize, 12, 8, 7, 10, 10, 8];
+        println!(
+            "{}",
+            row(
+                &[
+                    "config".into(),
+                    "axis".into(),
+                    "level".into(),
+                    "score".into(),
+                    "ADC pJ".into(),
+                    "total pJ".into(),
+                    "ops".into(),
+                ],
+                &widths
+            )
+        );
+        for p in &report.points {
+            println!(
+                "{}",
+                row(
+                    &[
+                        p.config.clone(),
+                        p.axis.to_string(),
+                        format!("{:.3}", p.level),
+                        format!("{:.3}", p.score),
+                        format!("{:.0}", p.adc_pj),
+                        format!("{:.0}", p.total_pj),
+                        format!("{:.3}", p.remaining_ops_ratio),
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!();
+        reports.push(report);
+    }
+
+    write_json("fig_fault", &reports);
+}

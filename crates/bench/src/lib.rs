@@ -258,6 +258,33 @@ pub struct MixedModelTiming {
     pub p99_latency_us: f64,
 }
 
+/// One overload point inside [`ServeBenchRecord`]: an open-loop burst
+/// pushed beyond queue capacity under one [`trq_serve::ShedPolicy`],
+/// recording how the admission policy trades shed rate against goodput
+/// and the latency of the requests it does admit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverloadTiming {
+    /// The `ShedPolicy` under test (`"block"`, `"reject-newest"`,
+    /// `"reject-oldest"`).
+    pub shed_policy: String,
+    /// Queue bound the burst overflows.
+    pub queue_cap: usize,
+    /// Requests offered by the open-loop burst.
+    pub offered: usize,
+    /// Requests that completed successfully.
+    pub admitted: usize,
+    /// Requests shed (refused at the gate or evicted from the queue).
+    pub shed: u64,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// Successful requests per second over the whole burst.
+    pub goodput_rps: f64,
+    /// Median submit-to-completion latency of *admitted* requests, µs.
+    pub p50_admitted_us: f64,
+    /// 99th-percentile latency of *admitted* requests, µs.
+    pub p99_admitted_us: f64,
+}
+
 /// The record `bench_serve` writes to `results/BENCH_serve.json`:
 /// request throughput and latency percentiles of the `trq-serve`
 /// micro-batching frontend at several `max_batch` policies, on one
@@ -279,6 +306,9 @@ pub struct ServeBenchRecord {
     /// Mixed-model traffic measurement (absent in records written by
     /// builds predating the registry).
     pub mixed: Option<MixedModelTiming>,
+    /// Overload points, one per shed policy (absent in records written
+    /// by builds predating admission control).
+    pub overload: Option<Vec<OverloadTiming>>,
 }
 
 /// The record `bench_store` writes to `results/BENCH_store.json`:

@@ -8,6 +8,7 @@ use crate::pim::{AdcScheme, CollectorConfig, LayerSamples, PimMvm, PimStats};
 use std::sync::Mutex;
 use trq_nn::QuantizedNetwork;
 use trq_tensor::Tensor;
+use trq_xbar::NoiseModel;
 
 /// What "accuracy" means for a workload (Section V-A vs DESIGN.md):
 /// labelled accuracy for the in-repo trained models, FP32-agreement
@@ -163,6 +164,108 @@ pub fn evaluate_plan(
     Ok(PlanEval { score: correct as f64 / n as f64, stats })
 }
 
+/// Evaluates a plan under a device [`NoiseModel`] — the fault-sweep
+/// engine behind `fig_fault`.
+///
+/// Ideal noise delegates straight to [`evaluate_plan`] (bit-identical,
+/// zero extra cost). Otherwise images still shard across
+/// [`Pool::global`], but each image runs as its *own* forward pass with
+/// the engine's noise epoch pinned to the image's global index: the
+/// stuck-at pattern is a pure function of the model seed (programming
+/// happens once per shard engine), and every count-noise draw is keyed by
+/// `(seed, epoch, tile coordinates)` — so scores and ledgers are
+/// bit-identical across thread counts and re-runs, which is what lets a
+/// sweep call this once per grid point and trust the comparison.
+///
+/// Fidelity references still come from the *float* network — noise only
+/// corrupts the analog path under test, never the yardstick.
+///
+/// # Errors
+///
+/// Returns [`CalibError`] when any forward pass fails, deterministically
+/// picking the first failing shard in slot order.
+pub fn evaluate_plan_noisy(
+    qnet: &QuantizedNetwork,
+    arch: &ArchConfig,
+    plan: &[AdcScheme],
+    metric: &EvalMetric<'_>,
+    noise: &NoiseModel,
+) -> Result<PlanEval, CalibError> {
+    if noise.is_ideal() {
+        return evaluate_plan(qnet, arch, plan, metric);
+    }
+    let n = metric.len();
+    if n == 0 {
+        return Ok(PlanEval { score: 0.0, stats: PimStats::default() });
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8).min(n);
+    let chunk = n.div_ceil(threads);
+    type ShardResult = Result<(usize, PimStats), CalibError>;
+    let slots: Vec<Mutex<Option<ShardResult>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    let store = |shard: usize, result: ShardResult| {
+        *slots[shard].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+    };
+    Pool::global().run(threads, &|shard| {
+        let lo = shard * chunk;
+        let hi = ((shard + 1) * chunk).min(n);
+        if lo >= hi {
+            return;
+        }
+        let mut engine = PimMvm::new(*arch, plan.to_vec()).with_device_noise(*noise);
+        let mut correct = 0usize;
+        for i in lo..hi {
+            let image = match metric {
+                EvalMetric::Labeled(samples) => &samples[i].0,
+                EvalMetric::Fidelity(inputs) => &inputs[i],
+            };
+            // one forward per image, epoch = global index: draws depend
+            // on *which* image, not which shard or thread ran it
+            engine.set_noise_epoch(i as u64);
+            let y = match qnet.forward(image, &mut engine) {
+                Ok(y) => y,
+                Err(e) => {
+                    store(shard, Err(CalibError::Evaluation(e)));
+                    return;
+                }
+            };
+            match metric {
+                EvalMetric::Labeled(samples) => {
+                    if y.argmax() == samples[i].1 {
+                        correct += 1;
+                    }
+                }
+                EvalMetric::Fidelity(inputs) => {
+                    let reference = match qnet.network().forward(&inputs[i]) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            store(shard, Err(CalibError::Reference(e)));
+                            return;
+                        }
+                    };
+                    if y.argmax() == reference.argmax() {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        store(shard, Ok((correct, engine.stats().clone())));
+    });
+
+    let mut stats = PimStats::default();
+    let mut correct = 0usize;
+    for slot in &slots {
+        match slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take() {
+            Some(Ok((c, s))) => {
+                correct += c;
+                stats.merge(&s);
+            }
+            Some(Err(e)) => return Err(e),
+            None => {}
+        }
+    }
+    Ok(PlanEval { score: correct as f64 / n as f64, stats })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +324,59 @@ mod tests {
         let b = evaluate_plan(&qnet, &arch, &plan, &metric).unwrap();
         assert_eq!(a.score, b.score, "evaluation must be deterministic");
         assert_eq!(a.stats.ops(), b.stats.ops());
+    }
+
+    #[test]
+    fn ideal_noise_is_bit_identical_to_noiseless() {
+        let (qnet, arch, images) = small_setup();
+        let plan = vec![AdcScheme::uniform(6, 0.7); qnet.layers().len()];
+        let metric = EvalMetric::Fidelity(&images);
+        let a = evaluate_plan(&qnet, &arch, &plan, &metric).unwrap();
+        let b = evaluate_plan_noisy(&qnet, &arch, &plan, &metric, &NoiseModel::ideal()).unwrap();
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.stats.ops(), b.stats.ops());
+        assert_eq!(a.stats.conversions(), b.stats.conversions());
+    }
+
+    #[test]
+    fn noisy_evaluation_is_deterministic_across_runs() {
+        let (qnet, arch, images) = small_setup();
+        let plan = vec![AdcScheme::Ideal; qnet.layers().len()];
+        let metric = EvalMetric::Fidelity(&images);
+        let noise = NoiseModel {
+            sigma_prog: 0.08,
+            sigma_read: 0.5,
+            stuck_off_rate: 0.01,
+            stuck_on_rate: 0.005,
+            seed: 1234,
+        };
+        let a = evaluate_plan_noisy(&qnet, &arch, &plan, &metric, &noise).unwrap();
+        let b = evaluate_plan_noisy(&qnet, &arch, &plan, &metric, &noise).unwrap();
+        assert_eq!(a.score, b.score, "same seed must reproduce the same score");
+        assert_eq!(a.stats.ops(), b.stats.ops());
+        assert_eq!(a.stats.conversions(), b.stats.conversions());
+    }
+
+    #[test]
+    fn heavy_stuck_at_degrades_fidelity() {
+        let (qnet, arch, images) = small_setup();
+        let plan = vec![AdcScheme::Ideal; qnet.layers().len()];
+        let metric = EvalMetric::Fidelity(&images);
+        let clean = evaluate_plan(&qnet, &arch, &plan, &metric).unwrap();
+        let noise = NoiseModel {
+            sigma_prog: 0.0,
+            sigma_read: 0.0,
+            stuck_off_rate: 0.5,
+            stuck_on_rate: 0.0,
+            seed: 7,
+        };
+        let sick = evaluate_plan_noisy(&qnet, &arch, &plan, &metric, &noise).unwrap();
+        assert!(
+            sick.score <= clean.score,
+            "half the cells stuck off cannot improve fidelity: {} vs {}",
+            sick.score,
+            clean.score
+        );
     }
 
     #[test]

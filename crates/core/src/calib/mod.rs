@@ -12,7 +12,7 @@
 mod evaluate;
 mod layer_search;
 
-pub use evaluate::{collect_bl_samples, evaluate_plan, EvalMetric, PlanEval};
+pub use evaluate::{collect_bl_samples, evaluate_plan, evaluate_plan_noisy, EvalMetric, PlanEval};
 pub use layer_search::{plan_layer, plan_network, CalibSettings, LayerPlan};
 
 use crate::arch::ArchConfig;

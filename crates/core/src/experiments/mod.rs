@@ -12,12 +12,15 @@
 //! | Fig. 6c (remaining A/D ops) | the `remaining_ops` field of the TRQ series |
 //! | Fig. 7 (power breakdown) | [`fig7_power`] |
 //! | headline 1.6–2.3× | [`headline`] |
+//! | device-fault robustness sweep | [`fig_fault`] |
 
+mod fault;
 mod fig3a;
 mod fig6;
 mod fig7;
 mod workloads;
 
+pub use fault::{fig_fault, FaultAxis, FaultGrid, FaultPoint, FigFaultReport};
 pub use fig3a::{fig3a, Fig3aLayer, Fig3aReport};
 pub use fig6::{fig6_accuracy, plan_uniform_network, AccuracyPoint, Fig6Series};
 pub use fig7::{batch_rescale, fig7_power, headline, Fig7Bar, Fig7Report, HeadlineReport};

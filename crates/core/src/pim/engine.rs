@@ -49,7 +49,7 @@ use trq_nn::{MvmEngine, MvmLayerInfo};
 use trq_quant::Histogram;
 use trq_xbar::{
     mvm_diff_tile_into, pack_window_planes, resolve_kernel, BitMatrix, ColMask, KernelConfigError,
-    KernelTier, WindowOcc,
+    KernelTier, NoiseModel, WindowOcc,
 };
 
 /// Configuration for bit-line sample collection during calibration runs.
@@ -405,6 +405,72 @@ fn execute_tile(
     }
 }
 
+/// Mixes one more component into a splitmix64 hash chain — the same
+/// finalizer the calibration reservoir uses, applied per key component so
+/// noise draws are a pure function of their slot coordinates.
+fn mix64(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit hash onto a uniform draw in (0, 1] (53-bit mantissa,
+/// never exactly zero — safe under `ln`).
+fn unit_open(z: u64) -> f64 {
+    (((z >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Count-level device noise for one engine call: a Gaussian perturbation
+/// of each BL count before decode, standing in for cell-level programming
+/// variation (σ scaling with `sqrt(count)` — the deviation of a sum of
+/// `count` independent cell currents) and additive read noise (σ in cell-
+/// current units, independent of the count). The exact cell-level model
+/// lives in [`trq_xbar::DiffPair`]'s analog path; this surrogate keeps
+/// the integer datapath while perturbing exactly what the ADC sees.
+///
+/// Draws are keyed on `(call_seed, subarray, side, plane, column,
+/// window)` — never on tile boundaries or thread ids — so a noisy result
+/// is bit-identical across tilings and thread counts, and across the
+/// serial/pooled dispatch modes.
+struct CountNoise {
+    sigma_prog: f64,
+    sigma_read: f64,
+    /// `mix64(seed, mvm_index, noise_epoch)` — one stream per layer call.
+    call_seed: u64,
+    /// Physical count ceiling (crossbar rows); noisy counts clamp here so
+    /// LUT lookups stay in range.
+    max_count: u32,
+}
+
+impl CountNoise {
+    /// The noisy count for one BL observation, `side` 0 = pos, 1 = neg.
+    fn perturb(
+        &self,
+        s: usize,
+        side: u64,
+        plane: usize,
+        col: usize,
+        window: usize,
+        count: u32,
+    ) -> u32 {
+        let mut h = mix64(self.call_seed, s as u64);
+        h = mix64(h, side);
+        h = mix64(h, plane as u64);
+        h = mix64(h, col as u64);
+        h = mix64(h, window as u64);
+        // one Box–Muller pair per slot: cos-branch perturbs for
+        // programming variation, sin-branch for read noise
+        let u1 = unit_open(h);
+        let u2 = unit_open(mix64(h, 0x5851_F42D_4C95_7F2D));
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin_t, cos_t) = (std::f64::consts::TAU * u2).sin_cos();
+        let c = f64::from(count);
+        let noisy = c + self.sigma_prog * c.sqrt() * (r * cos_t) + self.sigma_read * (r * sin_t);
+        noisy.round().clamp(0.0, f64::from(self.max_count)) as u32
+    }
+}
+
 /// Executes one tile on the **scalar reference path** (the pre-kernel
 /// serial datapath, kept live on [`Dispatch::Scope`] and for calibration):
 /// two back-to-back scalar popcount passes per subarray, then an
@@ -412,7 +478,9 @@ fn execute_tile(
 /// skipping. Property tests pin the specialised path bit-identical to
 /// this one, values and ledgers. When `on_count` is given (calibration),
 /// every pos/neg BL count of the tile is fed to it in a deterministic
-/// per-tile counts pass.
+/// per-tile counts pass. When `noise` is given (device-noise emulation),
+/// each count is perturbed before decode — the ADC digitises the noisy
+/// current; the calibration sink still sees raw counts.
 #[allow(clippy::too_many_arguments)]
 fn execute_tile_scalar(
     prog: &Programmed,
@@ -424,6 +492,7 @@ fn execute_tile_scalar(
     acc: &mut [i64],
     events: &mut TileEvents,
     mut on_count: Option<&mut dyn FnMut(u32)>,
+    noise: Option<&CountNoise>,
 ) {
     debug_assert_eq!(acc.len(), tile.len(), "tile accumulator must match the tile volume");
     let nc = (tile.o1 - tile.o0) * wbits;
@@ -452,7 +521,20 @@ fn execute_tile_scalar(
                 let cps = &scratch.counts_pos[base..base + nw];
                 let cns = &scratch.counts_neg[base..base + nw];
                 let arow = &mut acc[o_local * nw..(o_local + 1) * nw];
-                for ((a, &cp), &cn) in arow.iter_mut().zip(cps).zip(cns) {
+                for (i, ((a, &cp), &cn)) in arow.iter_mut().zip(cps).zip(cns).enumerate() {
+                    let (cp, cn) = match noise {
+                        Some(nz) => {
+                            // absolute column / window coordinates, so
+                            // the draw is tiling-independent
+                            let col = tile.o0 * wbits + oc;
+                            let window = tile.w0 + i;
+                            (
+                                nz.perturb(s, 0, c, col, window, cp),
+                                nz.perturb(s, 1, c, col, window, cn),
+                            )
+                        }
+                        None => (cp, cn),
+                    };
                     events.max_count = events.max_count.max(cp).max(cn);
                     let lp = lut.lsb(cp) as i64;
                     let ln = lut.lsb(cn) as i64;
@@ -489,6 +571,15 @@ pub struct PimMvm {
     stats: PimStats,
     collector: Option<CollectorConfig>,
     samples: HashMap<usize, LayerSamples>,
+    /// Device non-idealities, `None` when ideal — the ideal path never
+    /// pays a noise check beyond this `Option` (see
+    /// [`PimMvm::with_device_noise`]).
+    noise: Option<NoiseModel>,
+    /// Read-noise stream epoch (e.g. the global image index), mixed into
+    /// every count-noise draw so repeated reads of the same slot differ
+    /// across epochs but stay reproducible. Stuck-at faults ignore it —
+    /// a device instance's fault map is fixed at programming time.
+    noise_epoch: u64,
     /// Scratch bit-plane matrices per subarray, reused across calls.
     planes: Vec<Vec<BitMatrix>>,
     /// Window occupancy of the current call, one record per subarray
@@ -545,6 +636,8 @@ impl PimMvm {
             stats: PimStats::default(),
             collector: None,
             samples: HashMap::new(),
+            noise: None,
+            noise_epoch: 0,
             planes: Vec::new(),
             occ: Vec::new(),
             tier,
@@ -569,6 +662,47 @@ impl PimMvm {
     pub fn with_pool(mut self, pool: &'static Pool) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Builder: emulates device non-idealities on this engine.
+    ///
+    /// - **Stuck-at faults** (`stuck_off_rate` / `stuck_on_rate`) force a
+    ///   deterministic per-cell subset of the programmed bit planes to
+    ///   0/1 at **program time**, keyed on `(seed, layer, subarray, side,
+    ///   row, column)` — the same seed is the same device instance. Skip
+    ///   masks are recomputed over the faulted planes, so stuck-at-only
+    ///   noise runs on the full specialised kernel path, bit-identical
+    ///   across tiers and thread counts.
+    /// - **Programming variation / read noise** (`sigma_prog` /
+    ///   `sigma_read`) perturb every BL count before decode with slot-
+    ///   keyed Gaussians (see [`PimMvm::set_noise_epoch`]); count noise
+    ///   forces the scalar datapath, since the skip kernels' closed-form
+    ///   zero-count folds would bypass the perturbation.
+    ///
+    /// An ideal model ([`NoiseModel::is_ideal`]) stores nothing — the
+    /// engine is byte-for-byte the no-noise engine, keeping the noisy
+    /// plumbing zero-cost for every existing caller. Call **before**
+    /// programming any layer (stuck-at faults apply when weights are
+    /// sliced); programming imported via [`PimMvm::import_programming`]
+    /// is installed verbatim, faults and all, as captured.
+    #[must_use]
+    pub fn with_device_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = if noise.is_ideal() { None } else { Some(noise) };
+        self
+    }
+
+    /// The device-noise model in effect, `None` when ideal.
+    #[must_use]
+    pub fn device_noise(&self) -> Option<NoiseModel> {
+        self.noise
+    }
+
+    /// Advances the count-noise stream (e.g. to the global image index),
+    /// so per-image noise is reproducible regardless of how images are
+    /// sharded across threads or batched. No effect on ideal engines or
+    /// on stuck-at faults (the fault map is part of the device).
+    pub fn set_noise_epoch(&mut self, epoch: u64) {
+        self.noise_epoch = epoch;
     }
 
     /// Total bytes of backing capacity held by the reusable execution
@@ -778,6 +912,32 @@ impl PimMvm {
                     }
                 }
             }
+            if let Some(noise) =
+                self.noise.filter(|nz| nz.stuck_off_rate > 0.0 || nz.stuck_on_rate > 0.0)
+            {
+                // stuck-at faults: force a deterministic per-cell subset
+                // of the sliced planes, keyed on the cell's physical
+                // coordinates — the same seed is the same device. Masks
+                // are computed *after* forcing, so the skip kernels see
+                // the faulted occupancy and stay exact.
+                let device = mix64(noise.seed, info.mvm_index as u64);
+                for (side, mat) in [(0u64, &mut pos), (1u64, &mut neg)] {
+                    for r in 0..rows {
+                        for col in 0..cols {
+                            let mut h = mix64(device, s as u64);
+                            h = mix64(h, side);
+                            h = mix64(h, r as u64);
+                            h = mix64(h, col as u64);
+                            let u = unit_open(h);
+                            if u < noise.stuck_off_rate {
+                                mat.set(r, col, false);
+                            } else if u < noise.stuck_off_rate + noise.stuck_on_rate {
+                                mat.set(r, col, true);
+                            }
+                        }
+                    }
+                }
+            }
             let (pos_live, neg_live) = (ColMask::of(&pos), ColMask::of(&neg));
             subarrays.push(DiffSubarray { pos, neg, pos_live, neg_live });
         }
@@ -915,11 +1075,29 @@ impl MvmEngine for PimMvm {
         let occ = &self.occ[..n_sub];
         let tier = self.tier;
         let tiles = &self.tiles;
+        // count-level device noise (σ_prog / σ_read): one stream per
+        // (seed, layer, epoch); stuck-at-only noise leaves this None and
+        // keeps the fused kernel path
+        let count_noise = self.noise.and_then(|nz| {
+            if nz.sigma_prog == 0.0 && nz.sigma_read == 0.0 {
+                None
+            } else {
+                Some(CountNoise {
+                    sigma_prog: nz.sigma_prog,
+                    sigma_read: nz.sigma_read,
+                    call_seed: mix64(mix64(nz.seed, info.mvm_index as u64), self.noise_epoch),
+                    max_count,
+                })
+            }
+        });
         // Dispatch::Scope keeps the scalar reference datapath end to end
         // (the baseline the specialised kernels are benchmarked and
         // property-tested against); calibration also stays scalar so the
-        // counts pass sees every slot of every tile
-        let scalar = exec.dispatch == Dispatch::Scope || self.collector.is_some();
+        // counts pass sees every slot of every tile. Count noise forces
+        // scalar too: the skip kernels fold zero-count conversions in
+        // closed form, which would silently bypass the perturbation.
+        let scalar =
+            exec.dispatch == Dispatch::Scope || self.collector.is_some() || count_noise.is_some();
         let mut events = TileEvents::default();
         if threads <= 1 {
             // serial round on the calling thread, arena slot 0 (the only
@@ -943,6 +1121,7 @@ impl MvmEngine for PimMvm {
                         &mut arena.acc_pool,
                         &mut events,
                         sink.as_mut().map(|f| f as &mut dyn FnMut(u32)),
+                        count_noise.as_ref(),
                     );
                 } else {
                     execute_tile(
@@ -965,14 +1144,26 @@ impl MvmEngine for PimMvm {
             // shared counter and execute them into their own arena; the
             // account stage below folds arena results in slot order, so
             // the outcome is independent of which worker ran which tile
+            let max_tile = tiles.iter().map(|t| t.len()).max().unwrap_or(0);
             for slot in &self.arenas[..threads] {
                 let mut arena = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 arena.reset_round();
                 // reserve worst-case round capacity up front (one worker
                 // could claim every tile) so capacities stay monotone and
-                // rounds never allocate after the first call per shape
+                // rounds never allocate after the first call per shape —
+                // count scratch included: which tiles a slot claims is
+                // scheduling-dependent, and a busy-pool fallback round
+                // runs every slot inline on the caller, so a lazily-sized
+                // arena would allocate there mid-steady-state
                 arena.acc_pool.reserve(info.outputs * n);
                 arena.done.reserve(tiles.len());
+                // scratch keeps its logical length across rounds (stale
+                // contents are overwritten), so reserve only the shortfall
+                let volume = ibits * wbits * max_tile;
+                let pos = &mut arena.scratch.counts_pos;
+                pos.reserve(volume.saturating_sub(pos.len()));
+                let neg = &mut arena.scratch.counts_neg;
+                neg.reserve(volume.saturating_sub(neg.len()));
             }
             let next = AtomicUsize::new(0);
             let arenas = &self.arenas;
@@ -998,6 +1189,7 @@ impl MvmEngine for PimMvm {
                             &mut arena.acc_pool[offset..],
                             &mut arena.events,
                             None,
+                            count_noise.as_ref(),
                         );
                     } else {
                         execute_tile(

@@ -127,6 +127,39 @@ fn steady_state_pooled_mvm_into_is_allocation_free_with_stable_arenas() {
     assert_eq!(pim.scratch_footprint(), footprint, "arena capacity must not grow after warm-up");
 }
 
+/// The ideal [`trq_xbar::NoiseModel`] fast path: installing an ideal
+/// noise model must be completely free — same bits as the noiseless
+/// engine and zero steady-state allocations — so the resilience layer's
+/// noise plumbing costs nothing unless noise is actually dialled in.
+#[test]
+fn ideal_noise_model_keeps_the_steady_state_allocation_free_and_bit_identical() {
+    let arch = ArchConfig::default();
+    let (depth, outputs, n) = (150, 8, 6);
+    let info = layer(depth, outputs);
+    let (weights, cols) = inputs(depth, outputs, n);
+    let params = trq_quant::TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+
+    let mut clean = PimMvm::new(arch, vec![AdcScheme::Trq(params)]);
+    let mut want = vec![0.0f64; outputs * n];
+    clean.mvm_into(&info, &weights, &cols, n, &mut want);
+
+    let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)])
+        .with_device_noise(trq_xbar::NoiseModel::ideal());
+    assert!(pim.device_noise().is_none(), "ideal noise must not install a model");
+    let mut out = vec![0.0f64; outputs * n];
+    pim.mvm_into(&info, &weights, &cols, n, &mut out);
+    assert_eq!(out, want, "ideal noise must not change a single bit");
+    pim.mvm_into(&info, &weights, &cols, n, &mut out);
+
+    let before = thread_allocs();
+    for _ in 0..10 {
+        pim.mvm_into(&info, &weights, &cols, n, &mut out);
+    }
+    let after = thread_allocs();
+    assert_eq!(after - before, 0, "ideal-noise steady state allocated {} times", after - before);
+    assert_eq!(out, want);
+}
+
 /// Shape changes may grow capacity once, but revisiting a previously-seen
 /// shape is warm: the footprint is monotone, not per-shape.
 #[test]

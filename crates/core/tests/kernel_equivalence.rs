@@ -378,6 +378,118 @@ fn engine_construction_rejects_unavailable_tier() {
     }
 }
 
+/// Stuck-at faults are applied to the *programmed* weight bits, before
+/// the column occupancy masks are computed — so a stuck-at-only
+/// [`trq_xbar::NoiseModel`] must leave every fused/SIMD kernel tier
+/// bit-identical to the scalar reference running the same damaged
+/// device, values and ledgers, at every thread count.
+#[test]
+fn stuck_at_only_noise_keeps_every_kernel_tier_bit_identical() {
+    let noise = trq_xbar::NoiseModel {
+        sigma_prog: 0.0,
+        sigma_read: 0.0,
+        stuck_off_rate: 0.04,
+        stuck_on_rate: 0.02,
+        seed: 99,
+    };
+    let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let (depth, outputs, n) = (200, 4, 6);
+    let info = layer(depth, outputs);
+    let weights = weights_for(0, depth, outputs, 71);
+    let cols = cols_for(0, depth * n, 71);
+    let exec = ExecConfig::serial().with_tile_outputs(2).with_tile_windows(3);
+    let ref_arch = arch_with_rows(128, exec.with_dispatch(Dispatch::Scope));
+    let mut reference =
+        PimMvm::new(ref_arch, vec![AdcScheme::Trq(params)]).with_device_noise(noise);
+    let want = reference.mvm(&info, &weights, &cols, n);
+
+    // the damage must actually bite, or this test proves nothing
+    let mut clean = PimMvm::new(ref_arch, vec![AdcScheme::Trq(params)]);
+    let undamaged = clean.mvm(&info, &weights, &cols, n);
+    assert_ne!(want, undamaged, "stuck-at rates this high must perturb the output");
+
+    for select in kernel_selects() {
+        for threads in [1usize, env_threads()] {
+            let arch = arch_with_rows(
+                128,
+                exec.with_threads(threads).with_dispatch(Dispatch::Pool).with_kernel(select),
+            );
+            let mut pim = PimMvm::new(arch, vec![AdcScheme::Trq(params)]).with_device_noise(noise);
+            let tier = pim.kernel_tier();
+            let got = pim.mvm(&info, &weights, &cols, n);
+            assert_eq!(
+                got,
+                want,
+                "stuck-at damage diverged across tiers (tier {}, {threads} threads)",
+                tier.name()
+            );
+            assert_eq!(
+                pim.stats(),
+                reference.stats(),
+                "stuck-at ledgers diverged (tier {}, {threads} threads)",
+                tier.name()
+            );
+        }
+    }
+}
+
+/// Count-level noise (σ_prog / σ_read) draws are keyed on absolute tile
+/// coordinates and the engine's noise epoch — never on tiling, dispatch,
+/// or thread count — so the same noisy device must produce the same bits
+/// for every execution strategy, and a different epoch must produce
+/// different ones.
+#[test]
+fn count_noise_is_deterministic_across_threads_and_tilings() {
+    let noise = trq_xbar::NoiseModel {
+        sigma_prog: 0.1,
+        sigma_read: 1.5,
+        stuck_off_rate: 0.0,
+        stuck_on_rate: 0.0,
+        seed: 1234,
+    };
+    let params = TrqParams::new(3, 7, 1, 1.0, 0).unwrap();
+    let (depth, outputs, n) = (150, 4, 6);
+    let info = layer(depth, outputs);
+    let weights = weights_for(0, depth, outputs, 81);
+    let cols = cols_for(0, depth * n, 81);
+
+    let base_exec = ExecConfig::serial().with_tile_outputs(2).with_tile_windows(3);
+    let mut reference = PimMvm::new(arch_with_rows(128, base_exec), vec![AdcScheme::Trq(params)])
+        .with_device_noise(noise);
+    let want = reference.mvm(&info, &weights, &cols, n);
+
+    let mut clean = PimMvm::new(arch_with_rows(128, base_exec), vec![AdcScheme::Trq(params)]);
+    assert_ne!(want, clean.mvm(&info, &weights, &cols, n), "this much noise must bite");
+
+    for (tile_outputs, tile_windows) in [(1, 1), (3, 2), (4, 4)] {
+        for threads in [1usize, env_threads()] {
+            let exec = ExecConfig::serial()
+                .with_tile_outputs(tile_outputs)
+                .with_tile_windows(tile_windows)
+                .with_threads(threads)
+                .with_dispatch(Dispatch::Pool);
+            let mut pim = PimMvm::new(arch_with_rows(128, exec), vec![AdcScheme::Trq(params)])
+                .with_device_noise(noise);
+            let got = pim.mvm(&info, &weights, &cols, n);
+            assert_eq!(
+                got, want,
+                "noisy bits drifted (tiles {tile_outputs}x{tile_windows}, {threads} threads)"
+            );
+            assert_eq!(
+                pim.stats(),
+                reference.stats(),
+                "noisy ledgers drifted (tiles {tile_outputs}x{tile_windows}, {threads} threads)"
+            );
+        }
+    }
+
+    // a new epoch re-keys every draw: same device, fresh read noise
+    let mut epoch1 = PimMvm::new(arch_with_rows(128, base_exec), vec![AdcScheme::Trq(params)])
+        .with_device_noise(noise);
+    epoch1.set_noise_epoch(1);
+    assert_ne!(epoch1.mvm(&info, &weights, &cols, n), want, "epochs must decorrelate draws");
+}
+
 /// The ops ledger must still see baseline-cost conversions for skipped
 /// work: an all-zero input is `conversions × ops(0)`, never 0 ops.
 #[test]

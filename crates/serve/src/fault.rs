@@ -1,0 +1,267 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] is a seeded, reproducible schedule of backend faults:
+//! for the `k`-th targeted batch it draws a [`FaultKind`] from a weighted
+//! distribution keyed only on `(seed, k)`, so the same plan injects the
+//! same faults in the same order on every run — across thread counts,
+//! shed policies, and shutdown races. Wrap any [`BatchBackend`] with
+//! [`FaultPlan::shim`] and hand the result to [`BatchSource::serve`]
+//! (via [`Server::with_worker`]) to serve through the fault schedule.
+//!
+//! The harness exists to prove one invariant under hostile conditions:
+//! *every submitted ticket resolves exactly once with a typed outcome* —
+//! no fault, panic, wrong-count reply, delay, or shutdown race may orphan
+//! a ticket. The resilience proptests in `tests/resilience.rs` drive
+//! arbitrary plans through the server and assert exactly that.
+//!
+//! [`BatchSource::serve`]: crate::BatchSource::serve
+//! [`Server::with_worker`]: crate::Server::with_worker
+
+use crate::{BatchBackend, ModelId, ServeError};
+use std::time::Duration;
+use trq_core::pim::PimStats;
+use trq_nn::NnError;
+use trq_tensor::Tensor;
+
+/// One injected backend behaviour for a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The batch runs normally.
+    Clean,
+    /// The backend returns a typed [`NnError`] (the server resolves the
+    /// batch's tickets with [`ServeError::Forward`]).
+    Error,
+    /// The backend panics mid-batch (tickets resolve with
+    /// [`ServeError::BatchPanicked`]).
+    Panic,
+    /// The backend answers with one output too few — the wrong-count
+    /// contract violation (tickets resolve with
+    /// [`ServeError::BadBatchOutput`]).
+    WrongCount,
+    /// The backend sleeps for [`FaultPlan::with_delay`]'s duration before
+    /// running normally — a slow batch, not a failed one (tickets still
+    /// succeed; deadlines and shutdown must tolerate the stall).
+    Delay,
+}
+
+/// Maps a draw in `0..total` onto the kind whose weight bucket it lands
+/// in; bucket order is fixed so a plan's schedule is stable.
+const KIND_ORDER: [FaultKind; 5] =
+    [FaultKind::Clean, FaultKind::Error, FaultKind::Panic, FaultKind::WrongCount, FaultKind::Delay];
+
+/// A seeded, reproducible schedule of injected faults.
+///
+/// The default plan is benign (all weight on [`FaultKind::Clean`]); give
+/// it teeth with [`FaultPlan::with_weights`]. The schedule is a pure
+/// function of `(seed, k)` — the `k`-th batch *of a targeted model*
+/// draws its fault independent of wall clock, thread interleaving, or
+/// what untargeted models are doing.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the per-batch draw.
+    pub seed: u64,
+    /// Draw weights in [`FaultKind`] declaration order:
+    /// `[clean, error, panic, wrong_count, delay]`. All-zero behaves as
+    /// all-clean.
+    pub weights: [u32; 5],
+    /// Sleep injected by [`FaultKind::Delay`].
+    pub delay: Duration,
+    /// `Some(models)`: only batches for these models draw faults; every
+    /// other model serves clean (and must stay bit-identical to a
+    /// fault-free run). `None`: every model is targeted.
+    pub targets: Option<Vec<ModelId>>,
+    /// `Some(n)`: after `n` injected (non-clean) faults the plan goes
+    /// permanently clean — the storm ends, so quarantine probes can
+    /// succeed and reinstate the model. `None`: faults never stop.
+    pub budget: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A benign plan (all draws clean) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            weights: [1, 0, 0, 0, 0],
+            delay: Duration::from_millis(1),
+            targets: None,
+            budget: None,
+        }
+    }
+
+    /// Sets the draw weights `[clean, error, panic, wrong_count, delay]`.
+    #[must_use]
+    pub fn with_weights(mut self, weights: [u32; 5]) -> FaultPlan {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the sleep injected by [`FaultKind::Delay`] draws.
+    #[must_use]
+    pub fn with_delay(mut self, delay: Duration) -> FaultPlan {
+        self.delay = delay;
+        self
+    }
+
+    /// Restricts fault draws to batches of the given models.
+    #[must_use]
+    pub fn targeting(mut self, models: Vec<ModelId>) -> FaultPlan {
+        self.targets = Some(models);
+        self
+    }
+
+    /// Stops injecting after `budget` faults (the storm ends; probes can
+    /// then succeed).
+    #[must_use]
+    pub fn with_fault_budget(mut self, budget: u64) -> FaultPlan {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Does this plan draw faults for `model`'s batches?
+    pub fn targets_model(&self, model: ModelId) -> bool {
+        match &self.targets {
+            Some(models) => models.contains(&model),
+            None => true,
+        }
+    }
+
+    /// The fault drawn for the `k`-th targeted batch — a pure function of
+    /// `(seed, k)`, before the budget is applied.
+    pub fn kind_for(&self, k: u64) -> FaultKind {
+        let total: u64 = self.weights.iter().map(|&w| u64::from(w)).sum();
+        if total == 0 {
+            return FaultKind::Clean;
+        }
+        let draw = splitmix64(self.seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % total;
+        let mut acc = 0u64;
+        for (kind, &weight) in KIND_ORDER.iter().zip(&self.weights) {
+            acc += u64::from(weight);
+            if draw < acc {
+                return *kind;
+            }
+        }
+        FaultKind::Clean
+    }
+
+    /// Wraps a backend so its batches run through this plan's schedule.
+    pub fn shim<B: BatchBackend>(self, inner: B) -> FaultShim<B> {
+        FaultShim { plan: self, inner, seen: 0, injected: 0 }
+    }
+}
+
+/// SplitMix64 — the one-shot mixer the engine's noise path also uses;
+/// good enough to decorrelate consecutive batch ordinals.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`BatchBackend`] that injects its [`FaultPlan`]'s schedule around an
+/// inner backend. Recovery passes straight through — quarantine probes
+/// exercise the *real* recovery action even mid-storm.
+pub struct FaultShim<B> {
+    plan: FaultPlan,
+    inner: B,
+    /// Targeted batches seen so far (the schedule ordinal `k`).
+    seen: u64,
+    /// Non-clean faults injected so far (bounded by the budget).
+    injected: u64,
+}
+
+impl<B> FaultShim<B> {
+    /// Non-clean faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+impl<B: BatchBackend> BatchBackend for FaultShim<B> {
+    fn run_batch(
+        &mut self,
+        model: ModelId,
+        images: &[Tensor],
+    ) -> Result<(Vec<Tensor>, PimStats), NnError> {
+        if !self.plan.targets_model(model) {
+            return self.inner.run_batch(model, images);
+        }
+        let k = self.seen;
+        self.seen += 1;
+        let mut kind = self.plan.kind_for(k);
+        if kind != FaultKind::Clean
+            && self.plan.budget.is_some_and(|budget| self.injected >= budget)
+        {
+            kind = FaultKind::Clean;
+        }
+        if kind != FaultKind::Clean {
+            self.injected += 1;
+        }
+        match kind {
+            FaultKind::Clean => self.inner.run_batch(model, images),
+            FaultKind::Error => {
+                Err(NnError::BadGraph { reason: format!("injected fault at batch {k}") })
+            }
+            FaultKind::Panic => panic!("injected panic at batch {k}"),
+            FaultKind::WrongCount => {
+                let (mut outputs, stats) = self.inner.run_batch(model, images)?;
+                outputs.pop();
+                Ok((outputs, stats))
+            }
+            FaultKind::Delay => {
+                std::thread::sleep(self.plan.delay);
+                self.inner.run_batch(model, images)
+            }
+        }
+    }
+
+    fn recover(&mut self, model: ModelId) -> Result<(), ServeError> {
+        self.inner.recover(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_reproducible() {
+        let a = FaultPlan::new(42).with_weights([3, 2, 1, 1, 1]);
+        let b = FaultPlan::new(42).with_weights([3, 2, 1, 1, 1]);
+        for k in 0..256 {
+            assert_eq!(a.kind_for(k), b.kind_for(k));
+        }
+    }
+
+    #[test]
+    fn weights_gate_kinds() {
+        let clean_only = FaultPlan::new(7);
+        assert!((0..128).all(|k| clean_only.kind_for(k) == FaultKind::Clean));
+        let error_only = FaultPlan::new(7).with_weights([0, 5, 0, 0, 0]);
+        assert!((0..128).all(|k| error_only.kind_for(k) == FaultKind::Error));
+        let zero = FaultPlan::new(7).with_weights([0; 5]);
+        assert!((0..128).all(|k| zero.kind_for(k) == FaultKind::Clean));
+    }
+
+    #[test]
+    fn mixed_weights_hit_every_kind() {
+        let plan = FaultPlan::new(9).with_weights([2, 2, 2, 2, 2]);
+        let mut hit = [false; 5];
+        for k in 0..512 {
+            let kind = plan.kind_for(k);
+            let slot = KIND_ORDER.iter().position(|&c| c == kind).unwrap_or(0);
+            hit[slot] = true;
+        }
+        assert_eq!(hit, [true; 5], "512 draws over uniform weights should hit every kind");
+    }
+
+    #[test]
+    fn targeting_excludes_other_models() {
+        let m0 = ModelId::new(0);
+        let m1 = ModelId::new(1);
+        let plan = FaultPlan::new(1).targeting(vec![m1]);
+        assert!(!plan.targets_model(m0));
+        assert!(plan.targets_model(m1));
+        assert!(FaultPlan::new(1).targets_model(m0), "untargeted plans hit every model");
+    }
+}

@@ -197,9 +197,16 @@ impl Model {
 ///
 /// Ids are dense indices in insertion order, so per-model accounting
 /// (e.g. [`crate::ServeReport::per_model`]) can use plain vectors.
+///
+/// A model may carry a **store directory** ([`Registry::insert_with_store`]
+/// / [`Registry::set_store_dir`]): the snapshot-generation directory the
+/// serving layer reloads it from when a quarantine probe runs (see
+/// [`RegistryBackend`]). Models without one are probed as-is.
 #[derive(Debug, Default)]
 pub struct Registry {
     models: Vec<Model>,
+    /// Snapshot store directory per model, aligned with `models`.
+    store_dirs: Vec<Option<std::path::PathBuf>>,
 }
 
 impl Registry {
@@ -211,7 +218,32 @@ impl Registry {
     /// Adds a model and returns its id.
     pub fn insert(&mut self, model: Model) -> ModelId {
         self.models.push(model);
+        self.store_dirs.push(None);
         ModelId(self.models.len() - 1)
+    }
+
+    /// Adds a model with the snapshot store directory to reload it from
+    /// during quarantine recovery, and returns its id.
+    pub fn insert_with_store(
+        &mut self,
+        model: Model,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> ModelId {
+        let id = self.insert(model);
+        self.store_dirs[id.0] = Some(dir.into());
+        id
+    }
+
+    /// Sets (or clears) a resident model's snapshot store directory.
+    pub fn set_store_dir(&mut self, id: ModelId, dir: Option<std::path::PathBuf>) {
+        if let Some(slot) = self.store_dirs.get_mut(id.0) {
+            *slot = dir;
+        }
+    }
+
+    /// The snapshot store directory registered for `id`, if any.
+    pub fn store_dir(&self, id: ModelId) -> Option<&std::path::Path> {
+        self.store_dirs.get(id.0).and_then(|d| d.as_deref())
     }
 
     /// Number of resident models.
@@ -242,5 +274,65 @@ impl Registry {
     /// Iterates `(id, model)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (ModelId, &Model)> {
         self.models.iter().enumerate().map(|(i, m)| (ModelId(i), m))
+    }
+}
+
+/// The standard serving backend: routes each batch to the registry model
+/// its submitter named, and recovers quarantined models by reloading
+/// their latest snapshot generation.
+///
+/// [`crate::Server::start`] wraps its registry in one of these; the type
+/// is public so custom workers ([`crate::Server::with_worker`]) and the
+/// fault-injection shim ([`crate::FaultPlan::shim`]) can compose with the
+/// real registry path.
+pub struct RegistryBackend {
+    registry: Registry,
+}
+
+impl RegistryBackend {
+    /// Wraps a registry as a serving backend.
+    pub fn new(registry: Registry) -> RegistryBackend {
+        RegistryBackend { registry }
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl crate::BatchBackend for RegistryBackend {
+    fn run_batch(
+        &mut self,
+        model: ModelId,
+        images: &[Tensor],
+    ) -> Result<(Vec<Tensor>, PimStats), NnError> {
+        // per-batch ledger: the model's engine is reset, run, and its
+        // delta handed back (merging deltas keeps per-model sums
+        // bit-identical to each engine serving its images serially)
+        match self.registry.get_mut(model) {
+            Some(resident) => resident.run_batch(images),
+            // submit validates ids against the registry, so this only
+            // fires for a corrupted id — fail the batch, not the server
+            None => Err(NnError::BadGraph { reason: format!("{model} is not resident") }),
+        }
+    }
+
+    fn recover(&mut self, model: ModelId) -> Result<(), crate::ServeError> {
+        let Some(dir) = self.registry.store_dir(model).map(std::path::Path::to_path_buf) else {
+            return Ok(()); // no snapshot store: the probe retries as-is
+        };
+        match Model::load_latest(&dir) {
+            Ok((_generation, fresh)) => {
+                if let Some(slot) = self.registry.get_mut(model) {
+                    *slot = fresh;
+                }
+                Ok(())
+            }
+            Err(e) => Err(crate::ServeError::RecoveryFailed {
+                model,
+                reason: format!("load_latest({}): {e}", dir.display()),
+            }),
+        }
     }
 }

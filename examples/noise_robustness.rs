@@ -1,85 +1,85 @@
 //! Extension study: does TRQ survive device non-idealities?
 //!
 //! The paper assumes ideal devices (its change is purely in the digital
-//! SAR logic). This example sweeps ReRAM programming variation and read
-//! noise on a differential pair and compares the MVM reconstruction error
-//! of the TRQ ADC against the 8-bit uniform baseline — showing that the
-//! twin-range search degrades no faster than the conventional one.
+//! SAR logic). This example drives the `fig_fault` sweep from the
+//! experiments layer: it calibrates the TRQ per-layer ADC plan on
+//! *clean* hardware, then injects device faults at inference time and
+//! reports accuracy and ADC energy per scheme — showing that the
+//! twin-range search keeps its energy win while degrading no faster
+//! than the conventional converters it replaces.
+//!
+//! ## `NoiseModel` semantics
+//!
+//! The four knobs of [`trq::xbar::NoiseModel`] map to distinct physical
+//! mechanisms, and each is deterministic under the model's `seed`:
+//!
+//! - `sigma_prog` — log-normal programming variation on each cell's
+//!   conductance, drawn **once at program time** and then frozen, so a
+//!   badly-written weight is consistently bad across every inference.
+//! - `sigma_read` — additive Gaussian noise on every bit-line sample,
+//!   in cell-current units, redrawn per conversion. Draws are keyed on
+//!   absolute (array, plane, column, window) coordinates plus the
+//!   engine's *noise epoch*, never on tiling or thread count — so a
+//!   sweep is bit-identical whether it runs on 1 thread or 16.
+//! - `stuck_off_rate` / `stuck_on_rate` — hard faults forced into the
+//!   programmed weight bits before the column occupancy masks are
+//!   computed; a stuck cell is the same cell in every run with the
+//!   same seed.
+//!
+//! `NoiseModel::ideal()` is a guaranteed fast path: the engine stores
+//! no model at all and the noiseless kernels run unchanged.
 //!
 //! Run with: `cargo run --release --example noise_robustness`
 
-use trq::adc::{TrqSarAdc, UniformSarAdc};
-use trq::quant::TrqParams;
-use trq::xbar::{bit_plane, CrossbarConfig, DiffPair, NoiseModel};
-
-fn rms(errors: &[f64]) -> f64 {
-    (errors.iter().map(|e| e * e).sum::<f64>() / errors.len() as f64).sqrt()
-}
+use trq::core::arch::ArchConfig;
+use trq::core::calib::CalibSettings;
+use trq::core::energy::EnergyParams;
+use trq::core::experiments::{fig_fault, FaultAxis, FaultGrid, SuiteConfig, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let depth = 64usize;
-    let outputs = 8usize;
-    let weights: Vec<i32> = (0..depth * outputs).map(|i| ((i as i32 * 29) % 31) - 15).collect();
-    let x: Vec<u32> = (0..depth).map(|i| (i as u32 * 11) % 200).collect();
-    let reference = DiffPair::reference_mvm(&weights, depth, outputs, &x);
-    let ref_rms =
-        (reference.iter().map(|&r| (r as f64) * (r as f64)).sum::<f64>() / outputs as f64).sqrt();
-    println!("reference MVM RMS magnitude: {ref_rms:.0}\n");
+    let workload = Workload::lenet5(&SuiteConfig::quick());
+    let settings = CalibSettings { candidates: 6, theta: 0.1, ..Default::default() };
+    let grid = FaultGrid::quick();
+    let report =
+        fig_fault(&workload, &ArchConfig::default(), &settings, &EnergyParams::default(), &grid)?;
 
-    let uniform = UniformSarAdc::new(8, 1.0)?;
-    let trq = TrqSarAdc::new(TrqParams::new(3, 7, 1, 1.0, 0)?);
-
+    println!("Device-fault sweep — {}", report.workload);
+    println!("(plans calibrated clean, faults injected at inference time)\n");
     println!(
-        "{:>10} {:>10} {:>14} {:>14} {:>12}",
-        "σ_prog", "σ_read", "RMS err (U8)", "RMS err (TRQ)", "TRQ ops"
+        "{:>10} {:>12} {:>8} {:>8} {:>12} {:>8}",
+        "config", "axis", "level", "score", "ADC pJ", "ops"
     );
-    for &(sigma_prog, sigma_read) in
-        &[(0.0, 0.0), (0.02, 0.0), (0.05, 0.0), (0.05, 0.25), (0.1, 0.5)]
-    {
-        let noise = NoiseModel { sigma_prog, sigma_read, seed: 11, ..Default::default() };
-        let pair =
-            DiffPair::program(CrossbarConfig::default(), noise, &weights, depth, outputs, 8)?;
-        // run the bit-serial MVM through the *analog* path, digitising each
-        // BL with both ADCs
-        let mut y_uniform = vec![0f64; outputs];
-        let mut y_trq = vec![0f64; outputs];
-        let mut trq_ops = 0u64;
-        let mut padded = vec![0u32; 128];
-        padded[..depth].copy_from_slice(&x);
-        for cycle in 0..8u32 {
-            let plane = bit_plane(&padded, cycle);
-            // clone per cycle so each array keeps its own device sample
-            let pos = pair.pos().clone().mvm_analog(&plane)?;
-            let neg = pair.neg().clone().mvm_analog(&plane)?;
-            for out in 0..outputs {
-                for alpha in 0..8u32 {
-                    let col = pair.slicer().column_of(out, alpha);
-                    let shift = (1u64 << (alpha + cycle)) as f64;
-                    y_uniform[out] +=
-                        (uniform.convert(pos[col]).value - uniform.convert(neg[col]).value) * shift;
-                    let (tp, tn) = (trq.convert(pos[col]), trq.convert(neg[col]));
-                    trq_ops += (tp.ops + tn.ops) as u64;
-                    y_trq[out] += (tp.value - tn.value) * shift;
-                }
-            }
-        }
-        let err_u: Vec<f64> =
-            reference.iter().zip(&y_uniform).map(|(&r, &y)| y - r as f64).collect();
-        let err_t: Vec<f64> = reference.iter().zip(&y_trq).map(|(&r, &y)| y - r as f64).collect();
+    for point in &report.points {
         println!(
-            "{:>10.2} {:>10.2} {:>13.2}% {:>13.2}% {:>12}",
-            sigma_prog,
-            sigma_read,
-            rms(&err_u) / ref_rms * 100.0,
-            rms(&err_t) / ref_rms * 100.0,
-            trq_ops
+            "{:>10} {:>12} {:>8.3} {:>8.3} {:>12.0} {:>8.3}",
+            point.config,
+            point.axis.to_string(),
+            point.level,
+            point.score,
+            point.adc_pj,
+            point.remaining_ops_ratio
         );
     }
-    println!("\nTRQ's early-stopping error is a fixed ~10% RMS on this");
-    println!("cancellation-heavy microbenchmark (differential outputs are");
-    println!("near zero, so relative error overstates it) and does not grow");
-    println!("with device noise; once programming/read noise is realistic it");
-    println!("dominates BOTH converters equally — the modified search logic");
-    println!("degrades no faster than the conventional datapath it replaces.");
+
+    // headline: the energy win survives the harshest stuck-at level
+    let worst = |config: &str| {
+        report
+            .series(config, FaultAxis::StuckAt)
+            .last()
+            .map(|p| (p.score, p.adc_pj))
+            .expect("grid always has a stuck-at series")
+    };
+    let (isaac_score, isaac_pj) = worst("ISAAC");
+    let (ours_score, ours_pj) = worst("Ours/4b");
+    println!("\nAt stuck-at rate {:.0}%:", grid.stuck_rates.last().unwrap() * 100.0);
+    println!("  ISAAC   score {isaac_score:.3}, ADC energy {isaac_pj:.0} pJ");
+    println!("  Ours/4b score {ours_score:.3}, ADC energy {ours_pj:.0} pJ");
+    println!(
+        "\nHard faults hit every scheme's accuracy alike (the damage is in\n\
+         the analog array, upstream of any converter), but TRQ's ADC keeps\n\
+         its ~{:.1}x conversion-energy advantage throughout — the modified\n\
+         search logic adds no fragility of its own.",
+        isaac_pj / ours_pj
+    );
     Ok(())
 }

@@ -15,7 +15,8 @@ pub use trq_core::pim::{AdcScheme, PimMvm, PimStats};
 pub use trq_nn::{data, models, MvmEngine, Network, NnError, QuantizedNetwork};
 pub use trq_quant::TrqParams;
 pub use trq_serve::{
-    BatchPolicy, Model, ModelId, Registry, Response, ServeError, ServeReport, Server, Ticket,
+    BatchPolicy, Model, ModelId, QuarantinePolicy, Registry, Response, ServeError, ServeReport,
+    Server, ShedPolicy, Ticket,
 };
 pub use trq_store::{load_latest, save_generation, ModelSnapshot, StoreError};
 pub use trq_tensor::Tensor;

@@ -59,3 +59,23 @@ fn params_and_breakdown_serde() {
     assert_eq!(bd, back);
     assert_eq!(back.total_pj(), 21.0);
 }
+
+#[test]
+fn fig_fault_report_roundtrips() {
+    let w = Workload::lenet5(&SuiteConfig::quick());
+    let settings = CalibSettings { candidates: 6, theta: 0.1, ..Default::default() };
+    let grid = trq::core::experiments::FaultGrid::quick();
+    let report = trq::core::experiments::fig_fault(
+        &w,
+        &ArchConfig::default(),
+        &settings,
+        &EnergyParams::default(),
+        &grid,
+    )
+    .unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: trq::core::experiments::FigFaultReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.points.len(), report.points.len());
+    assert_eq!(back.points.len(), 3 * grid.points_per_config());
+    assert_eq!(back.baselines.len(), 3);
+}
