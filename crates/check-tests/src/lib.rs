@@ -1,0 +1,11 @@
+//! Model-checked integration tests for the workspace's concurrency cores.
+//!
+//! This crate is empty in a normal build. Under `RUSTFLAGS='--cfg
+//! trq_check'`, the `sync.rs` facades in `trq-core` and `trq-serve`
+//! resolve to the [`trq_check`] shims, and the tests in `tests/models.rs`
+//! drive the *real* `Pool` and `Server` state machines through every
+//! interleaving the checker's bounded DFS can reach. Run with:
+//!
+//! ```sh
+//! RUSTFLAGS='--cfg trq_check' cargo test -p trq-check-tests
+//! ```

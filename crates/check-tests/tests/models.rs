@@ -1,0 +1,166 @@
+//! Model-checked protocols: the real `trq-core::exec::Pool` and
+//! `trq-serve::Server` state machines driven through every interleaving
+//! the `trq-check` bounded-DFS scheduler can reach (preemption bound 2,
+//! the `Config::default`). Empty without `RUSTFLAGS='--cfg trq_check'`.
+#![cfg(trq_check)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use trq_check::{explore, Config};
+use trq_core::exec::Pool;
+use trq_core::pim::PimStats;
+use trq_nn::NnError;
+use trq_serve::{BatchPolicy, ModelId, QuarantinePolicy, ServeError, Server};
+use trq_tensor::Tensor;
+
+fn assert_exhaustive(name: &str, report: &trq_check::Report) {
+    assert!(report.failure.is_none(), "{name}: {report}");
+    assert!(report.complete, "{name} did not exhaust: {report}");
+    assert!(report.schedules > 1, "{name}: trivial exploration");
+    println!("{name}: exhaustively verified over {} schedules", report.schedules);
+}
+
+/// Pool park/notify protocol: a worker parks on the `work` condvar
+/// between rounds; dispatch is a job-slot publication plus `notify_all`.
+/// No interleaving may lose that wakeup (the round would hang — reported
+/// as a deadlock), and a parked worker must be reusable by a second
+/// round. Participant counting is checked with plain `std` atomics (data,
+/// not decision points).
+#[test]
+fn pool_round_completes_and_reuses_workers() {
+    let report = explore(Config::default(), || {
+        let pool = Pool::new();
+        for round in 0..2u8 {
+            let hits = [AtomicUsize::new(0), AtomicUsize::new(0)];
+            pool.run(2, &|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "round {round} participant {i}");
+            }
+        }
+        assert_eq!(pool.workers(), 1, "second round must reuse the parked worker");
+        // Pool::drop: shutdown broadcast + join — no schedule may hang it
+    });
+    assert_exhaustive("pool park/notify", &report);
+}
+
+/// The round barrier of `Pool::run` (the invariant both `unsafe` blocks
+/// in `trq-core::exec` stand on): once `run` returns, no participant can
+/// still be inside the job closure — under any interleaving. The closure
+/// asserts the post-round flag is unset; the caller sets it immediately
+/// after `run` returns. A schedule in which a worker's claim could
+/// straggle past the barrier would trip the assert and fail exploration.
+#[test]
+fn pool_round_barrier_holds() {
+    let report = explore(Config::default(), || {
+        let pool = Pool::new();
+        let after = AtomicBool::new(false);
+        pool.run(2, &|_| {
+            assert!(
+                !after.load(Ordering::SeqCst),
+                "participant ran after Pool::run returned — round barrier violated"
+            );
+        });
+        after.store(true, Ordering::SeqCst);
+    });
+    assert_exhaustive("pool round barrier", &report);
+}
+
+fn tiny_image() -> Tensor {
+    Tensor::from_vec(vec![1], vec![1.0]).expect("1-element tensor")
+}
+
+/// Minimal-state-space policy for serve models: single-request batches,
+/// no straggler wait (skips the timed coalescing loop), and quarantine
+/// disabled unless a model needs it.
+fn model_policy() -> BatchPolicy {
+    BatchPolicy::default()
+        .with_max_batch(1)
+        .with_max_wait(Duration::ZERO)
+        .with_queue_cap(2)
+        .with_quarantine(QuarantinePolicy::disabled())
+}
+
+/// Shutdown racing a submit: whatever order the scheduler picks, a
+/// submitter either gets `ShuttingDown` at the gate or a ticket that
+/// resolves exactly once — served, or failed with a typed drain error.
+/// "Exactly once" is enforced by the `trq_check`-only double-resolution
+/// assert in `TicketShared::complete`; "at least once" by the checker
+/// itself (an unresolved ticket leaves the waiter parked — a deadlock).
+#[test]
+fn serve_shutdown_vs_submit_resolves_every_ticket_once() {
+    let report = explore(Config::default(), || {
+        let server = Arc::new(Server::with_worker(model_policy(), |source| {
+            source.serve(|_model: ModelId, images: &[Tensor]| {
+                Ok((images.to_vec(), PimStats::default()))
+            })
+        }));
+        let s2 = Arc::clone(&server);
+        let submitter =
+            trq_check::thread::spawn(move || match s2.submit(ModelId::new(0), tiny_image()) {
+                Ok(ticket) => Some(ticket.wait()),
+                Err(err) => {
+                    assert!(
+                        matches!(err, ServeError::ShuttingDown),
+                        "pre-queue refusal must be the shutdown gate, got {err:?}"
+                    );
+                    None
+                }
+            });
+        server.begin_shutdown();
+        let outcome = submitter.join().expect("submitter must not panic");
+        if let Some(result) = outcome {
+            match result {
+                Ok(response) => assert_eq!(response.batch_size, 1),
+                Err(err) => assert!(
+                    matches!(err, ServeError::WorkerLost | ServeError::ShuttingDown),
+                    "a queued ticket may only fail with a drain error, got {err:?}"
+                ),
+            }
+        }
+        // Server::drop joins the batcher; no schedule may hang it
+    });
+    assert_exhaustive("serve shutdown-vs-submit", &report);
+}
+
+/// Quarantine ordering: `note_outcome` must run *before* the failed
+/// batch's tickets complete, so a waiter that observes the failure and
+/// immediately resubmits deterministically hits the `ModelQuarantined`
+/// gate (threshold 1, backoff far beyond the model's logical clock). If
+/// the trip ever moved after ticket completion, some interleaving would
+/// let the resubmit slip back into the queue and this model would fail.
+#[test]
+fn serve_quarantine_trips_before_ticket_completion() {
+    let report = explore(Config::default(), || {
+        let policy = model_policy().with_quarantine(
+            QuarantinePolicy::disabled().with_threshold(1).with_backoff(
+                Duration::from_secs(3600),
+                2,
+                Duration::from_secs(3600),
+            ),
+        );
+        let server = Server::with_worker(policy, |source| {
+            source.serve(|_model: ModelId, _images: &[Tensor]| {
+                Err(NnError::BadGraph { reason: "seeded batch failure".into() })
+            })
+        });
+        let m = ModelId::new(0);
+        let ticket = server.submit(m, tiny_image()).expect("queue is empty at first submit");
+        let first = ticket.wait();
+        assert!(
+            matches!(first, Err(ServeError::Forward(_))),
+            "the seeded failure must surface as Forward, got {first:?}"
+        );
+        // the failure has been observed -> the trip must already be in place
+        let resubmit = server.submit(m, tiny_image());
+        assert!(
+            matches!(resubmit, Err(ServeError::ModelQuarantined(id)) if id == m),
+            "resubmit after an observed failure must hit the quarantine gate, got {resubmit:?}"
+        );
+        drop(server);
+    });
+    assert_exhaustive("serve quarantine probe ordering", &report);
+}

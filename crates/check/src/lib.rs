@@ -1,0 +1,236 @@
+//! # trq-check
+//!
+//! A hand-rolled, loom-style **concurrency model checker** for the TRQ
+//! workspace. It exhaustively explores the thread interleavings of a
+//! small concurrent *model* — a closure using the checked primitives in
+//! [`sync`], [`thread`], and [`time`] — under a deterministic DFS
+//! scheduler with CHESS-style bounded preemptions, and reports:
+//!
+//! - **Deadlocks** (including *lost wakeups*: every live thread blocked,
+//!   typically one parked on a condvar whose notification raced past it),
+//! - **Assertion failures** (any panic in any simulated thread — models
+//!   assert their protocol invariants, e.g. "every ticket resolves
+//!   exactly once"),
+//! - **Livelocks** (step-limit exceeded) and **replay divergence**
+//!   (the model was not deterministic apart from scheduling).
+//!
+//! The production crates never see this machinery: `trq-core` and
+//! `trq-serve` route their sync imports through a crate-local `sync.rs`
+//! facade that aliases `std::sync` in normal builds and these shims when
+//! built with `RUSTFLAGS='--cfg trq_check'`. Production builds compile to
+//! plain `std` with zero overhead; the model-check CI job rebuilds the
+//! world under the cfg and drives the real `Pool` and `Server` state
+//! machines through every bounded interleaving.
+//!
+//! ```
+//! use trq_check::{explore, Config};
+//! use trq_check::sync::{Condvar, Mutex};
+//! use std::sync::Arc;
+//!
+//! let report = explore(Config::default(), || {
+//!     let slot = Arc::new((Mutex::new(None), Condvar::new()));
+//!     let s2 = Arc::clone(&slot);
+//!     let producer = trq_check::thread::spawn(move || {
+//!         let (m, cv) = &*s2;
+//!         *m.lock().unwrap() = Some(42);
+//!         cv.notify_all();
+//!     });
+//!     let (m, cv) = &*slot;
+//!     let mut got = m.lock().unwrap();
+//!     while got.is_none() {
+//!         got = cv.wait(got).unwrap();
+//!     }
+//!     assert_eq!(*got, Some(42));
+//!     drop(got);
+//!     producer.join().unwrap();
+//! });
+//! assert!(report.failure.is_none(), "{report}");
+//! assert!(report.complete);
+//! ```
+
+mod exec;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+/// Exploration limits and the preemption bound.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// CHESS-style bound on *preemptive* context switches per schedule —
+    /// switches away from a thread that could have kept running. Switches
+    /// at blocking points are always free, so every schedule reaches
+    /// completion. `None` removes the bound (full DFS; exponential).
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules; hitting it reports an incomplete
+    /// exploration rather than running forever.
+    pub max_schedules: u64,
+    /// Per-schedule decision-point cap — a tripwire for livelocks (e.g. a
+    /// retry loop that never settles).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    /// Bound of 2 preemptions (the published sweet spot for finding real
+    /// bugs: most concurrency bugs manifest within 2 preemptions), 500 000
+    /// schedules, 50 000 decision points per schedule.
+    fn default() -> Config {
+        Config { preemption_bound: Some(2), max_schedules: 500_000, max_steps: 50_000 }
+    }
+}
+
+impl Config {
+    /// Builder: sets the preemption bound (`None` = unbounded DFS).
+    #[must_use]
+    pub fn with_preemption_bound(mut self, bound: Option<usize>) -> Config {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Builder: caps the number of explored schedules.
+    #[must_use]
+    pub fn with_max_schedules(mut self, max_schedules: u64) -> Config {
+        self.max_schedules = max_schedules;
+        self
+    }
+
+    /// Builder: caps decision points per schedule (livelock tripwire).
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Config {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// Every live thread was blocked; the description lists who was
+    /// parked on what. A lost wakeup surfaces here: the waiter is parked
+    /// on a condvar nobody will ever notify again.
+    Deadlock(String),
+    /// A simulated thread panicked (assertion failure in the model or in
+    /// the code under check).
+    Panic(String),
+    /// The per-schedule decision-point cap was exceeded — a livelock or a
+    /// model far too large for exhaustive checking.
+    StepLimit,
+    /// Replay diverged: the model made a different number of choices on
+    /// the same schedule prefix, i.e. it has nondeterminism beyond
+    /// scheduling (wall-clock reads, random seeds, ambient state).
+    Nondeterminism(String),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Deadlock(desc) => write!(f, "deadlock: {desc}"),
+            FailureKind::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureKind::StepLimit => write!(f, "step limit exceeded (livelock?)"),
+            FailureKind::Nondeterminism(desc) => write!(f, "nondeterministic model: {desc}"),
+        }
+    }
+}
+
+/// A failing schedule: what went wrong, on which schedule, and the
+/// decision trace that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// 1-based index of the failing schedule in exploration order.
+    pub schedule: u64,
+    /// Rendered decision trace (thread table + the tail of the schedule).
+    pub trace: String,
+}
+
+/// The result of exploring a model.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Whether the interleaving space (under the preemption bound) was
+    /// exhausted. `false` means the schedule cap stopped exploration or a
+    /// failure did.
+    pub complete: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.failure {
+            None => write!(
+                f,
+                "{} schedule(s) explored, {}",
+                self.schedules,
+                if self.complete { "exhaustive" } else { "capped (incomplete)" }
+            ),
+            Some(failure) => write!(
+                f,
+                "schedule {} of {} failed: {}\n{}",
+                failure.schedule, self.schedules, failure.kind, failure.trace
+            ),
+        }
+    }
+}
+
+/// Exhaustively explores the interleavings of `model` under `config` and
+/// returns a [`Report`] (never panics on model failure — negative tests
+/// inspect the report).
+pub fn explore<F: Fn()>(config: Config, model: F) -> Report {
+    let mut path: Vec<exec::Branch> = Vec::new();
+    let mut schedules: u64 = 0;
+    loop {
+        schedules += 1;
+        let outcome = exec::run_execution(config, std::mem::take(&mut path), &model);
+        if let Some(mut failure) = outcome.failure {
+            failure.schedule = schedules;
+            return Report { schedules, complete: false, failure: Some(failure) };
+        }
+        path = outcome.path;
+        // backtrack to the deepest decision with an unexplored option
+        loop {
+            match path.pop() {
+                None => return Report { schedules, complete: true, failure: None },
+                Some(mut branch) if branch.chosen + 1 < branch.options => {
+                    branch.chosen += 1;
+                    path.push(branch);
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if schedules >= config.max_schedules {
+            return Report { schedules, complete: false, failure: None };
+        }
+    }
+}
+
+/// Explores `model` with [`Config::default`] and panics with the rendered
+/// failing schedule if any interleaving fails — the assert-style entry
+/// point for positive model tests.
+///
+/// # Panics
+///
+/// Panics when a schedule fails or exploration was cut off by the
+/// schedule cap (an un-exhausted model is not a verified model).
+pub fn model<F: Fn()>(model: F) {
+    model_with(Config::default(), model)
+}
+
+/// [`model`] with an explicit [`Config`].
+///
+/// # Panics
+///
+/// As [`model`].
+pub fn model_with<F: Fn()>(config: Config, model_fn: F) {
+    let report = explore(config, model_fn);
+    if report.failure.is_some() {
+        panic!("model failed: {report}");
+    }
+    assert!(
+        report.complete,
+        "exploration incomplete after {} schedules — raise max_schedules or shrink the model",
+        report.schedules
+    );
+}

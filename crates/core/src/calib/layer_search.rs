@@ -92,7 +92,7 @@ pub fn plan_layer(
     s: &CalibSettings,
 ) -> LayerPlan {
     let mut sorted = samples.values.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len().max(1) as f64;
     let ymax = samples.hist.sample_max().max(0.0);
     let ymin = samples.hist.sample_min().max(0.0);
@@ -179,24 +179,22 @@ pub fn plan_layer(
     let trq_best = per_grid_best
         .into_iter()
         .filter(|c| c.mse <= min_mse * s.mse_guard)
-        .min_by(|a, b| {
-            a.cost
-                .partial_cmp(&b.cost)
-                .expect("cost is finite")
-                .then(a.mse.partial_cmp(&b.mse).expect("mse is finite"))
-        })
+        .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.mse.total_cmp(&b.mse)))
+        // lint: allow(unwrap): the filter keeps at least the min-MSE candidate
         .expect("guard band always contains the min-MSE candidate");
 
     // line 23: compare with uniform quantization at NR2 bits
     let mut uni_best: Option<(f64, f64)> = None; // (vgrid, mse)
     for k in 0..steps {
         let vgrid = grid_lo + (grid_hi - grid_lo) * k as f64 / (steps - 1) as f64;
+        // lint: allow(unwrap): bits and step were validated above
         let q = UniformQuantizer::new(n_r2, vgrid).expect("validated bits/step");
         let mse = quantizer_mse(&sorted, |x| q.quantize(x));
         if uni_best.is_none_or(|(_, m)| mse < m) {
             uni_best = Some((vgrid, mse));
         }
     }
+    // lint: allow(unwrap): the grid loop runs `steps >= 2` iterations
     let (uni_vgrid, uni_mse) = uni_best.expect("at least one grid candidate");
     let trq_mean_ops = trq_best.cost / n;
     let uni_mean_ops = n_r2 as f64;
@@ -265,6 +263,7 @@ pub fn plan_network(
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // lint: allow(unwrap): the strided loop visits every index
                 .expect("every layer slot filled")
         })
         .collect()

@@ -27,7 +27,11 @@
 //! thread count by construction) and makes deadlock impossible.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+#[cfg(not(trq_check))]
+use std::sync::OnceLock;
+use std::sync::{Arc, PoisonError};
+
+use crate::sync::{thread, Condvar, Mutex};
 
 /// A lifetime-erased pointer to the round's job closure.
 ///
@@ -37,9 +41,29 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 #[derive(Clone, Copy)]
 struct JobPtr(*const (dyn Fn(usize) + Sync + 'static));
 
-// SAFETY: the pointer is only dereferenced while the owning `Pool::run`
-// frame is blocked waiting for the round to finish; the closure it points
-// to is `Sync`, so shared calls from many threads are fine.
+// SAFETY: sending the raw closure pointer to worker threads is sound
+// because of the *round barrier* invariant, which has three legs:
+//
+//   1. Publication: `Pool::run` stores the pointer into the job slot
+//      while holding the state lock, then wakes workers; the pointee is a
+//      stack-borrowed closure in the caller's frame.
+//   2. Use: workers dereference it only for participant indices claimed
+//      from the same state lock, and every claim is balanced by a
+//      `remaining -= 1` after the call returns (or unwinds — the
+//      decrement runs either way via the `catch_unwind` in
+//      `worker_loop`).
+//   3. Barrier: `Pool::run` does not return — and therefore the
+//      caller's frame, and the closure in it, cannot be invalidated —
+//      until it has observed `remaining == 0` under the state lock,
+//      after which the job slot is cleared so no later claim can see a
+//      dangling pointer.
+//
+// The closure is `Sync`, so concurrent shared calls from many workers
+// are fine. This protocol is model-checked: `trq-check-tests` runs the
+// real pool under the trq-check scheduler and asserts that no
+// interleaving lets a participant run after `run` returns
+// (`pool_round_barrier_holds`), and that worker claim/park never loses a
+// wakeup (`pool_round_completes_and_reuses_workers`).
 #[allow(unsafe_code)]
 unsafe impl Send for JobPtr {}
 
@@ -74,7 +98,7 @@ struct Shared {
 /// parked — never respawned — between rounds.
 pub struct Pool {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl Default for Pool {
@@ -107,21 +131,33 @@ impl Pool {
     /// The process-wide pool. Everything that wants to share threads —
     /// MVM engines, calibration sharding, plan evaluation — uses this by
     /// default, so thread spawn cost is paid once per process.
+    #[cfg(not(trq_check))]
     pub fn global() -> &'static Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
         GLOBAL.get_or_init(Pool::new)
     }
 
+    /// Under the model checker a process-wide pool cannot exist: its
+    /// worker threads would leak across executions and wreck schedule
+    /// replay. Models construct short-lived pools with [`Pool::new`].
+    #[cfg(trq_check)]
+    pub fn global() -> &'static Pool {
+        panic!(
+            "Pool::global() is unavailable under --cfg trq_check: a 'static pool would leak \
+             simulated threads across executions; build the model around Pool::new() instead"
+        )
+    }
+
     /// Worker threads spawned so far.
     pub fn workers(&self) -> usize {
-        self.shared.state.lock().expect("pool state poisoned").workers
+        self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).workers
     }
 
     /// Ensures at least `participants - 1` workers exist, so a following
     /// [`Pool::run`] with that participant count pays no spawn cost.
     /// Called by engines at session start.
     pub fn warm(&self, participants: usize) {
-        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         self.spawn_up_to(&mut st, participants.saturating_sub(1));
     }
 
@@ -129,11 +165,13 @@ impl Pool {
         while st.workers < workers {
             st.workers += 1;
             let shared = Arc::clone(&self.shared);
-            let handle = std::thread::Builder::new()
+            let handle = thread::Builder::new()
                 .name(format!("trq-pool-{}", st.workers))
                 .spawn(move || worker_loop(&shared))
+                // lint: allow(unwrap): OS thread-spawn failure during pool
+                // construction is unrecoverable — panic is the contract
                 .expect("spawn pool worker");
-            self.handles.lock().expect("pool handles poisoned").push(handle);
+            self.handles.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
         }
     }
 
@@ -155,7 +193,7 @@ impl Pool {
             job(0);
             return;
         }
-        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.job.is_some() {
             drop(st);
             for i in 0..participants {
@@ -164,8 +202,14 @@ impl Pool {
             return;
         }
         self.spawn_up_to(&mut st, participants - 1);
-        // SAFETY: we do not return before `remaining == 0`, so the erased
-        // borrow outlives every dereference (see `JobPtr`).
+        // SAFETY: leg 3 of the round-barrier invariant (see `JobPtr`).
+        // The erased `'static` is a lie the barrier makes true: this
+        // frame publishes the pointer below and then cannot return until
+        // the `remaining == 0` wait further down has completed, at which
+        // point `st.job` has been reset to `None` under the same lock —
+        // so every dereference in `worker_loop` happens while this
+        // borrow of `job` is still live. Model-checked in
+        // `trq-check-tests::pool_round_barrier_holds`.
         #[allow(unsafe_code)]
         let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
@@ -181,13 +225,13 @@ impl Pool {
         // the caller is participant 0
         let ok = catch_unwind(AssertUnwindSafe(|| job(0))).is_ok();
 
-        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         if !ok {
             st.panicked = true;
         }
         st.remaining -= 1;
         while st.remaining > 0 {
-            st = self.shared.done.wait(st).expect("pool state poisoned");
+            st = self.shared.done.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         st.job = None;
         let panicked = st.panicked;
@@ -201,18 +245,18 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        for handle in self.handles.lock().expect("pool handles poisoned").drain(..) {
+        for handle in self.handles.lock().unwrap_or_else(PoisonError::into_inner).drain(..) {
             let _ = handle.join();
         }
     }
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut st = shared.state.lock().expect("pool state poisoned");
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
         if st.shutdown {
             return;
@@ -229,11 +273,15 @@ fn worker_loop(shared: &Shared) {
             Some((job, idx)) => {
                 debug_assert!(idx >= 1 && idx < st.participants, "worker index out of round");
                 drop(st);
-                // SAFETY: `Pool::run` blocks until this participant
-                // decrements `remaining`, keeping the closure alive.
+                // SAFETY: leg 2 of the round-barrier invariant (see
+                // `JobPtr`): this claim was counted in `remaining`, and
+                // `Pool::run` cannot observe `remaining == 0` — the only
+                // thing that lets the closure's frame die — until the
+                // decrement below, which runs after the call whether it
+                // returns or unwinds.
                 #[allow(unsafe_code)]
                 let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(idx) })).is_ok();
-                st = shared.state.lock().expect("pool state poisoned");
+                st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
                 if !ok {
                     st.panicked = true;
                 }
@@ -243,13 +291,16 @@ fn worker_loop(shared: &Shared) {
                 }
             }
             None => {
-                st = shared.work.wait(st).expect("pool state poisoned");
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
 }
 
-#[cfg(test)]
+// Unit tests run the pool on the real OS scheduler, so they are gated out
+// of `--cfg trq_check` builds (where every sync op requires a driving
+// model); the model-checked equivalents live in `trq-check-tests`.
+#[cfg(all(test, not(trq_check)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

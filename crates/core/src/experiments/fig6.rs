@@ -56,6 +56,7 @@ pub fn plan_uniform_network(
             let mut best = (lo, f64::INFINITY);
             for k in 0..steps {
                 let vgrid = lo + (hi - lo) * k as f64 / (steps - 1) as f64;
+                // lint: allow(unwrap): bits and vgrid were validated above
                 let q = UniformQuantizer::new(bits, vgrid).expect("validated bits");
                 let mse = quantizer_mse(&layer.values, |x| q.quantize(x));
                 if mse < best.1 {

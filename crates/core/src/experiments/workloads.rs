@@ -100,6 +100,7 @@ impl Workload {
 
     /// LeNet-5 on the synthetic digit set, trained in-repo.
     pub fn lenet5(cfg: &SuiteConfig) -> Self {
+        // lint: allow(unwrap): the in-repo model zoo has static, valid shapes
         let mut net = models::lenet5(cfg.seed).expect("static topology");
         let train = data::synthetic_digits(cfg.lenet_train, cfg.seed ^ 0x1);
         let tc = TrainConfig {
@@ -109,6 +110,7 @@ impl Workload {
             batch: 16,
             seed: cfg.seed,
         };
+        // lint: allow(unwrap): lenet5 is a chain network by construction
         sgd_train(&mut net, &train, &tc).expect("lenet is a chain");
         let cal_images: Vec<Tensor> =
             train.iter().take(cfg.cal_images).map(|s| s.image.clone()).collect();
@@ -116,10 +118,12 @@ impl Workload {
         let eval_labeled: Vec<(Tensor, usize)> =
             eval_ds.iter().map(|s| (s.image.clone(), s.label)).collect();
         let eval_inputs: Vec<Tensor> = eval_ds.iter().map(|s| s.image.clone()).collect();
+        // lint: allow(unwrap): `cal_images` is non-empty (cfg.cal_images >= 1)
         let qnet = QuantizedNetwork::quantize(&net, &cal_images).expect("non-empty calibration");
         let float_score = {
             let mut correct = 0;
             for (image, label) in &eval_labeled {
+                // lint: allow(unwrap): eval images match the net's input shape
                 if net.forward(image).expect("float forward").argmax() == *label {
                     correct += 1;
                 }
@@ -139,6 +143,7 @@ impl Workload {
 
     /// ResNet-20 on CIFAR-shaped data (fidelity metric).
     pub fn resnet20(cfg: &SuiteConfig) -> Self {
+        // lint: allow(unwrap): the in-repo model zoo has static, valid shapes
         let net = models::resnet20(cfg.seed).expect("static topology");
         let cal = data::synthetic_cifar(cfg.cal_images, cfg.seed ^ 0x3);
         let eval = data::synthetic_cifar(cfg.eval_images, cfg.seed ^ 0x4);
@@ -148,6 +153,7 @@ impl Workload {
     /// ResNet-18 on ImageNet-shaped data (fidelity metric).
     pub fn resnet18(cfg: &SuiteConfig) -> Self {
         let net = models::resnet18(cfg.seed, cfg.imagenet_hw, cfg.imagenet_classes)
+            // lint: allow(unwrap): suite config clamps hw/classes to valid sizes
             .expect("validated size");
         let cal = data::synthetic_imagenet(
             cfg.cal_images,
@@ -167,6 +173,7 @@ impl Workload {
     /// SqueezeNet-1.1 on ImageNet-shaped data (fidelity metric).
     pub fn squeezenet1_1(cfg: &SuiteConfig) -> Self {
         let net = models::squeezenet1_1(cfg.seed, cfg.imagenet_hw.max(24), cfg.imagenet_classes)
+            // lint: allow(unwrap): suite config clamps hw/classes to valid sizes
             .expect("validated size");
         let hw = cfg.imagenet_hw.max(24);
         let cal =
@@ -184,6 +191,7 @@ impl Workload {
     ) -> Self {
         let cal_images: Vec<Tensor> = cal.iter().map(|s| s.image.clone()).collect();
         let eval_inputs: Vec<Tensor> = eval.iter().map(|s| s.image.clone()).collect();
+        // lint: allow(unwrap): `cal_images` is non-empty (cfg.cal_images >= 1)
         let qnet = QuantizedNetwork::quantize(&net, &cal_images).expect("non-empty calibration");
         Workload {
             name: name.into(),

@@ -39,3 +39,4 @@ pub mod energy;
 pub mod exec;
 pub mod experiments;
 pub mod pim;
+pub(crate) mod sync;

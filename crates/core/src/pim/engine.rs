@@ -959,6 +959,7 @@ impl PimMvm {
             label: info.label.clone(),
             values: Vec::new(),
             hist: Histogram::new(0.0, (max_count + 1) as f64, (max_count + 1) as usize)
+                // lint: allow(unwrap): `max_count + 1 >= 1` bins, hi > lo
                 .expect("non-empty count domain"),
             seen: 0,
         });

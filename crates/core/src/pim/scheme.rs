@@ -36,6 +36,8 @@ impl AdcScheme {
         match self {
             AdcScheme::Ideal => Lut::new((0..=max_count).map(|c| (c, baseline_bits as u8)), 1.0),
             AdcScheme::Uniform { bits, vgrid } => {
+                // lint: allow(unwrap): scheme parameters were validated at
+                // construction
                 let q = UniformQuantizer::new(*bits, *vgrid).expect("validated scheme");
                 Lut::new((0..=max_count).map(|c| (q.code(c as f64), *bits as u8)), *vgrid)
             }

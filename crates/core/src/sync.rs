@@ -1,0 +1,18 @@
+//! Sync-primitive facade: `std::sync` in production, the `trq-check`
+//! model-checker shims when built with `RUSTFLAGS='--cfg trq_check'`.
+//!
+//! Production builds compile these aliases straight to `std` — zero
+//! overhead, no behavioural difference. Under the cfg, every lock,
+//! condvar wait, and thread spawn in [`crate::exec`] becomes a recorded
+//! scheduling decision point, letting `trq-check-tests` drive the real
+//! [`crate::exec::Pool`] through every bounded interleaving.
+
+#[cfg(not(trq_check))]
+pub(crate) use std::sync::{Condvar, Mutex};
+#[cfg(not(trq_check))]
+pub(crate) use std::thread;
+
+#[cfg(trq_check)]
+pub(crate) use trq_check::sync::{Condvar, Mutex};
+#[cfg(trq_check)]
+pub(crate) use trq_check::thread;

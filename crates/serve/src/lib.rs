@@ -60,14 +60,17 @@
 
 mod fault;
 mod model;
+mod sync;
 
 pub use fault::{FaultKind, FaultPlan, FaultShim};
 pub use model::{Model, ModelId, Registry, RegistryBackend};
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+use crate::sync::{thread, Condvar, Instant, Mutex, MutexGuard};
 use trq_core::pim::PimStats;
 use trq_nn::NnError;
 use trq_tensor::Tensor;
@@ -433,7 +436,16 @@ struct TicketShared {
 
 impl TicketShared {
     fn complete(&self, result: Result<Response, ServeError>) {
-        *self.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        // Under the model checker, resolving a ticket twice is a protocol
+        // violation (a request answered by both the batcher and the
+        // shutdown drain, say) and must fail the exploration. Production
+        // keeps last-writer-wins rather than risking a panic while the
+        // batcher holds no lock ordering over callers.
+        #[cfg(trq_check)]
+        assert!(slot.is_none(), "ticket double-resolution");
+        *slot = Some(result);
+        drop(slot);
         self.ready.notify_all();
     }
 }
@@ -943,7 +955,7 @@ impl BatchSource {
 /// The multi-producer serving frontend. See the crate docs for the model.
 pub struct Server {
     shared: Arc<Shared>,
-    worker: Option<std::thread::JoinHandle<ServeReport>>,
+    worker: Option<thread::JoinHandle<ServeReport>>,
 }
 
 impl Server {
@@ -1001,33 +1013,32 @@ impl Server {
             vacated: Condvar::new(),
         });
         let worker_shared = Arc::clone(&shared);
-        let spawned =
-            std::thread::Builder::new().name("trq-serve-batcher".into()).spawn(move || {
-                let source = BatchSource { shared: Arc::clone(&worker_shared) };
-                let outcome = catch_unwind(AssertUnwindSafe(|| body(source)));
-                // the batcher is gone: refuse new work, fail anything
-                // still queued so no ticket waits forever, and fold the
-                // queue-side resilience counters into the report
-                let (leftovers, shed, expired, refused, trips, reinstates) = {
-                    let mut st = worker_shared.lock();
-                    st.dead = true;
-                    let leftovers: Vec<Request> = st.queue.drain(..).collect();
-                    let trips: u64 = st.health.iter().map(|h| h.trips).sum();
-                    let reinstates: u64 = st.health.iter().map(|h| h.reinstates).sum();
-                    (leftovers, st.shed, st.expired, st.quarantine_refused, trips, reinstates)
-                };
-                worker_shared.vacated.notify_all();
-                let mut report = outcome.unwrap_or_default();
-                report.shed = shed;
-                report.deadline_expired = expired;
-                report.quarantine_trips = trips;
-                report.quarantine_reinstates = reinstates;
-                report.failed += refused + leftovers.len() as u64;
-                for request in leftovers {
-                    request.ticket.complete(Err(ServeError::WorkerLost));
-                }
-                report
-            });
+        let spawned = thread::Builder::new().name("trq-serve-batcher".into()).spawn(move || {
+            let source = BatchSource { shared: Arc::clone(&worker_shared) };
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(source)));
+            // the batcher is gone: refuse new work, fail anything
+            // still queued so no ticket waits forever, and fold the
+            // queue-side resilience counters into the report
+            let (leftovers, shed, expired, refused, trips, reinstates) = {
+                let mut st = worker_shared.lock();
+                st.dead = true;
+                let leftovers: Vec<Request> = st.queue.drain(..).collect();
+                let trips: u64 = st.health.iter().map(|h| h.trips).sum();
+                let reinstates: u64 = st.health.iter().map(|h| h.reinstates).sum();
+                (leftovers, st.shed, st.expired, st.quarantine_refused, trips, reinstates)
+            };
+            worker_shared.vacated.notify_all();
+            let mut report = outcome.unwrap_or_default();
+            report.shed = shed;
+            report.deadline_expired = expired;
+            report.quarantine_trips = trips;
+            report.quarantine_reinstates = reinstates;
+            report.failed += refused + leftovers.len() as u64;
+            for request in leftovers {
+                request.ticket.complete(Err(ServeError::WorkerLost));
+            }
+            report
+        });
         let worker = match spawned {
             Ok(handle) => Some(handle),
             Err(_) => {
@@ -1252,7 +1263,10 @@ impl Drop for Server {
     }
 }
 
-#[cfg(test)]
+// These tests exercise the server on the real OS scheduler (sleeps,
+// wall-clock deadlines), so they are gated out of `--cfg trq_check`
+// builds; the model-checked equivalents live in `trq-check-tests`.
+#[cfg(all(test, not(trq_check)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,23 @@
+//! Sync/time facade: `std` in production, the `trq-check` model-checker
+//! shims when built with `RUSTFLAGS='--cfg trq_check'`.
+//!
+//! Production builds compile these aliases straight to `std` — zero
+//! overhead, no behavioural difference. Under the cfg, every lock,
+//! condvar wait (timed or not), thread spawn, and `Instant::now()` in the
+//! queue/batcher/quarantine machinery becomes deterministic and
+//! schedulable, letting `trq-check-tests` drive a real [`crate::Server`]
+//! through every bounded interleaving.
+
+#[cfg(not(trq_check))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(trq_check))]
+pub(crate) use std::thread;
+#[cfg(not(trq_check))]
+pub(crate) use std::time::Instant;
+
+#[cfg(trq_check)]
+pub(crate) use trq_check::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(trq_check)]
+pub(crate) use trq_check::thread;
+#[cfg(trq_check)]
+pub(crate) use trq_check::time::Instant;

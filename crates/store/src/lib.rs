@@ -329,11 +329,14 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<ModelSnapshot, StoreError> {
     if bytes[..8] != MAGIC {
         return Err(StoreError::BadMagic);
     }
+    // lint: allow(unwrap): literal-width slices — try_into cannot fail
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
     if version != FORMAT_VERSION {
         return Err(StoreError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
     }
+    // lint: allow(unwrap): literal-width slices — try_into cannot fail
     let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    // lint: allow(unwrap): literal-width slices — try_into cannot fail
     let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
     let expected = HEADER_LEN as u64 + payload_len;
     if (bytes.len() as u64) < expected {

@@ -70,6 +70,7 @@ const fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
 /// # Panics
 ///
 /// Panics when the slice lengths differ.
+// no_alloc: the binary dot-product primitive must stay allocation-free
 #[inline]
 pub fn and_popcount_words(a: &[u64], b: &[u64]) -> u32 {
     assert_eq!(a.len(), b.len(), "word slice length mismatch");
@@ -89,6 +90,7 @@ pub fn and_popcount_words(a: &[u64], b: &[u64]) -> u32 {
 /// Harley–Seal tail for the generic word count: carry-save-adds four
 /// AND-words at a time so only one hardware popcount runs per four words,
 /// with a scalar epilogue for the remainder.
+// no_alloc: carry-save tail of the dot-product primitive
 fn and_popcount_generic(a: &[u64], b: &[u64]) -> u32 {
     let n = a.len().min(b.len());
     let (mut ones, mut twos) = (0u64, 0u64);
@@ -567,6 +569,7 @@ fn dispatch_wpc<K: RowKernels>(
 /// live plane runs the column loop exactly once over the whole range —
 /// identical to the pre-block-skip kernel — while sparse planes visit
 /// only live blocks.
+// no_alloc: the tile loop nest runs per (plane, window-segment, column)
 #[allow(clippy::too_many_arguments)]
 fn tile_loop<const WPC: usize, K: RowKernels>(
     pos: &BitMatrix,
@@ -633,6 +636,7 @@ fn tile_loop<const WPC: usize, K: RowKernels>(
 /// loading each window's plane words once for both subarray sides. The
 /// 4-wide unroll keeps eight count accumulators in registers for the
 /// fixed-`WPC` instantiations.
+// no_alloc: per-row inner loop of the tile kernel
 #[inline]
 fn diff_row_scalar<const WPC: usize>(
     ap: &[u64],
@@ -685,6 +689,7 @@ fn diff_row_scalar<const WPC: usize>(
 
 /// One (plane, column) row against a single subarray side — the path for
 /// columns whose differential partner is empty.
+// no_alloc: per-row inner loop of the tile kernel
 #[inline]
 fn single_row_scalar<const WPC: usize>(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
     let nw = out.len();

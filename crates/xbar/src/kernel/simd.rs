@@ -471,13 +471,15 @@ mod avx2 {
     use core::arch::x86_64::*;
 
     /// Per-qword popcounts of `v` (as 4 u64 lanes).
+    // SAFETY: value intrinsics only — no memory access. `unsafe` comes
+    // solely from the `target_feature` gate, which every caller
+    // discharges because the tier dispatchers assert AVX2 availability
+    // before entering this module. The unsafe surface of the module is
+    // otherwise confined to the unaligned loads/stores in the row
+    // kernels below.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn sad_popcnt(v: __m256i) -> __m256i {
-        // Value intrinsics are safe to call here: the enclosing function
-        // is gated on `avx2`, which the dispatcher verified the CPU
-        // supports. The unsafe surface of this module is confined to the
-        // pointer loads/stores in the row kernels below.
         let lut = _mm256_setr_epi8(
             0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
             3, 3, 4,
@@ -491,6 +493,8 @@ mod avx2 {
 
     /// Sum of the 4 u64 lanes (fits u32: counts are bounded by bits
     /// processed per call).
+    // SAFETY: value intrinsics only; AVX2 is asserted by the tier
+    // dispatchers before any function in this module is entered.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn hsum_epi64(v: __m256i) -> u32 {
@@ -499,6 +503,11 @@ mod avx2 {
         _mm_cvtsi128_si64(s) as u32
     }
 
+    // SAFETY: AVX2 is asserted by the dispatchers before entry. The
+    // unaligned loads read `a[i..i+4]` / `b[i..i+4]` only while
+    // `i + 4 <= a.len()`, and every caller passes `b` at least as long
+    // as `a` (the dispatcher asserts equal lengths; the generic row
+    // kernels slice both operands to exactly `wpc` words).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
         unsafe {
@@ -520,6 +529,8 @@ mod avx2 {
         }
     }
 
+    // SAFETY: AVX2 is asserted by the dispatchers before entry; the
+    // unaligned loads read `a[i..i+4]` only while `i + 4 <= a.len()`.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn popcount(a: &[u64]) -> u32 {
         unsafe {
@@ -541,6 +552,7 @@ mod avx2 {
     }
 
     /// 1 word per column: 4 windows per 256-bit load.
+    // SAFETY: `unsafe` for the AVX2 gate, asserted by the dispatchers.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn diff_w1(
         ap: &[u64],
@@ -549,6 +561,10 @@ mod avx2 {
         out_p: &mut [u32],
         out_n: &mut [u32],
     ) {
+        // SAFETY: the tile loop passes `pw.len() == out_p.len()` (1 word
+        // per column) and `out_n.len() == out_p.len()`; the vector loop
+        // loads `pw[w..w+4]` and stores 4 counts only while `w + 4 <= nw`,
+        // so every unaligned access is in bounds.
         unsafe {
             let nw = out_p.len();
             let a_p = _mm256_set1_epi64x(ap[0] as i64);
@@ -580,6 +596,7 @@ mod avx2 {
 
     /// 2 words per column (the 128-row paper default): 4 windows per
     /// iteration via two 256-bit loads against a broadcast column pair.
+    // SAFETY: `unsafe` for the AVX2 gate, asserted by the dispatchers.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn diff_w2(
         ap: &[u64],
@@ -588,6 +605,10 @@ mod avx2 {
         out_p: &mut [u32],
         out_n: &mut [u32],
     ) {
+        // SAFETY: the tile loop passes `ap.len() == an.len() == 2`,
+        // `pw.len() == 2 * out_p.len()`, `out_n.len() == out_p.len()`;
+        // the vector loop reads `pw[2w..2w+8]` and stores 4 counts only
+        // while `w + 4 <= nw`, i.e. `2w + 8 <= 2 * nw == pw.len()`.
         unsafe {
             let nw = out_p.len();
             let a_p = _mm256_broadcastsi128_si256(_mm_loadu_si128(ap.as_ptr() as *const __m128i));
@@ -631,6 +652,7 @@ mod avx2 {
     }
 
     /// 4 words per column: one window per 256-bit load.
+    // SAFETY: `unsafe` for the AVX2 gate, asserted by the dispatchers.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn diff_w4(
         ap: &[u64],
@@ -639,6 +661,10 @@ mod avx2 {
         out_p: &mut [u32],
         out_n: &mut [u32],
     ) {
+        // SAFETY: the tile loop passes `ap.len() == an.len() == 4` and
+        // `pw.len() == 4 * out_p.len()`, so each 256-bit load of
+        // `pw[4w..4w+4]` (w < out_p.len()) and of the two column operands
+        // is in bounds; stores go through the safe `out_p[w]` indexing.
         unsafe {
             let a_p = _mm256_loadu_si256(ap.as_ptr() as *const __m256i);
             let a_n = _mm256_loadu_si256(an.as_ptr() as *const __m256i);
@@ -650,6 +676,7 @@ mod avx2 {
         }
     }
 
+    // SAFETY: `unsafe` for the AVX2 gate, asserted by the dispatchers.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn diff_generic(
         ap: &[u64],
@@ -659,6 +686,9 @@ mod avx2 {
         out_p: &mut [u32],
         out_n: &mut [u32],
     ) {
+        // SAFETY: same AVX2 gate as this function; `and_popcount`'s
+        // length contract holds because both operands are sliced (or
+        // passed) as exactly `wpc` words.
         unsafe {
             for w in 0..out_p.len() {
                 let b = &pw[w * wpc..(w + 1) * wpc];
@@ -668,6 +698,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: AVX2 asserted by the dispatchers. The tile loop passes
+    // `pw.len() == out.len()` (1 word per column); loads of `pw[w..w+4]`
+    // and 4-count stores happen only while `w + 4 <= nw`.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn single_w1(a: &[u64], pw: &[u64], out: &mut [u32]) {
         unsafe {
@@ -691,6 +724,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: AVX2 asserted by the dispatchers. The tile loop passes
+    // `a.len() == 2` and `pw.len() == 2 * out.len()`; the vector loop
+    // reads `pw[2w..2w+8]` and stores 4 counts only while `w + 4 <= nw`.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn single_w2(a: &[u64], pw: &[u64], out: &mut [u32]) {
         unsafe {
@@ -718,6 +754,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: AVX2 asserted by the dispatchers. The tile loop passes
+    // `a.len() == 4` and `pw.len() == 4 * out.len()`, so each 256-bit
+    // load is in bounds; stores go through safe indexing.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn single_w4(a: &[u64], pw: &[u64], out: &mut [u32]) {
         unsafe {
@@ -729,6 +768,8 @@ mod avx2 {
         }
     }
 
+    // SAFETY: AVX2 asserted by the dispatchers; `and_popcount`'s length
+    // contract holds because both operands span exactly `wpc` words.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn single_generic(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
         unsafe {
@@ -754,19 +795,25 @@ mod avx512 {
     use core::arch::x86_64::*;
 
     /// Sum of the 4 u64 lanes of a 256-bit vector.
+    // SAFETY: value intrinsics only — no memory access. The enclosing
+    // functions are gated on avx512f/avx512vpopcntdq/avx512vl (this
+    // helper on the implied avx2), which the dispatchers verified the
+    // CPU supports before entering this module. The unsafe surface of
+    // the module is otherwise confined to the unaligned loads/stores in
+    // the row kernels below.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn hsum_epi64(v: __m256i) -> u32 {
-        // Value intrinsics are safe to call here: the enclosing functions
-        // are gated on avx512f/avx512vpopcntdq/avx512vl (this helper on
-        // the implied avx2), which the dispatcher verified the CPU
-        // supports. The unsafe surface of this module is confined to the
-        // pointer loads/stores in the row kernels below.
         let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
         let s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
         _mm_cvtsi128_si64(s) as u32
     }
 
+    // SAFETY: AVX-512 availability (all three features) is asserted by
+    // the dispatchers before entry. The unaligned loads read
+    // `a[i..i+8]` / `b[i..i+8]` only while `i + 8 <= a.len()`, and every
+    // caller passes `b` at least as long as `a` (the dispatcher asserts
+    // equal lengths; the generic row kernels slice both to `wpc` words).
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
         unsafe {
@@ -790,6 +837,8 @@ mod avx512 {
         }
     }
 
+    // SAFETY: AVX-512 availability asserted by the dispatchers; the
+    // unaligned loads read `a[i..i+8]` only while `i + 8 <= a.len()`.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn popcount(a: &[u64]) -> u32 {
         unsafe {
@@ -814,6 +863,7 @@ mod avx512 {
 
     /// 1 word per column: 8 windows per 512-bit load, counts narrowed to
     /// u32 with one `vpmovqd`.
+    // SAFETY: `unsafe` for the AVX-512 gate, asserted by the dispatchers.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn diff_w1(
         ap: &[u64],
@@ -822,6 +872,10 @@ mod avx512 {
         out_p: &mut [u32],
         out_n: &mut [u32],
     ) {
+        // SAFETY: the tile loop passes `pw.len() == out_p.len()` (1 word
+        // per column) and `out_n.len() == out_p.len()`; the vector loop
+        // loads `pw[w..w+8]` and stores 8 counts only while `w + 8 <= nw`,
+        // so every unaligned access is in bounds.
         unsafe {
             let nw = out_p.len();
             let a_p = _mm512_set1_epi64(ap[0] as i64);
@@ -852,6 +906,7 @@ mod avx512 {
     /// 2 words per column (the 128-row paper default): 4 windows per
     /// 512-bit load against a lane-broadcast column pair; per-128-lane
     /// pair sums are compacted to 4 u32 with one `vpermd`.
+    // SAFETY: `unsafe` for the AVX-512 gate, asserted by the dispatchers.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn diff_w2(
         ap: &[u64],
@@ -860,6 +915,10 @@ mod avx512 {
         out_p: &mut [u32],
         out_n: &mut [u32],
     ) {
+        // SAFETY: the tile loop passes `ap.len() == an.len() == 2`,
+        // `pw.len() == 2 * out_p.len()`, `out_n.len() == out_p.len()`;
+        // the vector loop reads `pw[2w..2w+8]` and stores 4 counts only
+        // while `w + 4 <= nw`, i.e. `2w + 8 <= 2 * nw == pw.len()`.
         unsafe {
             let nw = out_p.len();
             let a_p = _mm512_broadcast_i32x4(_mm_loadu_si128(ap.as_ptr() as *const __m128i));
@@ -895,6 +954,7 @@ mod avx512 {
 
     /// 4 words per column: one window per 256-bit `vpopcntq` (the
     /// `avx512vl` form).
+    // SAFETY: `unsafe` for the AVX-512 gate, asserted by the dispatchers.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn diff_w4(
         ap: &[u64],
@@ -903,6 +963,10 @@ mod avx512 {
         out_p: &mut [u32],
         out_n: &mut [u32],
     ) {
+        // SAFETY: the tile loop passes `ap.len() == an.len() == 4` and
+        // `pw.len() == 4 * out_p.len()`, so each 256-bit load of
+        // `pw[4w..4w+4]` (w < out_p.len()) and of the two column operands
+        // is in bounds; stores go through the safe `out_p[w]` indexing.
         unsafe {
             let a_p = _mm256_loadu_si256(ap.as_ptr() as *const __m256i);
             let a_n = _mm256_loadu_si256(an.as_ptr() as *const __m256i);
@@ -914,6 +978,7 @@ mod avx512 {
         }
     }
 
+    // SAFETY: `unsafe` for the AVX-512 gate, asserted by the dispatchers.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn diff_generic(
         ap: &[u64],
@@ -923,6 +988,9 @@ mod avx512 {
         out_p: &mut [u32],
         out_n: &mut [u32],
     ) {
+        // SAFETY: same AVX-512 gate as this function; `and_popcount`'s
+        // length contract holds because both operands are sliced (or
+        // passed) as exactly `wpc` words.
         unsafe {
             for w in 0..out_p.len() {
                 let b = &pw[w * wpc..(w + 1) * wpc];
@@ -932,6 +1000,9 @@ mod avx512 {
         }
     }
 
+    // SAFETY: AVX-512 asserted by the dispatchers. The tile loop passes
+    // `pw.len() == out.len()` (1 word per column); loads of `pw[w..w+8]`
+    // and 8-count stores happen only while `w + 8 <= nw`.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn single_w1(a: &[u64], pw: &[u64], out: &mut [u32]) {
         unsafe {
@@ -954,6 +1025,9 @@ mod avx512 {
         }
     }
 
+    // SAFETY: AVX-512 asserted by the dispatchers. The tile loop passes
+    // `a.len() == 2` and `pw.len() == 2 * out.len()`; the vector loop
+    // reads `pw[2w..2w+8]` and stores 4 counts only while `w + 4 <= nw`.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn single_w2(a: &[u64], pw: &[u64], out: &mut [u32]) {
         unsafe {
@@ -978,6 +1052,9 @@ mod avx512 {
         }
     }
 
+    // SAFETY: AVX-512 asserted by the dispatchers. The tile loop passes
+    // `a.len() == 4` and `pw.len() == 4 * out.len()`, so each 256-bit
+    // load is in bounds; stores go through safe indexing.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn single_w4(a: &[u64], pw: &[u64], out: &mut [u32]) {
         unsafe {
@@ -989,6 +1066,9 @@ mod avx512 {
         }
     }
 
+    // SAFETY: AVX-512 asserted by the dispatchers; `and_popcount`'s
+    // length contract holds because both operands span exactly `wpc`
+    // words.
     #[target_feature(enable = "avx512f,avx512vpopcntdq,avx512vl")]
     pub(super) unsafe fn single_generic(a: &[u64], pw: &[u64], wpc: usize, out: &mut [u32]) {
         unsafe {

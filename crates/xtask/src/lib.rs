@@ -1,0 +1,5 @@
+//! Workspace automation library. The one subcommand so far is
+//! [`lint`] — the static-audit pass behind `cargo xtask lint` and the
+//! CI `lint-audit` job.
+
+pub mod lint;

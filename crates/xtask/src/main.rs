@@ -1,0 +1,46 @@
+//! Workspace automation entry point: `cargo xtask <command>`.
+//!
+//! Commands:
+//! - `lint` — the static-audit pass (see [`xtask::lint`]); prints every
+//!   finding and exits non-zero if any exist. CI runs this as the
+//!   `lint-audit` job and inside the clippy job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => match xtask::lint::run(&workspace_root()) {
+            Ok(findings) if findings.is_empty() => {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            }
+            Ok(findings) => {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask lint: io error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}` (try `lint`)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("xtask: no command given (try `cargo xtask lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Lint fixture: one specimen of every banned pattern, plus decoys the
+//! scanner must NOT flag. Never compiled — `cargo xtask lint`'s own test
+//! feeds this file through the scanner and asserts each rule fires.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// rule 1 (safety-comment): unsafe with no SAFETY comment anywhere above
+pub fn naked_unsafe(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// SAFETY: decoy — this one IS documented and must not be flagged.
+#[allow(unsafe_code)]
+pub unsafe fn documented_unsafe(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn ordering_violation(n: &AtomicUsize) -> usize {
+    // rule 2 (ordering): this file is not on the allowlist
+    n.load(Ordering::Acquire)
+}
+
+pub fn unwrap_violation(v: Option<u32>) -> u32 {
+    // rule 3 (unwrap): bare unwrap in library code
+    v.unwrap()
+}
+
+pub fn expect_violation(v: Option<u32>) -> u32 {
+    v.expect("fixture expect")
+}
+
+pub fn waived_unwrap(v: Option<u32>) -> u32 {
+    // lint: allow(unwrap) decoy — waived, must not be flagged
+    v.unwrap()
+}
+
+pub fn unwrap_or_else_decoy(v: Option<u32>) -> u32 {
+    // not a violation: unwrap_or_else is the sanctioned form
+    v.unwrap_or_else(|| 0)
+}
+
+pub fn string_decoy() -> &'static str {
+    // not a violation: the banned tokens live inside a string literal
+    "call .unwrap() and unsafe and Ordering::SeqCst"
+}
+
+// no_alloc: summation must stay allocation-free on the hot path
+pub fn no_alloc_violation(xs: &[u32]) -> Vec<u32> {
+    // rule 4 (no-alloc): collect allocates
+    xs.iter().map(|x| x + 1).collect()
+}
+
+// no_alloc: decoy — arithmetic only, must not be flagged
+pub fn no_alloc_clean(xs: &[u32]) -> u32 {
+    xs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    // decoy: unwrap/Ordering/unsafe tokens in test code are invisible
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn test_decoy() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let _ = Ordering::SeqCst;
+    }
+}

@@ -1,0 +1,70 @@
+//! The audit must catch every banned pattern in the fixture — and none
+//! of the decoys. This is the lint's own credibility test, mirroring the
+//! checker's seeded-lost-wakeup test.
+
+use xtask::lint::{scan_source, Rule};
+
+const FIXTURE: &str = include_str!("fixtures/bad.rs");
+
+/// Scans the fixture as if it lived in a banned-crate src tree (so the
+/// unwrap rule applies).
+fn fixture_findings() -> Vec<xtask::lint::Finding> {
+    scan_source("crates/serve/src/fixture_bad.rs", FIXTURE)
+}
+
+#[test]
+fn every_seeded_violation_is_caught() {
+    let findings = fixture_findings();
+    let count = |rule: Rule| findings.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(count(Rule::SafetyComment), 1, "naked unsafe: {findings:#?}");
+    assert_eq!(count(Rule::Ordering), 1, "Ordering::Acquire: {findings:#?}");
+    assert_eq!(count(Rule::Unwrap), 2, "unwrap + expect: {findings:#?}");
+    assert_eq!(count(Rule::NoAlloc), 1, "collect in no_alloc fn: {findings:#?}");
+    assert_eq!(findings.len(), 5, "exactly the seeded violations: {findings:#?}");
+}
+
+#[test]
+fn decoys_are_not_flagged() {
+    let findings = fixture_findings();
+    for f in &findings {
+        let line = FIXTURE.lines().nth(f.line - 1).unwrap_or_default();
+        assert!(
+            !line.contains("decoy") && !line.contains("sanctioned") && !line.contains("sum()"),
+            "decoy flagged: {f}"
+        );
+    }
+}
+
+#[test]
+fn unwrap_rule_scopes_to_banned_crates() {
+    // the same source under a non-banned crate loses the unwrap findings
+    // but keeps the crate-agnostic rules
+    let findings = scan_source("crates/adc/src/fixture_bad.rs", FIXTURE);
+    assert!(findings.iter().all(|f| f.rule != Rule::Unwrap), "{findings:#?}");
+    assert!(findings.iter().any(|f| f.rule == Rule::SafetyComment));
+    assert!(findings.iter().any(|f| f.rule == Rule::NoAlloc));
+}
+
+#[test]
+fn line_numbers_survive_string_continuations() {
+    // a backslash-newline inside a string literal must not swallow the
+    // newline — every finding after it would otherwise be off by one
+    let src = "pub fn msg() -> &'static str {\n    \"a very long message \\\n     that continues\"\n}\n\npub fn naked(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let findings = scan_source("crates/adc/src/cont.rs", src);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::SafetyComment);
+    assert_eq!(findings[0].line, 7, "unsafe is on line 7: {findings:#?}");
+}
+
+#[test]
+fn test_region_is_excluded() {
+    // every finding must point above the `#[cfg(test)]` module
+    let cfg_test_line = FIXTURE
+        .lines()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .expect("fixture has a test module")
+        + 1;
+    for f in fixture_findings() {
+        assert!(f.line < cfg_test_line, "finding inside test region: {f}");
+    }
+}
